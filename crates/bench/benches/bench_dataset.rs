@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the data substrate: park generation,
+//! history simulation and dataset assembly (the inputs behind Table I and
+//! Fig. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paws_core::Scenario;
+use paws_data::{build_dataset, Discretization};
+use paws_geo::parks::test_park_spec;
+use paws_geo::Park;
+use std::hint::black_box;
+
+fn bench_park_generation(c: &mut Criterion) {
+    let spec = test_park_spec();
+    c.bench_function("park_generate_500_cells", |b| {
+        b.iter(|| black_box(Park::generate(&spec, 7)))
+    });
+}
+
+fn bench_history_simulation(c: &mut Criterion) {
+    let scenario = Scenario::test_scenario(7);
+    c.bench_function("simulate_one_year_history", |b| {
+        b.iter(|| black_box(scenario.simulate_years(2014, 1)))
+    });
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let scenario = Scenario::test_scenario(7);
+    let history = scenario.simulate_years(2014, 2);
+    c.bench_function("build_quarterly_dataset", |b| {
+        b.iter(|| black_box(build_dataset(&scenario.park, &history, Discretization::quarterly())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_park_generation,
+    bench_history_simulation,
+    bench_dataset_build
+);
+criterion_main!(benches);

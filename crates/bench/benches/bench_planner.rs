@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the patrol planner (the Fig. 9a runtime
+//! measurement at component scale): allocation MILP across PWL segment
+//! counts, and the flow formulation on a tiny instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paws_geo::parks::test_park_spec;
+use paws_geo::Park;
+use paws_plan::{plan, PlannerConfig, PlannerMethod, PlanningProblem};
+use std::hint::black_box;
+
+fn problem(patrol_length_km: f64) -> PlanningProblem {
+    let park = Park::generate(&test_park_spec(), 7);
+    let post = park.patrol_posts[0];
+    let grid: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let probs: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let s = 0.1 + 0.8 * ((i * 37) % 100) as f64 / 100.0;
+            grid.iter().map(|&e| s * (1.0 - (-0.7 * e).exp())).collect()
+        })
+        .collect();
+    let vars: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let b = 0.05 + 0.4 * ((i * 61) % 100) as f64 / 100.0;
+            grid.iter().map(|&e| (b + 0.03 * e).min(0.95)).collect()
+        })
+        .collect();
+    PlanningProblem::from_response(&park, post, &grid, &probs, &vars, patrol_length_km, 3, 1.0)
+}
+
+fn bench_allocation_segments(c: &mut Criterion) {
+    let problem = problem(10.0);
+    let mut group = c.benchmark_group("allocation_milp_by_segments");
+    group.sample_size(10);
+    for segments in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &segments| {
+            let config = PlannerConfig {
+                segments,
+                ..PlannerConfig::default()
+            };
+            b.iter(|| black_box(plan(&problem, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_formulation(c: &mut Criterion) {
+    let problem = problem(4.0);
+    let config = PlannerConfig {
+        method: PlannerMethod::Flow,
+        segments: 6,
+        ..PlannerConfig::default()
+    };
+    let mut group = c.benchmark_group("flow_formulation");
+    group.sample_size(10);
+    group.bench_function("flow_milp_tiny", |b| b.iter(|| black_box(plan(&problem, &config))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation_segments, bench_flow_formulation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the predictive stage (Table II / Fig. 6
+//! building blocks): weak-learner training, iWare-E training and park-wide
+//! prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paws_core::{train, ModelConfig, Scenario, WeakLearnerKind};
+use paws_data::{build_dataset, split_by_test_year, Dataset, Discretization, TrainTestSplit};
+use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
+use paws_ml::gp::{GaussianProcess, GpConfig};
+use std::hint::black_box;
+
+fn setup() -> (Scenario, Dataset, TrainTestSplit) {
+    let scenario = Scenario::test_scenario(7);
+    let history = scenario.simulate_years(2014, 3);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2016, 2).expect("2016 present");
+    (scenario, dataset, split)
+}
+
+fn quick_config(learner: WeakLearnerKind, use_iware: bool) -> ModelConfig {
+    let mut cfg = ModelConfig::new(learner, use_iware, 7);
+    cfg.n_learners = 5;
+    cfg.n_estimators = 4;
+    cfg.gp_max_points = 120;
+    cfg.weight_mode = paws_iware::WeightMode::Uniform;
+    cfg
+}
+
+fn bench_weak_learners(c: &mut Criterion) {
+    let (_, dataset, split) = setup();
+    let rows = dataset.feature_rows(&split.train);
+    let labels = dataset.labels(&split.train);
+    let mut c = c.benchmark_group("weak_learners");
+    c.sample_size(20);
+    c.bench_function("fit_bagged_trees_10", |b| {
+        b.iter(|| black_box(BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels)))
+    });
+    c.bench_function("fit_gp_200_points", |b| {
+        b.iter(|| {
+            black_box(GaussianProcess::fit(
+                &GpConfig {
+                    max_points: 200,
+                    ..GpConfig::default()
+                },
+                &rows,
+                &labels,
+                3,
+            ))
+        })
+    });
+    c.finish();
+}
+
+fn bench_iware_training(c: &mut Criterion) {
+    let (_, dataset, split) = setup();
+    let mut group = c.benchmark_group("iware_training");
+    group.sample_size(10);
+    group.bench_function("train_dtb_iware", |b| {
+        b.iter(|| black_box(train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true))))
+    });
+    group.finish();
+}
+
+fn bench_park_prediction(c: &mut Criterion) {
+    let (scenario, dataset, split) = setup();
+    let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+    let prev = dataset.coverage.last().unwrap().clone();
+    let mut group = c.benchmark_group("park_prediction");
+    group.sample_size(20);
+    group.bench_function("risk_map_500_cells", |b| {
+        b.iter(|| black_box(model.risk_map(&scenario.park, &dataset, &prev, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weak_learners,
+    bench_iware_training,
+    bench_park_prediction
+);
+criterion_main!(benches);

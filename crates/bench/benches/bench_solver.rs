@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the LP/MILP solver substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paws_solver::{solve_lp, solve_milp, ConstraintOp, MilpOptions, Model, Sense};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_lp(n_vars: usize, n_constraints: usize, seed: u64) -> Model {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n_vars)
+        .map(|i| m.add_continuous(&format!("x{i}"), 0.0, 10.0, rng.gen_range(0.1..1.0)))
+        .collect();
+    for _ in 0..n_constraints {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen::<f64>() < 0.3 {
+                terms.push((v, rng.gen_range(0.1..1.0)));
+            }
+        }
+        if terms.is_empty() {
+            terms.push((vars[0], 1.0));
+        }
+        m.add_constraint(&terms, ConstraintOp::Le, rng.gen_range(5.0..20.0));
+    }
+    m
+}
+
+fn knapsack(n_items: usize, seed: u64) -> Model {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n_items)
+        .map(|i| m.add_binary(&format!("x{i}"), rng.gen_range(1.0..20.0)))
+        .collect();
+    let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(1.0..8.0))).collect();
+    m.add_constraint(&terms, ConstraintOp::Le, n_items as f64);
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_random_lp");
+    for size in [20usize, 60, 120] {
+        let model = random_lp(size, size / 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &model, |b, model| {
+            b.iter(|| black_box(solve_lp(model, None)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let model = knapsack(16, 5);
+    c.bench_function("branch_and_bound_knapsack_16", |b| {
+        b.iter(|| black_box(solve_milp(&model, &MilpOptions::default())))
+    });
+}
+
+criterion_group!(benches, bench_lp, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 9 — prescriptive-model runtime (a) and patrol-plan utility (b) as
+//! a function of the number of segments in the PWL approximation, for the
+//! three parks.
+//!
+//! ```bash
+//! cargo run --release -p paws-bench --bin fig9            # reduced sweep
+//! cargo run --release -p paws-bench --bin fig9 -- --full  # 5..25 segments
+//! ```
+
+use paws_bench::{mean, park_model_config, quarterly_dataset, scenario, write_json, Scale};
+use paws_core::{format_table, train, WeakLearnerKind};
+use paws_data::split_by_test_year;
+use paws_plan::{plan, squash_matrix, PlannerConfig, PlanningProblem};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Point {
+    park: String,
+    segments: usize,
+    runtime_seconds: f64,
+    utility: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "Figure 9: planner runtime and utility vs PWL segments [{} scale]\n",
+        if scale.is_full() { "full" } else { "quick" }
+    );
+    let segment_counts: Vec<usize> = if scale.is_full() {
+        (1..=5).map(|i| i * 5).collect()
+    } else {
+        vec![5, 10, 15, 25]
+    };
+
+    let mut points = Vec::new();
+    for park_name in ["MFNP", "QENP", "SWS"] {
+        let sc = scenario(park_name);
+        let dataset = quarterly_dataset(&sc);
+        let test_year = if park_name == "SWS" { 2017 } else { 2016 };
+        let split = split_by_test_year(&dataset, test_year, 3).expect("test year present");
+        let config = park_model_config(park_name, WeakLearnerKind::GaussianProcess, true, scale);
+        let model = train(&dataset, &split, &config);
+
+        let prev = dataset.coverage.last().unwrap().clone();
+        let effort_grid: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        let (probs, raw_vars) = model.park_response(&sc.park, &dataset, &prev, &effort_grid);
+        let (_, vars) = squash_matrix(&raw_vars);
+
+        // Fully robust plans (β = 1), as in Fig. 9b; a couple of posts keep
+        // runtimes representative without dominating the harness.
+        let posts: Vec<_> = sc.park.patrol_posts.iter().copied().take(3).collect();
+        let mut rows = Vec::new();
+        for &segments in &segment_counts {
+            let planner = PlannerConfig {
+                segments,
+                ..PlannerConfig::default()
+            };
+            let mut runtimes = Vec::new();
+            let mut utilities = Vec::new();
+            for &post in &posts {
+                let problem = PlanningProblem::from_response(
+                    &sc.park,
+                    post,
+                    &effort_grid,
+                    &probs,
+                    &vars,
+                    10.0,
+                    4,
+                    1.0,
+                );
+                let result = plan(&problem, &planner);
+                runtimes.push(result.solve_time.as_secs_f64());
+                utilities.push(problem.coverage_utility(&result.coverage, 1.0));
+            }
+            let point = Fig9Point {
+                park: park_name.to_string(),
+                segments,
+                runtime_seconds: mean(&runtimes),
+                utility: mean(&utilities),
+            };
+            rows.push(vec![
+                segments.to_string(),
+                format!("{:.3}", point.runtime_seconds),
+                format!("{:.3}", point.utility),
+            ]);
+            points.push(point);
+        }
+        println!("{park_name}:");
+        println!(
+            "{}",
+            format_table(&["PWL segments", "runtime (s)", "utility U_1(C_1)"], &rows)
+        );
+    }
+
+    println!("Shapes to reproduce: runtime grows with the number of segments (Fig. 9a)");
+    println!("and the utility of the robust solution converges by ~20-25 segments (Fig. 9b).");
+    write_json("fig9", &points);
+}

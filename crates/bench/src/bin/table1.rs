@@ -1,0 +1,88 @@
+//! Table I — "About the datasets": number of features, cells, points,
+//! positive labels, percent positive and average patrol effort for MFNP,
+//! QENP, SWS and SWS dry season.
+//!
+//! ```bash
+//! cargo run --release -p paws-bench --bin table1
+//! ```
+
+use paws_bench::{dry_season_dataset, quarterly_dataset, study_scenarios, write_json};
+use paws_core::format_table;
+use paws_data::DatasetStats;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    name: String,
+    paper_features: usize,
+    paper_cells: usize,
+    paper_points: usize,
+    paper_pct_positive: f64,
+    paper_avg_effort: f64,
+    measured: DatasetStats,
+}
+
+fn paper_reference(name: &str) -> (usize, usize, usize, f64, f64) {
+    match name {
+        "MFNP" => (22, 4613, 18_254, 14.3, 1.75),
+        "QENP" => (19, 2522, 19_864, 4.7, 2.08),
+        "SWS" => (21, 3750, 43_269, 0.36, 3.96),
+        "SWS dry" => (21, 3750, 30_569, 0.25, 3.03),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("Table I: dataset statistics (paper reference vs this reproduction)\n");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for scenario in study_scenarios() {
+        let mut variants: Vec<(String, DatasetStats)> = vec![(
+            scenario.park.name.clone(),
+            DatasetStats::compute(&scenario.park.name, &quarterly_dataset(&scenario)),
+        )];
+        if scenario.park.name == "SWS" {
+            variants.push((
+                "SWS dry".to_string(),
+                DatasetStats::compute("SWS dry", &dry_season_dataset(&scenario)),
+            ));
+        }
+        for (name, stats) in variants {
+            let (pf, pc, pp, ppct, peff) = paper_reference(&name);
+            rows.push(vec![
+                name.clone(),
+                format!("{} / {}", pf, stats.n_features),
+                format!("{} / {}", pc, stats.n_cells),
+                format!("{} / {}", pp, stats.n_points),
+                format!("{:.2} / {:.2}", ppct, stats.pct_positive),
+                format!("{:.2} / {:.2}", peff, stats.avg_effort_km),
+            ]);
+            json.push(Table1Row {
+                name,
+                paper_features: pf,
+                paper_cells: pc,
+                paper_points: pp,
+                paper_pct_positive: ppct,
+                paper_avg_effort: peff,
+                measured: stats,
+            });
+        }
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Dataset",
+                "Features (paper/ours)",
+                "Cells (paper/ours)",
+                "Points (paper/ours)",
+                "% positive (paper/ours)",
+                "Avg effort km (paper/ours)",
+            ],
+            &rows
+        )
+    );
+    write_json("table1", &json);
+}

@@ -1,0 +1,148 @@
+//! Shared infrastructure for the experiment binaries (one per paper table /
+//! figure) and the Criterion benchmarks.
+//!
+//! Every binary accepts `--full` to run at the paper's full experimental
+//! scale; the default "quick" scale uses the same full-size parks and
+//! datasets but fewer test years, smaller ensembles and fewer sweep points
+//! so the whole suite finishes in minutes. EXPERIMENTS.md records which
+//! scale produced the reported numbers.
+
+use paws_core::{ModelConfig, Scenario, WeakLearnerKind};
+use paws_data::{build_dataset, Dataset, Discretization};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced ensembles / sweeps; minutes instead of hours.
+    Quick,
+    /// The paper's full experimental grid.
+    Full,
+}
+
+impl Scale {
+    /// Parse the scale from the process arguments (`--full` selects
+    /// [`Scale::Full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// True for the full experimental grid.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Scale::Full)
+    }
+}
+
+/// First simulated year of every history (six years, 2013–2018, mirroring
+/// the "four years of data … up to 18 years" setup trimmed to what Table I
+/// reports).
+pub const START_YEAR: u32 = 2013;
+/// Number of simulated years per park.
+pub const SIM_YEARS: u32 = 6;
+
+/// The three study sites, generated with their calibrated simulators.
+pub fn study_scenarios() -> Vec<Scenario> {
+    ["MFNP", "QENP", "SWS"]
+        .iter()
+        .map(|name| Scenario::study_site(name, 2013))
+        .collect()
+}
+
+/// One study site by name.
+pub fn scenario(name: &str) -> Scenario {
+    Scenario::study_site(name, 2013)
+}
+
+/// Simulate the six-year history and build the quarterly dataset of a
+/// scenario.
+pub fn quarterly_dataset(scenario: &Scenario) -> Dataset {
+    let history = scenario.simulate_years(START_YEAR, SIM_YEARS);
+    build_dataset(&scenario.park, &history, Discretization::quarterly())
+}
+
+/// Simulate the six-year history and build the dry-season dataset (used for
+/// SWS dry in Table I/II and the SWS field tests).
+pub fn dry_season_dataset(scenario: &Scenario) -> Dataset {
+    let history = scenario.simulate_years(START_YEAR, SIM_YEARS);
+    build_dataset(&scenario.park, &history, Discretization::dry_season())
+}
+
+/// The model configuration a park uses in the paper: 20 iWare-E learners for
+/// MFNP/QENP, 10 for SWS, balanced bagging only for SWS; ensemble sizes are
+/// reduced at `Scale::Quick`.
+pub fn park_model_config(park_name: &str, learner: WeakLearnerKind, use_iware: bool, scale: Scale) -> ModelConfig {
+    let mut cfg = ModelConfig::new(learner, use_iware, 2020);
+    cfg.n_learners = match (park_name, scale) {
+        ("SWS", _) => 10,
+        (_, Scale::Full) => 20,
+        (_, Scale::Quick) => 10,
+    };
+    cfg.n_estimators = if scale.is_full() { 10 } else { 5 };
+    cfg.balanced = park_name == "SWS";
+    cfg.gp_max_points = if scale.is_full() { 300 } else { 200 };
+    if !scale.is_full() {
+        cfg.weight_mode = paws_iware::WeightMode::CvOptimized {
+            folds: 3,
+            iterations: 60,
+        };
+    }
+    cfg
+}
+
+/// Directory experiment outputs (JSON) are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Serialise an experiment result to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialise result");
+    std::fs::write(&path, body).expect("write result file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_default() {
+        assert_eq!(Scale::Quick.is_full(), false);
+        assert_eq!(Scale::Full.is_full(), true);
+    }
+
+    #[test]
+    fn park_configs_follow_paper_hyperparameters() {
+        let mfnp = park_model_config("MFNP", WeakLearnerKind::GaussianProcess, true, Scale::Full);
+        let sws = park_model_config("SWS", WeakLearnerKind::GaussianProcess, true, Scale::Full);
+        assert_eq!(mfnp.n_learners, 20);
+        assert_eq!(sws.n_learners, 10);
+        assert!(sws.balanced);
+        assert!(!mfnp.balanced);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The end-to-end PAWS pipeline: dataset → predictive model → risk and
+//! uncertainty maps → patrol-planning inputs.
+
+use crate::config::ModelConfig;
+use paws_data::{Dataset, StandardScaler, TrainTestSplit};
+use paws_geo::{CellId, Park};
+use paws_iware::IWareModel;
+use paws_ml::bagging::BaggingClassifier;
+use paws_ml::metrics::roc_auc;
+use paws_ml::traits::{Classifier, UncertainClassifier};
+use paws_plan::{squash_matrix, PlanningProblem};
+
+/// A fitted predictive model (plain bagging or iWare-E).
+pub enum FittedModel {
+    /// iWare-E wrapped ensemble ("-iW" variants).
+    IWare(IWareModel),
+    /// Plain bagging ensemble.
+    Plain(BaggingClassifier),
+}
+
+/// A trained predictive model together with its feature scaler.
+pub struct TrainedModel {
+    /// The variant configuration used for training.
+    pub config: ModelConfig,
+    /// Feature standardiser fitted on the training rows.
+    pub scaler: StandardScaler,
+    /// The fitted model.
+    pub fitted: FittedModel,
+}
+
+/// Train a model variant on the training part of a split.
+pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) -> TrainedModel {
+    let rows = dataset.feature_rows(&split.train);
+    let labels = dataset.labels(&split.train);
+    let efforts = dataset.efforts(&split.train);
+    let (scaler, scaled) = StandardScaler::fit_transform(&rows);
+
+    let fitted = if config.use_iware {
+        FittedModel::IWare(IWareModel::fit(&config.iware_config(), &scaled, &labels, &efforts))
+    } else {
+        FittedModel::Plain(BaggingClassifier::fit(&config.bagging_config(), &scaled, &labels))
+    };
+
+    TrainedModel {
+        config: config.clone(),
+        scaler,
+        fitted,
+    }
+}
+
+impl TrainedModel {
+    /// Predict detection probabilities for raw (unscaled) feature rows,
+    /// given the patrol effort associated with each row.
+    pub fn predict(&self, rows: &[Vec<f64>], efforts: &[f64]) -> Vec<f64> {
+        let scaled = self.scaler.transform(rows);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.predict_proba_at_effort(&scaled, efforts),
+            FittedModel::Plain(m) => m.predict_proba(&scaled),
+        }
+    }
+
+    /// Predict probabilities and uncertainty (variance) for raw rows.
+    pub fn predict_with_variance(&self, rows: &[Vec<f64>], efforts: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let scaled = self.scaler.transform(rows);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.predict_with_variance_at_effort(&scaled, efforts),
+            FittedModel::Plain(m) => m.predict_with_variance(&scaled),
+        }
+    }
+
+    /// ROC AUC of the model on a set of dataset points (typically the test
+    /// split), using each point's recorded patrol effort for qualification.
+    pub fn auc_on(&self, dataset: &Dataset, idx: &[usize]) -> f64 {
+        let rows = dataset.feature_rows(idx);
+        let labels = dataset.labels(idx);
+        let efforts = dataset.efforts(idx);
+        let probs = self.predict(&rows, &efforts);
+        roc_auc(&labels, &probs)
+    }
+
+    /// Predicted risk and uncertainty for every in-park cell at a single
+    /// prospective patrol-effort level (one panel of Fig. 6).
+    pub fn risk_map(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_km: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        let efforts = vec![effort_km; rows.len()];
+        self.predict_with_variance(&rows, &efforts)
+    }
+
+    /// Response curves g_v(c), ν_v(c) for every in-park cell over a grid of
+    /// prospective effort levels — the planner's input (probs and vars are
+    /// indexed `[cell][effort level]`).
+    pub fn park_response(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_grid: &[f64],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        let scaled = self.scaler.transform(&rows);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.effort_response(&scaled, effort_grid),
+            FittedModel::Plain(m) => {
+                // A plain ensemble has no notion of prospective effort: its
+                // prediction and variance are constant across effort levels.
+                let (p, v) = m.predict_with_variance(&scaled);
+                let probs = p.iter().map(|&x| vec![x; effort_grid.len()]).collect();
+                let vars = v.iter().map(|&x| vec![x; effort_grid.len()]).collect();
+                (probs, vars)
+            }
+        }
+    }
+}
+
+/// Build a patrol-planning problem for one patrol post from a trained model.
+#[allow(clippy::too_many_arguments)]
+pub fn build_planning_problem(
+    park: &Park,
+    model: &TrainedModel,
+    dataset: &Dataset,
+    prev_coverage: &[f64],
+    post: CellId,
+    effort_grid: &[f64],
+    patrol_length_km: f64,
+    n_patrols: usize,
+    beta: f64,
+) -> PlanningProblem {
+    let (probs, vars) = model.park_response(park, dataset, prev_coverage, effort_grid);
+    let (_, squashed) = squash_matrix(&vars);
+    PlanningProblem::from_response(
+        park,
+        post,
+        effort_grid,
+        &probs,
+        &squashed,
+        patrol_length_km,
+        n_patrols,
+        beta,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WeakLearnerKind;
+    use crate::scenario::Scenario;
+    use paws_data::{build_dataset, split_by_test_year, Discretization};
+
+    fn small_setup() -> (Scenario, Dataset, TrainTestSplit) {
+        let scenario = Scenario::test_scenario(3);
+        let history = scenario.simulate_years(2014, 3);
+        let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+        let split = split_by_test_year(&dataset, 2016, 2).expect("split exists");
+        (scenario, dataset, split)
+    }
+
+    fn quick_config(learner: WeakLearnerKind, use_iware: bool) -> ModelConfig {
+        let mut cfg = ModelConfig::new(learner, use_iware, 7);
+        cfg.n_learners = 4;
+        cfg.n_estimators = 4;
+        cfg.weight_mode = paws_iware::WeightMode::Uniform;
+        cfg.gp_max_points = 120;
+        cfg
+    }
+
+    #[test]
+    fn training_and_auc_beat_chance_for_trees() {
+        let (_, dataset, split) = small_setup();
+        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let auc = model.auc_on(&dataset, &split.test);
+        assert!(auc > 0.55, "test AUC too low: {auc}");
+        let train_auc = model.auc_on(&dataset, &split.train);
+        assert!(train_auc > auc - 0.1, "training AUC should not trail test AUC badly");
+    }
+
+    #[test]
+    fn plain_and_iware_variants_both_train() {
+        let (_, dataset, split) = small_setup();
+        for use_iware in [false, true] {
+            let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, use_iware));
+            let probs = model.predict(
+                &dataset.feature_rows(&split.test[..10.min(split.test.len())]),
+                &dataset.efforts(&split.test[..10.min(split.test.len())]),
+            );
+            assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn risk_map_covers_every_cell_with_valid_values() {
+        let (scenario, dataset, split) = small_setup();
+        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let prev = dataset.coverage.last().unwrap().clone();
+        let (risk, var) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+        assert_eq!(risk.len(), scenario.park.n_cells());
+        assert_eq!(var.len(), scenario.park.n_cells());
+        assert!(risk.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(var.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn park_response_has_requested_shape() {
+        let (scenario, dataset, split) = small_setup();
+        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        let (p, v) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        assert_eq!(p.len(), scenario.park.n_cells());
+        assert_eq!(p[0].len(), 4);
+        assert_eq!(v.len(), scenario.park.n_cells());
+    }
+
+    #[test]
+    fn planning_problem_builds_from_trained_model() {
+        let (scenario, dataset, split) = small_setup();
+        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0, 4.0];
+        let problem = build_planning_problem(
+            &scenario.park,
+            &model,
+            &dataset,
+            &prev,
+            scenario.park.patrol_posts[0],
+            &grid,
+            8.0,
+            2,
+            0.8,
+        );
+        assert!(problem.n_cells() > 1);
+        assert_eq!(problem.beta, 0.8);
+        let plan = paws_plan::plan(&problem, &paws_plan::PlannerConfig::default());
+        assert!(plan.coverage.iter().sum::<f64>() <= problem.budget_km() + 1e-6);
+    }
+}

@@ -1,0 +1,97 @@
+//! Small text-report helpers used by the examples and the experiment
+//! binaries: fixed-width tables and ASCII heat maps of per-cell values.
+
+use paws_geo::Park;
+
+/// Format a fixed-width text table with a header row.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    assert!(rows.iter().all(|r| r.len() == n_cols), "ragged table rows");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a per-cell value map as an ASCII heat map (one character per cell,
+/// darker characters for larger values; cells outside the park are blank).
+pub fn ascii_heatmap(park: &Park, values: &[f64]) -> String {
+    assert_eq!(values.len(), park.n_cells(), "value length mismatch");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    for r in 0..park.grid.rows() {
+        for c in 0..park.grid.cols() {
+            let cell = park.grid.cell(r, c);
+            match park.cell_position(cell) {
+                Some(i) => {
+                    let t = ((values[i] - lo) / range * (RAMP.len() - 1) as f64).round() as usize;
+                    out.push(RAMP[t.min(RAMP.len() - 1)] as char);
+                }
+                None => out.push(' '),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paws_geo::parks::test_park_spec;
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let t = format_table(
+            &["name", "auc"],
+            &[
+                vec!["DTB".to_string(), "0.699".to_string()],
+                vec!["GPB-iW".to_string(), "0.784".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("0.699"));
+        assert!(lines[3].starts_with("GPB-iW"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table rows")]
+    fn ragged_rows_rejected() {
+        format_table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn heatmap_has_one_row_per_grid_row() {
+        let park = Park::generate(&test_park_spec(), 7);
+        let values: Vec<f64> = (0..park.n_cells()).map(|i| i as f64).collect();
+        let map = ascii_heatmap(&park, &values);
+        assert_eq!(map.lines().count() as u32, park.grid.rows());
+        // Cells outside the park render as spaces; inside cells use the ramp.
+        assert!(map.contains('@') || map.contains('%'));
+    }
+}

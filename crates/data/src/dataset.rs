@@ -1,0 +1,290 @@
+//! Assembly of the predictive-modelling dataset.
+//!
+//! Sec. III-B: the dataset D = (X, y) discretises the records into T time
+//! steps and N locations. Each feature vector x_{t,n} contains the static
+//! geospatial features of the cell plus one dynamic covariate — the patrol
+//! coverage of the *previous* time step c_{t−1,n} (the deterrence signal) —
+//! and the label y_{t,n} says whether any poaching was detected in the cell
+//! during step t. Only patrolled (cell, step) pairs become data points
+//! (unpatrolled cells carry no observation at all), which is what produces
+//! the point counts of Table I.
+
+use crate::discretize::{Discretization, StepInfo};
+use crate::trajectory::reconstruct_effort;
+use paws_geo::Park;
+use paws_sim::History;
+use serde::{Deserialize, Serialize};
+
+/// One (cell, time-step) observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Chronological time-step index within the dataset.
+    pub step: usize,
+    /// In-park cell index (`Park::cells` order).
+    pub cell_idx: usize,
+    /// Feature vector: static features followed by previous-step coverage.
+    pub features: Vec<f64>,
+    /// Patrol effort (km) reconstructed for this cell during this step —
+    /// the quantity iWare-E thresholds filter on.
+    pub current_effort: f64,
+    /// Whether poaching activity was detected in the cell during the step.
+    pub label: bool,
+    /// Calendar year of the step (used for train/test splits).
+    pub year: u32,
+}
+
+/// The assembled dataset for one park and one discretisation scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Park name the dataset was built from.
+    pub park_name: String,
+    /// Names of the feature columns, in order.
+    pub feature_names: Vec<String>,
+    /// All (cell, step) data points with non-zero patrol effort.
+    pub points: Vec<DataPoint>,
+    /// Number of in-park cells.
+    pub n_cells: usize,
+    /// Step metadata in chronological order.
+    pub steps: Vec<StepInfo>,
+    /// Reconstructed patrol coverage per step and cell (`coverage[step][cell]`).
+    pub coverage: Vec<Vec<f64>>,
+    /// Detected-poaching indicator per step and cell.
+    pub detections: Vec<Vec<bool>>,
+    /// Discretisation used to build the dataset.
+    pub discretization: Discretization,
+}
+
+impl Dataset {
+    /// Number of feature columns (static features + previous coverage).
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of data points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of positively-labelled points.
+    pub fn n_positive(&self) -> usize {
+        self.points.iter().filter(|p| p.label).count()
+    }
+
+    /// Feature rows of a set of points (by index into `points`).
+    pub fn feature_rows(&self, idx: &[usize]) -> Vec<Vec<f64>> {
+        idx.iter().map(|&i| self.points[i].features.clone()).collect()
+    }
+
+    /// Labels (1.0 / 0.0) of a set of points.
+    pub fn labels(&self, idx: &[usize]) -> Vec<f64> {
+        idx.iter()
+            .map(|&i| if self.points[i].label { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Current patrol effort of a set of points.
+    pub fn efforts(&self, idx: &[usize]) -> Vec<f64> {
+        idx.iter().map(|&i| self.points[i].current_effort).collect()
+    }
+
+    /// The coverage map of the last step of a given year, used as the
+    /// "previous coverage" covariate when predicting the following period.
+    pub fn last_coverage_of_year(&self, year: u32) -> Option<&[f64]> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.year == year)
+            .map(|(i, _)| i)
+            .next_back()
+            .map(|i| self.coverage[i].as_slice())
+    }
+
+    /// Build the full-park feature matrix for a hypothetical next time step
+    /// whose previous-step coverage is `prev_coverage` (length = `n_cells`).
+    /// Row order follows `Park::cells`.
+    pub fn full_feature_matrix(&self, park: &Park, prev_coverage: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(prev_coverage.len(), self.n_cells, "coverage length mismatch");
+        assert_eq!(park.n_cells(), self.n_cells, "park does not match dataset");
+        park.cells
+            .iter()
+            .enumerate()
+            .map(|(i, &cell)| {
+                let mut row = park.feature_row(cell);
+                row.push(prev_coverage[i]);
+                row
+            })
+            .collect()
+    }
+}
+
+/// Build a [`Dataset`] from a simulated history.
+pub fn build_dataset(park: &Park, history: &History, disc: Discretization) -> Dataset {
+    assert_eq!(history.n_cells, park.n_cells(), "history does not match park");
+    let n_cells = park.n_cells();
+
+    // Group months into (year, step_in_year) buckets, preserving order.
+    let mut steps: Vec<StepInfo> = Vec::new();
+    let mut coverage: Vec<Vec<f64>> = Vec::new();
+    let mut detections: Vec<Vec<bool>> = Vec::new();
+
+    let mut current_key: Option<(u32, u32)> = None;
+    for month in &history.months {
+        let Some(step_in_year) = disc.step_of_month(month.month) else {
+            continue;
+        };
+        let key = (month.year, step_in_year);
+        if current_key != Some(key) {
+            current_key = Some(key);
+            steps.push(StepInfo {
+                year: month.year,
+                step_in_year,
+                label: format!("{}-{}", month.year, disc.step_label(step_in_year)),
+            });
+            coverage.push(vec![0.0; n_cells]);
+            detections.push(vec![false; n_cells]);
+        }
+        let idx = steps.len() - 1;
+        let rec = reconstruct_effort(park, &month.patrols);
+        for i in 0..n_cells {
+            coverage[idx][i] += rec[i];
+            detections[idx][i] = detections[idx][i] || month.detections[i];
+        }
+    }
+
+    // Static features per cell, extracted once.
+    let static_rows: Vec<Vec<f64>> = park.cells.iter().map(|&c| park.feature_row(c)).collect();
+    let mut feature_names: Vec<String> = park
+        .features
+        .names()
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect();
+    feature_names.push("prev_patrol_coverage".to_string());
+
+    // Data points: patrolled cells only; the first step has zero previous
+    // coverage everywhere.
+    let mut points = Vec::new();
+    for (t, step) in steps.iter().enumerate() {
+        for cell_idx in 0..n_cells {
+            let effort = coverage[t][cell_idx];
+            if effort <= 0.0 {
+                continue;
+            }
+            let prev = if t == 0 { 0.0 } else { coverage[t - 1][cell_idx] };
+            let mut features = static_rows[cell_idx].clone();
+            features.push(prev);
+            points.push(DataPoint {
+                step: t,
+                cell_idx,
+                features,
+                current_effort: effort,
+                label: detections[t][cell_idx],
+                year: step.year,
+            });
+        }
+    }
+
+    Dataset {
+        park_name: park.name.clone(),
+        feature_names,
+        points,
+        n_cells,
+        steps,
+        coverage,
+        detections,
+        discretization: disc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paws_geo::parks::test_park_spec;
+    use paws_sim::history::simulate_history;
+    use paws_sim::presets::test_sim_config;
+    use paws_sim::{AttackModelConfig, PoacherModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Park, History) {
+        let park = Park::generate(&test_park_spec(), 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = PoacherModel::new(&park, AttackModelConfig::default(), &mut rng);
+        let history = simulate_history(&park, &model, &test_sim_config(), 2013, 2, 3);
+        (park, history)
+    }
+
+    #[test]
+    fn quarterly_dataset_has_expected_steps() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        assert_eq!(ds.steps.len(), 8);
+        assert_eq!(ds.n_cells, park.n_cells());
+        assert_eq!(ds.n_features(), park.n_static_features() + 1);
+        assert!(ds.n_points() > 0);
+    }
+
+    #[test]
+    fn dry_season_dataset_has_three_steps_per_year() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::dry_season());
+        assert_eq!(ds.steps.len(), 6);
+    }
+
+    #[test]
+    fn points_only_cover_patrolled_cells() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        for p in &ds.points {
+            assert!(p.current_effort > 0.0);
+            assert!((ds.coverage[p.step][p.cell_idx] - p.current_effort).abs() < 1e-12);
+        }
+        let _ = park;
+    }
+
+    #[test]
+    fn previous_coverage_feature_matches_coverage_matrix() {
+        let (_park, history) = setup();
+        let park = Park::generate(&test_park_spec(), 7);
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        let k = ds.n_features();
+        for p in ds.points.iter().filter(|p| p.step > 0).take(200) {
+            let expected = ds.coverage[p.step - 1][p.cell_idx];
+            assert!((p.features[k - 1] - expected).abs() < 1e-12);
+        }
+        for p in ds.points.iter().filter(|p| p.step == 0).take(50) {
+            assert_eq!(p.features[k - 1], 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_match_detection_matrix() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        for p in &ds.points {
+            assert_eq!(p.label, ds.detections[p.step][p.cell_idx]);
+        }
+        assert!(ds.n_positive() > 0, "test dataset should contain positives");
+        let _ = park;
+    }
+
+    #[test]
+    fn full_feature_matrix_covers_every_cell() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        let prev = ds.coverage.last().unwrap().clone();
+        let m = ds.full_feature_matrix(&park, &prev);
+        assert_eq!(m.len(), park.n_cells());
+        assert!(m.iter().all(|r| r.len() == ds.n_features()));
+    }
+
+    #[test]
+    fn last_coverage_of_year_returns_final_step() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        let cov = ds.last_coverage_of_year(2014).unwrap();
+        assert_eq!(cov, ds.coverage.last().unwrap().as_slice());
+        assert!(ds.last_coverage_of_year(1999).is_none());
+        let _ = park;
+    }
+}

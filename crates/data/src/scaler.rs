@@ -1,0 +1,133 @@
+//! Feature standardisation.
+//!
+//! The weak learners (especially SVMs and Gaussian processes) need features
+//! on comparable scales; the scaler is fitted on the training rows only and
+//! applied to both train and test rows, exactly as a scikit-learn
+//! `StandardScaler` inside a pipeline would be.
+
+use serde::{Deserialize, Serialize};
+
+/// Z-score standardiser fitted per feature column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler on a set of feature rows.
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        let k = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; k];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; k];
+        for r in rows {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(r) {
+                *v += (x - m).powi(2);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Number of feature columns the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transform a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transform a batch of rows, returning new rows.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut out = r.clone();
+                self.transform_row(&mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Fit on `rows` and return the transformed rows together with the scaler.
+    pub fn fit_transform(rows: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let scaler = Self::fit(rows);
+        let out = scaler.transform(rows);
+        (scaler, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardised_columns_have_zero_mean_unit_variance() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 100.0 + 3.0 * i as f64]).collect();
+        let (_, out) = StandardScaler::fit_transform(&rows);
+        for col in 0..2 {
+            let mean: f64 = out.iter().map(|r| r[col]).sum::<f64>() / out.len() as f64;
+            let var: f64 = out.iter().map(|r| (r[col] - mean).powi(2)).sum::<f64>() / out.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_left_finite() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let (scaler, out) = StandardScaler::fit_transform(&rows);
+        assert_eq!(scaler.n_features(), 1);
+        assert!(out.iter().all(|r| r[0].is_finite()));
+        assert!(out.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let train = vec![vec![0.0], vec![10.0]];
+        let scaler = StandardScaler::fit(&train);
+        let test = scaler.transform(&[vec![5.0], vec![15.0]]);
+        assert!((test[0][0] - 0.0).abs() < 1e-12);
+        assert!(test[1][0] > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Patrol-effort reconstruction from GPS waypoints.
+//!
+//! Sec. III-B: "we rebuild historical patrol effort from these observations
+//! by using sequential waypoints to calculate patrol trajectories". The
+//! dataset pipeline is only allowed to see the waypoints (recorded every
+//! ~30 minutes), not the true ranger path, so per-cell effort is estimated
+//! by interpolating straight segments between consecutive waypoints and
+//! attributing the traversed kilometres to the cells along each segment.
+//! With sparse waypoints (motorbike patrols in SWS) this reconstruction is
+//! deliberately less accurate — one of the data-quality differences the
+//! paper highlights.
+
+use paws_geo::{CellId, Park};
+use paws_sim::Patrol;
+
+/// Reconstruct per-cell patrol effort (km) for one patrol from its waypoints.
+///
+/// Returns a dense vector over in-park cell indices (`Park::cells` order).
+pub fn reconstruct_patrol_effort(park: &Park, patrol: &Patrol) -> Vec<f64> {
+    let mut effort = vec![0.0; park.n_cells()];
+    for pair in patrol.waypoints.windows(2) {
+        let a = pair[0];
+        let b = pair[1];
+        let km = (b.km_from_start - a.km_from_start).max(0.0);
+        distribute_segment(park, a.cell, b.cell, km, &mut effort);
+    }
+    effort
+}
+
+/// Reconstruct and sum per-cell effort over a set of patrols.
+pub fn reconstruct_effort(park: &Park, patrols: &[Patrol]) -> Vec<f64> {
+    let mut total = vec![0.0; park.n_cells()];
+    for p in patrols {
+        let e = reconstruct_patrol_effort(park, p);
+        for (t, v) in total.iter_mut().zip(e) {
+            *t += v;
+        }
+    }
+    total
+}
+
+/// Split `km` of travel between the cells crossed by the straight segment
+/// from the centre of `from` to the centre of `to`.
+fn distribute_segment(park: &Park, from: CellId, to: CellId, km: f64, effort: &mut [f64]) {
+    if km <= 0.0 {
+        // Zero-length segment (ranger idled at a waypoint): nothing to add.
+        return;
+    }
+    let (ar, ac) = park.grid.centre_km(from);
+    let (br, bc) = park.grid.centre_km(to);
+    // Sample the segment at sub-cell resolution and attribute an equal share
+    // of the kilometres to the (in-park) cell under each sample.
+    let samples = (((ar - br).abs().max((ac - bc).abs()) * 3.0).ceil() as usize).max(1);
+    let share = km / samples as f64;
+    for s in 0..samples {
+        let t = (s as f64 + 0.5) / samples as f64;
+        let r = ar + (br - ar) * t;
+        let c = ac + (bc - ac) * t;
+        if let Some(cell) = park.grid.try_cell(r.floor() as i64, c.floor() as i64) {
+            if let Some(idx) = park.cell_position(cell) {
+                effort[idx] += share;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paws_geo::parks::test_park_spec;
+    use paws_sim::{patrol::simulate_month, presets::test_sim_config, Waypoint};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn park() -> Park {
+        Park::generate(&test_park_spec(), 7)
+    }
+
+    #[test]
+    fn reconstructed_total_matches_waypoint_length() {
+        let park = park();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let patrols = simulate_month(&park, &test_sim_config().patrol, &mut rng);
+        for p in &patrols {
+            let rec = reconstruct_patrol_effort(&park, p);
+            let total: f64 = rec.iter().sum();
+            let walked = p.waypoints.last().unwrap().km_from_start;
+            // The whole walk stays inside the park, so all km are attributed.
+            assert!((total - walked).abs() < 1e-9, "total={total} walked={walked}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_correlates_with_true_effort() {
+        let park = park();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let patrols = simulate_month(&park, &test_sim_config().patrol, &mut rng);
+        let rec = reconstruct_effort(&park, &patrols);
+        let truth = paws_sim::patrol::effort_map(&park, &patrols);
+        // Pearson correlation between the reconstruction and the truth
+        // should be strongly positive even though waypoints are sparse.
+        let n = rec.len() as f64;
+        let mr = rec.iter().sum::<f64>() / n;
+        let mt = truth.iter().sum::<f64>() / n;
+        let cov: f64 = rec.iter().zip(&truth).map(|(a, b)| (a - mr) * (b - mt)).sum();
+        let vr: f64 = rec.iter().map(|a| (a - mr).powi(2)).sum();
+        let vt: f64 = truth.iter().map(|b| (b - mt).powi(2)).sum();
+        let corr = cov / (vr.sqrt() * vt.sqrt()).max(1e-12);
+        assert!(corr > 0.6, "correlation too low: {corr}");
+    }
+
+    #[test]
+    fn stationary_waypoints_add_no_effort() {
+        let park = park();
+        let post = park.patrol_posts[0];
+        let p = Patrol {
+            post,
+            waypoints: vec![
+                Waypoint { cell: post, km_from_start: 0.0 },
+                Waypoint { cell: post, km_from_start: 0.0 },
+            ],
+            true_effort: vec![],
+        };
+        let rec = reconstruct_patrol_effort(&park, &p);
+        assert!(rec.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn single_segment_splits_between_cells_on_the_line() {
+        let park = park();
+        // Find two in-park cells a few km apart on the same row.
+        let a = park.cells[park.n_cells() / 2];
+        let (ar, ac) = park.grid.coords(a);
+        let b = (1..=4)
+            .rev()
+            .filter_map(|d| park.grid.try_cell(ar as i64, ac as i64 + d))
+            .find(|c| park.contains(*c));
+        let Some(b) = b else { return };
+        let km = park.grid.distance_km(a, b);
+        let p = Patrol {
+            post: a,
+            waypoints: vec![
+                Waypoint { cell: a, km_from_start: 0.0 },
+                Waypoint { cell: b, km_from_start: km },
+            ],
+            true_effort: vec![],
+        };
+        let rec = reconstruct_patrol_effort(&park, &p);
+        let total: f64 = rec.iter().sum();
+        assert!((total - km).abs() < 1e-9);
+        // Both endpoints should receive some effort.
+        assert!(rec[park.cell_position(a).unwrap()] > 0.0);
+        assert!(rec[park.cell_position(b).unwrap()] > 0.0);
+    }
+}

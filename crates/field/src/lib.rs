@@ -1,0 +1,15 @@
+//! # paws-field
+//!
+//! The field-test protocol of Sec. VII, run against the simulated ground
+//! truth instead of real ranger deployments: block selection by predicted
+//! risk percentile ([`protocol`]), simulated blind deployments
+//! ([`simulate`]), and the Pearson chi-squared analysis ([`chisq`]) that
+//! produces the Table III / Fig. 10 summaries.
+
+pub mod chisq;
+pub mod protocol;
+pub mod simulate;
+
+pub use chisq::{chi_squared_sf, chi_squared_test, ChiSquaredResult};
+pub use protocol::{design_field_test, FieldBlock, FieldTestPlan, ProtocolConfig, RiskGroup};
+pub use simulate::{run_trial, GroupOutcome, TrialConfig, TrialOutcome};

@@ -1,0 +1,176 @@
+//! Distance transforms over the cell grid.
+//!
+//! The PAWS feature vectors use "distance to nearest X" layers (distance to
+//! rivers, roads, park boundary, villages, patrol posts, …). These are
+//! computed with a multi-source Dijkstra over the 8-neighbourhood with step
+//! costs of 1 km (cardinal) and √2 km (diagonal), which approximates the
+//! Euclidean distance well enough at 1 km resolution.
+
+use crate::grid::{CellId, Grid};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Entry in the Dijkstra frontier (min-heap by distance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    dist: f64,
+    cell: CellId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap becomes a min-heap on distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cell.0.cmp(&self.cell.0))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Distance in km from every cell of the grid to the nearest source cell.
+///
+/// Returns `f64::INFINITY` for cells unreachable from any source (only
+/// possible when `sources` is empty).
+pub fn distance_to_nearest(grid: &Grid, sources: &[CellId]) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; grid.len()];
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        assert!(s.index() < grid.len(), "source cell out of bounds");
+        if dist[s.index()] > 0.0 {
+            dist[s.index()] = 0.0;
+            heap.push(Frontier { dist: 0.0, cell: s });
+        }
+    }
+    while let Some(Frontier { dist: d, cell }) = heap.pop() {
+        if d > dist[cell.index()] {
+            continue;
+        }
+        for (n, step) in grid.neighbours8(cell) {
+            let nd = d + step;
+            if nd < dist[n.index()] {
+                dist[n.index()] = nd;
+                heap.push(Frontier { dist: nd, cell: n });
+            }
+        }
+    }
+    dist
+}
+
+/// Density of source cells within a radius (km) of each cell, normalised to
+/// `[0, 1]` by the neighbourhood size. Used for "river density" / "road
+/// density" style features.
+pub fn density_within(grid: &Grid, sources: &[CellId], radius_km: f64) -> Vec<f64> {
+    assert!(radius_km > 0.0, "radius must be positive");
+    let mut is_source = vec![false; grid.len()];
+    for &s in sources {
+        is_source[s.index()] = true;
+    }
+    let r = radius_km.ceil() as i64;
+    let mut out = vec![0.0; grid.len()];
+    for cell in grid.cells() {
+        let (row, col) = grid.coords(cell);
+        let mut count = 0usize;
+        let mut total = 0usize;
+        for dr in -r..=r {
+            for dc in -r..=r {
+                let d2 = (dr * dr + dc * dc) as f64;
+                if d2 > radius_km * radius_km {
+                    continue;
+                }
+                total += 1;
+                if let Some(n) = grid.try_cell(row as i64 + dr, col as i64 + dc) {
+                    if is_source[n.index()] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        out[cell.index()] = if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_zero_at_sources() {
+        let g = Grid::new(10, 10);
+        let sources = vec![g.cell(3, 3), g.cell(7, 8)];
+        let d = distance_to_nearest(&g, &sources);
+        for s in &sources {
+            assert_eq!(d[s.index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_matches_chebyshev_lower_bound() {
+        // Octile distance is always >= Chebyshev and <= Manhattan.
+        let g = Grid::new(12, 12);
+        let src = g.cell(0, 0);
+        let d = distance_to_nearest(&g, &[src]);
+        for cell in g.cells() {
+            let (r, c) = g.coords(cell);
+            let cheb = r.max(c) as f64;
+            let man = (r + c) as f64;
+            assert!(d[cell.index()] + 1e-9 >= cheb);
+            assert!(d[cell.index()] <= man + 1e-9);
+        }
+    }
+
+    #[test]
+    fn straight_line_distance_exact() {
+        let g = Grid::new(1, 20);
+        let d = distance_to_nearest(&g, &[g.cell(0, 0)]);
+        for c in 0..20 {
+            assert!((d[g.cell(0, c).index()] - c as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_sources_all_infinite() {
+        let g = Grid::new(5, 5);
+        let d = distance_to_nearest(&g, &[]);
+        assert!(d.iter().all(|&x| x.is_infinite()));
+    }
+
+    #[test]
+    fn density_bounded_and_peaks_at_sources() {
+        let g = Grid::new(15, 15);
+        let sources: Vec<_> = (0..15).map(|c| g.cell(7, c)).collect();
+        let dens = density_within(&g, &sources, 3.0);
+        assert!(dens.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // A cell on the source line has strictly higher density than one far
+        // away from it.
+        assert!(dens[g.cell(7, 7).index()] > dens[g.cell(0, 0).index()]);
+    }
+
+    #[test]
+    fn distance_triangle_inequality_via_two_sources() {
+        // distance to {a, b} is the min of the individual transforms.
+        let g = Grid::new(9, 9);
+        let a = g.cell(1, 1);
+        let b = g.cell(7, 6);
+        let da = distance_to_nearest(&g, &[a]);
+        let db = distance_to_nearest(&g, &[b]);
+        let dab = distance_to_nearest(&g, &[a, b]);
+        for cell in g.cells() {
+            let expect = da[cell.index()].min(db[cell.index()]);
+            assert!((dab[cell.index()] - expect).abs() < 1e-9);
+        }
+    }
+}

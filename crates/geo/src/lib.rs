@@ -1,0 +1,27 @@
+//! # paws-geo
+//!
+//! Grid geometry and synthetic protected-area landscapes for the PAWS
+//! reproduction.
+//!
+//! The paper's pipeline starts from GIS layers of three real protected areas
+//! (Murchison Falls NP, Queen Elizabeth NP, Srepok Wildlife Sanctuary).
+//! Those layers are not publicly available, so this crate generates synthetic
+//! parks with the same structure: a 1×1 km cell grid, an irregular boundary,
+//! terrain / hydrology / infrastructure objects, and the static geospatial
+//! feature columns of Sec. III-B.
+//!
+//! Entry points:
+//! * [`grid::Grid`] — the 1×1 km discretisation.
+//! * [`park::Park::generate`] — build a synthetic park from a [`park::ParkSpec`].
+//! * [`parks`] — presets matching MFNP / QENP / SWS (Table I).
+
+pub mod distance;
+pub mod features;
+pub mod grid;
+pub mod noise;
+pub mod park;
+pub mod parks;
+
+pub use features::{FeatureKind, FeatureTable};
+pub use grid::{CellId, Grid};
+pub use park::{BoundaryShape, Park, ParkSpec, Seasonality};

@@ -1,0 +1,169 @@
+//! Deterministic fractal value noise used to synthesise terrain layers.
+//!
+//! The real PAWS deployments consume GIS rasters (elevation, forest cover,
+//! net primary productivity, …) provided by the conservation NGOs. Those
+//! rasters are not publicly available, so the synthetic parks generate
+//! spatially-correlated layers from seeded fractal value noise: smooth at
+//! large scales with progressively finer detail, which is what makes the
+//! learned models face realistic spatial autocorrelation rather than i.i.d.
+//! noise.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seeded fractal value-noise field over a 2-D domain.
+#[derive(Debug, Clone)]
+pub struct FractalNoise {
+    /// Lattice of random gradients per octave; octave o has lattice spacing
+    /// `base_scale / 2^o`.
+    octaves: Vec<NoiseOctave>,
+}
+
+#[derive(Debug, Clone)]
+struct NoiseOctave {
+    /// Lattice spacing in km.
+    scale: f64,
+    /// Amplitude of this octave.
+    amplitude: f64,
+    /// Random values on the lattice, indexed by hashed lattice coordinates.
+    lattice: Vec<f64>,
+    lattice_cols: usize,
+    lattice_rows: usize,
+}
+
+impl FractalNoise {
+    /// Build a noise field covering a `rows × cols` km domain.
+    ///
+    /// * `base_scale` — wavelength of the coarsest octave in km.
+    /// * `octaves` — number of octaves; each halves the wavelength and the
+    ///   amplitude (persistence 0.5).
+    pub fn new(seed: u64, rows: u32, cols: u32, base_scale: f64, octaves: usize) -> Self {
+        assert!(base_scale > 0.0, "base_scale must be positive");
+        assert!(octaves > 0, "need at least one octave");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(octaves);
+        let mut scale = base_scale;
+        let mut amplitude = 1.0;
+        for _ in 0..octaves {
+            let lattice_rows = ((rows as f64 / scale).ceil() as usize) + 2;
+            let lattice_cols = ((cols as f64 / scale).ceil() as usize) + 2;
+            let lattice: Vec<f64> = (0..lattice_rows * lattice_cols)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            layers.push(NoiseOctave {
+                scale,
+                amplitude,
+                lattice,
+                lattice_cols,
+                lattice_rows,
+            });
+            scale = (scale / 2.0).max(1.0);
+            amplitude *= 0.5;
+        }
+        Self { octaves: layers }
+    }
+
+    /// Sample the noise field at a point given in km; output is roughly in
+    /// `[-1, 1]` (normalised by the total amplitude).
+    pub fn sample(&self, row_km: f64, col_km: f64) -> f64 {
+        let mut total = 0.0;
+        let mut norm = 0.0;
+        for oct in &self.octaves {
+            total += oct.amplitude * oct.sample(row_km, col_km);
+            norm += oct.amplitude;
+        }
+        total / norm
+    }
+
+    /// Sample and rescale to `[0, 1]`.
+    pub fn sample_unit(&self, row_km: f64, col_km: f64) -> f64 {
+        (self.sample(row_km, col_km) + 1.0) / 2.0
+    }
+}
+
+impl NoiseOctave {
+    fn lattice_value(&self, r: usize, c: usize) -> f64 {
+        let r = r.min(self.lattice_rows - 1);
+        let c = c.min(self.lattice_cols - 1);
+        self.lattice[r * self.lattice_cols + c]
+    }
+
+    fn sample(&self, row_km: f64, col_km: f64) -> f64 {
+        let r = row_km / self.scale;
+        let c = col_km / self.scale;
+        let r0 = r.floor().max(0.0) as usize;
+        let c0 = c.floor().max(0.0) as usize;
+        let fr = smoothstep(r - r.floor());
+        let fc = smoothstep(c - c.floor());
+        let v00 = self.lattice_value(r0, c0);
+        let v01 = self.lattice_value(r0, c0 + 1);
+        let v10 = self.lattice_value(r0 + 1, c0);
+        let v11 = self.lattice_value(r0 + 1, c0 + 1);
+        let top = lerp(v00, v01, fc);
+        let bottom = lerp(v10, v11, fc);
+        lerp(top, bottom, fr)
+    }
+}
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = FractalNoise::new(7, 50, 50, 16.0, 4);
+        let b = FractalNoise::new(7, 50, 50, 16.0, 4);
+        for &(r, c) in &[(0.5, 0.5), (10.2, 33.7), (49.9, 0.1)] {
+            assert_eq!(a.sample(r, c), b.sample(r, c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FractalNoise::new(1, 50, 50, 16.0, 4);
+        let b = FractalNoise::new(2, 50, 50, 16.0, 4);
+        let pa = a.sample(25.0, 25.0);
+        let pb = b.sample(25.0, 25.0);
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn samples_bounded() {
+        let n = FractalNoise::new(3, 40, 60, 12.0, 5);
+        for r in 0..40 {
+            for c in 0..60 {
+                let v = n.sample(r as f64 + 0.5, c as f64 + 0.5);
+                assert!(v >= -1.0 - 1e-9 && v <= 1.0 + 1e-9, "out of range: {v}");
+                let u = n.sample_unit(r as f64 + 0.5, c as f64 + 0.5);
+                assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn spatially_smooth_at_small_offsets() {
+        // Value noise interpolates between lattice points, so moving by a
+        // fraction of a km must change the value by much less than the full
+        // dynamic range.
+        let n = FractalNoise::new(11, 60, 60, 20.0, 3);
+        let base = n.sample(30.0, 30.0);
+        let near = n.sample(30.1, 30.05);
+        assert!((base - near).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "octave")]
+    fn zero_octaves_rejected() {
+        let _ = FractalNoise::new(0, 10, 10, 4.0, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Park presets matching the three study sites of the paper.
+//!
+//! Table I of the paper:
+//!
+//! | | MFNP | QENP | SWS |
+//! |---|---|---|---|
+//! | Number of features | 22 | 19 | 21 |
+//! | Number of 1×1 km cells | 4,613 | 2,522 | 3,750 |
+//!
+//! The feature count in Table I includes the single dynamic covariate
+//! (previous-step patrol coverage, added by `paws-data`), so the presets
+//! generate 21 / 18 / 20 static columns respectively. Cell counts are exact.
+
+use crate::features::FeatureKind;
+use crate::park::{BoundaryShape, ParkSpec, Seasonality};
+
+/// Murchison Falls National Park, Uganda (≈ 5,000 km², 4,613 study cells).
+///
+/// Large grasslands, roughly circular with a protected core, so most
+/// poaching happens near the edges (Sec. VII-A).
+pub fn mfnp_spec() -> ParkSpec {
+    use FeatureKind::*;
+    ParkSpec {
+        name: "MFNP".to_string(),
+        rows: 82,
+        cols: 82,
+        target_cells: 4_613,
+        shape: BoundaryShape::Circular,
+        n_rivers: 6,
+        n_roads: 5,
+        n_villages: 14,
+        n_towns: 4,
+        n_patrol_posts: 10,
+        n_camps: 4,
+        n_water_holes: 10,
+        features: vec![
+            Elevation,
+            Slope,
+            Ruggedness,
+            ForestCover,
+            ScrubCover,
+            GrasslandCover,
+            Npp,
+            Rainfall,
+            AnimalDensity,
+            WaterDensity,
+            RiverDensity,
+            RoadDensity,
+            DistRiver,
+            DistWaterHole,
+            DistRoad,
+            DistBoundary,
+            DistVillage,
+            DistTown,
+            DistPatrolPost,
+            DistCamp,
+            DistForestEdge,
+        ],
+        seasonality: Seasonality::None,
+    }
+}
+
+/// Queen Elizabeth National Park, Uganda (≈ 2,500 km², 2,522 study cells).
+///
+/// Elongated shape — "it is easy to access the center from the boundary" —
+/// more scrub and woodland than MFNP.
+pub fn qenp_spec() -> ParkSpec {
+    use FeatureKind::*;
+    ParkSpec {
+        name: "QENP".to_string(),
+        rows: 88,
+        cols: 44,
+        target_cells: 2_522,
+        shape: BoundaryShape::Elongated { aspect: 2.2 },
+        n_rivers: 4,
+        n_roads: 4,
+        n_villages: 12,
+        n_towns: 3,
+        n_patrol_posts: 8,
+        n_camps: 3,
+        n_water_holes: 8,
+        features: vec![
+            Elevation,
+            Slope,
+            ForestCover,
+            ScrubCover,
+            GrasslandCover,
+            Npp,
+            AnimalDensity,
+            WaterDensity,
+            RiverDensity,
+            RoadDensity,
+            DistRiver,
+            DistWaterHole,
+            DistRoad,
+            DistBoundary,
+            DistVillage,
+            DistTown,
+            DistPatrolPost,
+            DistCamp,
+        ],
+        seasonality: Seasonality::None,
+    }
+}
+
+/// Srepok Wildlife Sanctuary, Cambodia (≈ 4,300 km², 3,750 study cells).
+///
+/// Dense forest, strong wet/dry seasonality, motorbike patrols, only 72
+/// rangers — the hardest of the three datasets (0.36 % positive labels).
+pub fn sws_spec() -> ParkSpec {
+    use FeatureKind::*;
+    ParkSpec {
+        name: "SWS".to_string(),
+        rows: 72,
+        cols: 76,
+        target_cells: 3_750,
+        shape: BoundaryShape::Elongated { aspect: 1.3 },
+        n_rivers: 7,
+        n_roads: 3,
+        n_villages: 10,
+        n_towns: 3,
+        n_patrol_posts: 6,
+        n_camps: 2,
+        n_water_holes: 12,
+        features: vec![
+            Elevation,
+            Slope,
+            Ruggedness,
+            ForestCover,
+            ScrubCover,
+            Npp,
+            Rainfall,
+            AnimalDensity,
+            WaterDensity,
+            RiverDensity,
+            RoadDensity,
+            DistRiver,
+            DistWaterHole,
+            DistRoad,
+            DistBoundary,
+            DistVillage,
+            DistTown,
+            DistPatrolPost,
+            DistCamp,
+            DistForestEdge,
+        ],
+        seasonality: Seasonality::WetDry,
+    }
+}
+
+/// A small park used throughout unit/integration tests and the quickstart
+/// example; it keeps every pipeline stage fast while preserving the
+/// structure of the real presets.
+pub fn test_park_spec() -> ParkSpec {
+    use FeatureKind::*;
+    ParkSpec {
+        name: "TestPark".to_string(),
+        rows: 28,
+        cols: 28,
+        target_cells: 500,
+        shape: BoundaryShape::Circular,
+        n_rivers: 2,
+        n_roads: 2,
+        n_villages: 5,
+        n_towns: 2,
+        n_patrol_posts: 3,
+        n_camps: 1,
+        n_water_holes: 4,
+        features: vec![
+            Elevation,
+            Slope,
+            ForestCover,
+            GrasslandCover,
+            AnimalDensity,
+            WaterDensity,
+            DistRiver,
+            DistRoad,
+            DistBoundary,
+            DistVillage,
+            DistPatrolPost,
+        ],
+        seasonality: Seasonality::None,
+    }
+}
+
+/// All three study-site presets in paper order.
+pub fn study_sites() -> Vec<ParkSpec> {
+    vec![mfnp_spec(), qenp_spec(), sws_spec()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_feature_counts_match_table1_minus_coverage() {
+        // Table I counts include the dynamic previous-coverage covariate.
+        assert_eq!(mfnp_spec().features.len() + 1, 22);
+        assert_eq!(qenp_spec().features.len() + 1, 19);
+        assert_eq!(sws_spec().features.len() + 1, 21);
+    }
+
+    #[test]
+    fn cell_targets_match_table1() {
+        assert_eq!(mfnp_spec().target_cells, 4_613);
+        assert_eq!(qenp_spec().target_cells, 2_522);
+        assert_eq!(sws_spec().target_cells, 3_750);
+    }
+
+    #[test]
+    fn cell_targets_fit_bounding_boxes() {
+        for spec in study_sites() {
+            assert!(spec.target_cells <= (spec.rows as usize) * (spec.cols as usize));
+        }
+    }
+
+    #[test]
+    fn only_sws_is_seasonal() {
+        assert_eq!(mfnp_spec().seasonality, Seasonality::None);
+        assert_eq!(qenp_spec().seasonality, Seasonality::None);
+        assert_eq!(sws_spec().seasonality, Seasonality::WetDry);
+    }
+}

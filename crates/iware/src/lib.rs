@@ -1,0 +1,16 @@
+//! # paws-iware
+//!
+//! The enhanced iWare-E (imperfect-observation-aware Ensemble) of Sec. IV:
+//! patrol-effort-filtered weak learners, percentile threshold placement,
+//! cross-validated classifier weights, and Gaussian-process uncertainty.
+//!
+//! Entry point: [`ensemble::IWareModel`]; the [`ensemble::IWareModel::effort_response`]
+//! method produces the g_v(c) / ν_v(c) curves the patrol planner optimises.
+
+pub mod ensemble;
+pub mod thresholds;
+pub mod weights;
+
+pub use ensemble::{IWareConfig, IWareModel};
+pub use thresholds::{qualified_learners, select_thresholds, ThresholdMode};
+pub use weights::{combine, optimize_weights, WeightMode};

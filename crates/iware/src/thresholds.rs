@@ -1,0 +1,150 @@
+//! Patrol-effort thresholds for the iWare-E filtered datasets.
+//!
+//! Sec. IV: the original iWare-E picked 16 equally-spaced thresholds from
+//! 0 km to 7.5 km; the paper's enhancement selects thresholds at patrol-
+//! effort *percentiles* instead, "to produce a consistent amount of training
+//! data for each classifier", turning the number of classifiers into the
+//! single hyperparameter and handling sparse effort ranges gracefully.
+
+use serde::{Deserialize, Serialize};
+
+/// How the I thresholds are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdMode {
+    /// Thresholds at evenly-spaced percentiles of the training patrol effort
+    /// (the paper's enhancement).
+    Percentile,
+    /// Thresholds evenly spaced between two effort values in km (the
+    /// original iWare-E scheme; kept as an ablation baseline).
+    FixedSpacing {
+        /// Lowest threshold (km).
+        min_km: f64,
+        /// Highest threshold (km).
+        max_km: f64,
+    },
+}
+
+/// Compute the `n` ascending thresholds for the given training efforts.
+///
+/// The first threshold is always 0 (the classifier trained on the entire
+/// dataset), mirroring θ₁ = 0 in the original formulation.
+pub fn select_thresholds(mode: ThresholdMode, efforts: &[f64], n: usize) -> Vec<f64> {
+    assert!(n >= 1, "need at least one threshold");
+    assert!(!efforts.is_empty(), "no training efforts supplied");
+    match mode {
+        ThresholdMode::Percentile => {
+            let mut sorted = efforts.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        0.0
+                    } else {
+                        let pct = i as f64 / n as f64;
+                        let rank = (pct * (sorted.len() - 1) as f64).round() as usize;
+                        sorted[rank]
+                    }
+                })
+                .collect()
+        }
+        ThresholdMode::FixedSpacing { min_km, max_km } => {
+            assert!(max_km >= min_km, "max threshold below min threshold");
+            (0..n)
+                .map(|i| {
+                    if n == 1 {
+                        min_km
+                    } else {
+                        min_km + (max_km - min_km) * i as f64 / (n - 1) as f64
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Indices of the classifiers qualified to predict at a given patrol effort:
+/// all learners whose threshold does not exceed the effort. The first
+/// learner (θ = 0) is always qualified.
+pub fn qualified_learners(thresholds: &[f64], effort: f64) -> Vec<usize> {
+    let mut q: Vec<usize> = thresholds
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t <= effort)
+        .map(|(i, _)| i)
+        .collect();
+    if q.is_empty() {
+        q.push(0);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_thresholds_are_ascending_and_start_at_zero() {
+        let efforts: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let t = select_thresholds(ThresholdMode::Percentile, &efforts, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0], 0.0);
+        for w in t.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(*t.last().unwrap() < 10.0, "top threshold must leave some data");
+    }
+
+    #[test]
+    fn percentile_thresholds_balance_data_counts() {
+        // With uniformly distributed efforts, consecutive thresholds should
+        // each exclude roughly the same number of additional points.
+        let efforts: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let t = select_thresholds(ThresholdMode::Percentile, &efforts, 5);
+        let counts: Vec<usize> = t
+            .iter()
+            .map(|&theta| efforts.iter().filter(|&&e| e > theta).count())
+            .collect();
+        for w in counts.windows(2) {
+            let drop = w[0] - w[1];
+            assert!((drop as i64 - 200).abs() <= 10, "unequal bucket: {drop}");
+        }
+    }
+
+    #[test]
+    fn fixed_spacing_matches_original_scheme() {
+        let efforts = vec![1.0, 2.0, 3.0];
+        let t = select_thresholds(
+            ThresholdMode::FixedSpacing {
+                min_km: 0.0,
+                max_km: 7.5,
+            },
+            &efforts,
+            16,
+        );
+        assert_eq!(t.len(), 16);
+        assert_eq!(t[0], 0.0);
+        assert!((t[15] - 7.5).abs() < 1e-12);
+        assert!((t[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qualification_grows_with_effort() {
+        let thresholds = vec![0.0, 0.5, 1.0, 2.0, 4.0];
+        assert_eq!(qualified_learners(&thresholds, 0.0), vec![0]);
+        assert_eq!(qualified_learners(&thresholds, 0.75), vec![0, 1]);
+        assert_eq!(qualified_learners(&thresholds, 2.0), vec![0, 1, 2, 3]);
+        assert_eq!(qualified_learners(&thresholds, 10.0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn qualification_never_empty() {
+        let thresholds = vec![1.0, 2.0];
+        assert_eq!(qualified_learners(&thresholds, 0.1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn zero_thresholds_rejected() {
+        select_thresholds(ThresholdMode::Percentile, &[1.0], 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Classifier-weight optimisation for the iWare-E ensemble.
+//!
+//! Sec. IV, first enhancement: instead of weighing every qualified
+//! classifier equally, the enhanced iWare-E "hold[s] out a testing set and
+//! perform[s] 5-fold cross validation to minimize the log loss of the
+//! predictions when varying the classifier weights", then retrains on the
+//! full training data with those weights.
+//!
+//! The optimiser works on the (validation-prediction, qualification-mask,
+//! label) triples produced during cross-validation. Weights live on the
+//! probability simplex; per test point only the qualified learners'
+//! (renormalised) weights contribute. The simplex is parameterised with a
+//! softmax and optimised by gradient descent with a numerically estimated
+//! gradient — the dimensionality is the number of learners (≤ 20), so this
+//! is cheap and robust.
+
+use serde::{Deserialize, Serialize};
+
+/// How ensemble-member predictions are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightMode {
+    /// Equal weight to every qualified classifier (original iWare-E).
+    Uniform,
+    /// Cross-validated log-loss-optimal weights (the paper's enhancement).
+    CvOptimized {
+        /// Number of stratified CV folds (the paper uses 5).
+        folds: usize,
+        /// Gradient-descent iterations for the weight fit.
+        iterations: usize,
+    },
+}
+
+impl Default for WeightMode {
+    fn default() -> Self {
+        WeightMode::CvOptimized {
+            folds: 5,
+            iterations: 120,
+        }
+    }
+}
+
+/// Combine learner probabilities for one point: renormalise the weights of
+/// the qualified learners and take the weighted average.
+pub fn combine(probabilities: &[f64], weights: &[f64], qualified: &[usize]) -> f64 {
+    debug_assert_eq!(probabilities.len(), weights.len());
+    let mut wsum = 0.0;
+    let mut acc = 0.0;
+    for &i in qualified {
+        wsum += weights[i];
+        acc += weights[i] * probabilities[i];
+    }
+    if wsum <= 1e-12 {
+        // Degenerate weights: fall back to the unweighted mean of the
+        // qualified learners.
+        let n = qualified.len().max(1) as f64;
+        qualified.iter().map(|&i| probabilities[i]).sum::<f64>() / n
+    } else {
+        acc / wsum
+    }
+}
+
+/// Log loss of the combined predictions under a candidate weight vector.
+fn weighted_log_loss(
+    predictions: &[Vec<f64>],
+    qualified: &[Vec<usize>],
+    labels: &[f64],
+    weights: &[f64],
+) -> f64 {
+    let eps = 1e-9;
+    let mut total = 0.0;
+    for ((p, q), &y) in predictions.iter().zip(qualified).zip(labels) {
+        let prob = combine(p, weights, q).clamp(eps, 1.0 - eps);
+        total += if y > 0.5 { -prob.ln() } else { -(1.0 - prob).ln() };
+    }
+    total / labels.len().max(1) as f64
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Fit simplex weights minimising the cross-validated log loss.
+///
+/// * `predictions[point][learner]` — out-of-fold probability of each learner.
+/// * `qualified[point]` — indices of the learners qualified for that point.
+/// * `labels[point]` — binary labels.
+pub fn optimize_weights(
+    predictions: &[Vec<f64>],
+    qualified: &[Vec<usize>],
+    labels: &[f64],
+    iterations: usize,
+) -> Vec<f64> {
+    assert!(!predictions.is_empty(), "no validation predictions supplied");
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    assert_eq!(predictions.len(), qualified.len(), "predictions/qualified length mismatch");
+    let n_learners = predictions[0].len();
+    assert!(n_learners >= 1, "need at least one learner");
+    if n_learners == 1 {
+        return vec![1.0];
+    }
+
+    let mut z = vec![0.0; n_learners];
+    let mut lr = 0.5;
+    let mut best_w = softmax(&z);
+    let mut best_loss = weighted_log_loss(predictions, qualified, labels, &best_w);
+
+    for _ in 0..iterations {
+        // Central-difference gradient in the softmax parameterisation.
+        let h = 1e-4;
+        let mut grad = vec![0.0; n_learners];
+        for j in 0..n_learners {
+            let mut zp = z.clone();
+            zp[j] += h;
+            let lp = weighted_log_loss(predictions, qualified, labels, &softmax(&zp));
+            let mut zm = z.clone();
+            zm[j] -= h;
+            let lm = weighted_log_loss(predictions, qualified, labels, &softmax(&zm));
+            grad[j] = (lp - lm) / (2.0 * h);
+        }
+        let candidate: Vec<f64> = z.iter().zip(&grad).map(|(zi, gi)| zi - lr * gi).collect();
+        let cand_w = softmax(&candidate);
+        let cand_loss = weighted_log_loss(predictions, qualified, labels, &cand_w);
+        if cand_loss < best_loss {
+            best_loss = cand_loss;
+            best_w = cand_w;
+            z = candidate;
+            lr = (lr * 1.1).min(2.0);
+        } else {
+            lr *= 0.5;
+            if lr < 1e-4 {
+                break;
+            }
+        }
+    }
+    best_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_renormalises_over_qualified_learners() {
+        let probs = vec![0.1, 0.9, 0.5];
+        let weights = vec![0.25, 0.25, 0.5];
+        // Only learners 0 and 1 qualified -> (0.25*0.1 + 0.25*0.9)/0.5 = 0.5.
+        assert!((combine(&probs, &weights, &[0, 1]) - 0.5).abs() < 1e-12);
+        // All qualified -> plain weighted mean.
+        assert!((combine(&probs, &weights, &[0, 1, 2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_falls_back_when_weights_vanish() {
+        let probs = vec![0.2, 0.8];
+        let weights = vec![0.0, 0.0];
+        assert!((combine(&probs, &weights, &[0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimizer_prefers_the_accurate_learner() {
+        // Learner 0 predicts the truth, learner 1 predicts noise.
+        let n = 200;
+        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let predictions: Vec<Vec<f64>> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| {
+                let good = if y > 0.5 { 0.9 } else { 0.1 };
+                let noisy = if i % 3 == 0 { 0.8 } else { 0.3 };
+                vec![good, noisy]
+            })
+            .collect();
+        let qualified: Vec<Vec<usize>> = (0..n).map(|_| vec![0, 1]).collect();
+        let w = optimize_weights(&predictions, &qualified, &labels, 200);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > 0.8, "accurate learner should dominate: {w:?}");
+    }
+
+    #[test]
+    fn optimized_weights_never_worse_than_uniform() {
+        let n = 120;
+        let labels: Vec<f64> = (0..n).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let predictions: Vec<Vec<f64>> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| {
+                vec![
+                    if y > 0.5 { 0.7 } else { 0.3 },
+                    if (i / 2) % 2 == 0 { 0.6 } else { 0.4 },
+                    0.5,
+                ]
+            })
+            .collect();
+        let qualified: Vec<Vec<usize>> = (0..n).map(|i| if i % 2 == 0 { vec![0, 1, 2] } else { vec![0, 1] }).collect();
+        let uniform = vec![1.0 / 3.0; 3];
+        let w = optimize_weights(&predictions, &qualified, &labels, 150);
+        let loss_uniform = weighted_log_loss(&predictions, &qualified, &labels, &uniform);
+        let loss_opt = weighted_log_loss(&predictions, &qualified, &labels, &w);
+        assert!(loss_opt <= loss_uniform + 1e-9);
+    }
+
+    #[test]
+    fn single_learner_gets_all_the_weight() {
+        let w = optimize_weights(&[vec![0.3]], &[vec![0]], &[1.0], 10);
+        assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    fn weights_form_a_probability_simplex() {
+        let labels = vec![1.0, 0.0, 1.0, 0.0];
+        let predictions = vec![
+            vec![0.8, 0.2],
+            vec![0.3, 0.6],
+            vec![0.7, 0.4],
+            vec![0.2, 0.5],
+        ];
+        let qualified: Vec<Vec<usize>> = (0..4).map(|_| vec![0, 1]).collect();
+        let w = optimize_weights(&predictions, &qualified, &labels, 100);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,427 @@
+//! Bagging ensembles (plain and balanced) over the three weak-learner types.
+//!
+//! Table II evaluates bagging ensembles of SVMs (SVB), decision trees (DTB)
+//! and Gaussian processes (GPB), each with and without the iWare-E wrapper.
+//! For the extremely imbalanced SWS data the paper uses a *balanced* bagging
+//! classifier that undersamples the negative class in every bootstrap
+//! (Sec. V-A, following imbalanced-learn), which is reproduced here with the
+//! `balanced` flag.
+//!
+//! The ensemble records the per-member in-bag counts of every training
+//! sample so the infinitesimal-jackknife variance of Fig. 7 can be computed
+//! (see [`crate::jackknife`]).
+
+use crate::gp::{GaussianProcess, GpConfig};
+use crate::svm::{LinearSvm, SvmConfig};
+use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the base (weak) learner used inside the ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BaseLearnerConfig {
+    /// CART decision tree (DTB / random-forest style when `max_features` is set).
+    Tree(TreeConfig),
+    /// Linear SVM with Platt scaling (SVB).
+    Svm(SvmConfig),
+    /// Gaussian process classifier (GPB).
+    Gp(GpConfig),
+}
+
+impl BaseLearnerConfig {
+    /// Short display name used in experiment tables ("DTB", "SVB", "GPB").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            BaseLearnerConfig::Tree(_) => "DTB",
+            BaseLearnerConfig::Svm(_) => "SVB",
+            BaseLearnerConfig::Gp(_) => "GPB",
+        }
+    }
+}
+
+/// A fitted base learner.
+#[derive(Debug, Clone)]
+pub enum BaseModel {
+    /// Fitted decision tree.
+    Tree(DecisionTree),
+    /// Fitted linear SVM.
+    Svm(LinearSvm),
+    /// Fitted Gaussian process.
+    Gp(GaussianProcess),
+}
+
+impl Classifier for BaseModel {
+    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        match self {
+            BaseModel::Tree(m) => m.predict_proba(rows),
+            BaseModel::Svm(m) => m.predict_proba(rows),
+            BaseModel::Gp(m) => m.predict_proba(rows),
+        }
+    }
+}
+
+/// Bagging-ensemble hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaggingConfig {
+    /// Weak learner trained on each bootstrap sample.
+    pub base: BaseLearnerConfig,
+    /// Number of ensemble members.
+    pub n_estimators: usize,
+    /// Bootstrap size as a fraction of the training set (ignored when
+    /// `balanced` is set — balanced bootstraps are sized by the positives).
+    pub sample_fraction: f64,
+    /// Undersample the negative class so every bootstrap is class-balanced.
+    pub balanced: bool,
+    /// Base random seed; member `m` uses `seed + m`.
+    pub seed: u64,
+}
+
+impl BaggingConfig {
+    /// Default DTB configuration (bagged trees with feature subsampling —
+    /// equivalent to a random forest, as Sec. V-C notes).
+    pub fn trees(n_estimators: usize, seed: u64) -> Self {
+        Self {
+            base: BaseLearnerConfig::Tree(TreeConfig {
+                max_features: None,
+                ..TreeConfig::default()
+            }),
+            n_estimators,
+            sample_fraction: 1.0,
+            balanced: false,
+            seed,
+        }
+    }
+
+    /// Default SVB configuration.
+    pub fn svms(n_estimators: usize, seed: u64) -> Self {
+        Self {
+            base: BaseLearnerConfig::Svm(SvmConfig::default()),
+            n_estimators,
+            sample_fraction: 1.0,
+            balanced: false,
+            seed,
+        }
+    }
+
+    /// Default GPB configuration.
+    pub fn gps(n_estimators: usize, seed: u64) -> Self {
+        Self {
+            base: BaseLearnerConfig::Gp(GpConfig::default()),
+            n_estimators,
+            sample_fraction: 1.0,
+            balanced: false,
+            seed,
+        }
+    }
+}
+
+/// A fitted bagging ensemble.
+#[derive(Debug, Clone)]
+pub struct BaggingClassifier {
+    members: Vec<BaseModel>,
+    /// `in_bag_counts[member][sample]`: how many times each training sample
+    /// appeared in each member's bootstrap.
+    in_bag_counts: Vec<Vec<u32>>,
+    n_train: usize,
+    config: BaggingConfig,
+}
+
+impl BaggingClassifier {
+    /// Fit the ensemble.
+    pub fn fit(config: &BaggingConfig, rows: &[Vec<f64>], labels: &[f64]) -> Self {
+        validate_training_data(rows, labels);
+        assert!(config.n_estimators > 0, "need at least one ensemble member");
+        assert!(
+            config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+
+        let positives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y > 0.5)
+            .map(|(i, _)| i)
+            .collect();
+        let negatives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y <= 0.5)
+            .map(|(i, _)| i)
+            .collect();
+
+        let fits: Vec<(BaseModel, Vec<u32>)> = (0..config.n_estimators)
+            .into_par_iter()
+            .map(|m| {
+                let member_seed = config.seed.wrapping_add(m as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(member_seed);
+                let indices = if config.balanced && !positives.is_empty() && !negatives.is_empty() {
+                    balanced_bootstrap(&positives, &negatives, &mut rng)
+                } else {
+                    let size = ((rows.len() as f64 * config.sample_fraction).round() as usize).max(1);
+                    (0..size).map(|_| rng.gen_range(0..rows.len())).collect::<Vec<usize>>()
+                };
+                let mut counts = vec![0u32; rows.len()];
+                for &i in &indices {
+                    counts[i] += 1;
+                }
+                let brows: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
+                let blabels: Vec<f64> = indices.iter().map(|&i| labels[i]).collect();
+                let model = match &config.base {
+                    BaseLearnerConfig::Tree(cfg) => {
+                        BaseModel::Tree(DecisionTree::fit(cfg, &brows, &blabels, member_seed))
+                    }
+                    BaseLearnerConfig::Svm(cfg) => {
+                        BaseModel::Svm(LinearSvm::fit(cfg, &brows, &blabels, member_seed))
+                    }
+                    BaseLearnerConfig::Gp(cfg) => {
+                        BaseModel::Gp(GaussianProcess::fit(cfg, &brows, &blabels, member_seed))
+                    }
+                };
+                (model, counts)
+            })
+            .collect();
+
+        let (members, in_bag_counts): (Vec<BaseModel>, Vec<Vec<u32>>) = fits.into_iter().unzip();
+        Self {
+            members,
+            in_bag_counts,
+            n_train: rows.len(),
+            config: config.clone(),
+        }
+    }
+
+    /// Number of ensemble members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of training samples the ensemble was fitted on.
+    pub fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// The configuration used to fit the ensemble.
+    pub fn config(&self) -> &BaggingConfig {
+        &self.config
+    }
+
+    /// In-bag counts, `counts[member][sample]`.
+    pub fn in_bag_counts(&self) -> &[Vec<u32>] {
+        &self.in_bag_counts
+    }
+
+    /// Per-member predictions, `predictions[member][row]`.
+    pub fn member_predictions(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.members.par_iter().map(|m| m.predict_proba(rows)).collect()
+    }
+
+    /// For GP ensembles: the averaged GP posterior variance of each row
+    /// (the intrinsic uncertainty metric of Sec. IV). Returns `None` when
+    /// the base learner does not expose an intrinsic variance.
+    pub fn intrinsic_variance(&self, rows: &[Vec<f64>]) -> Option<Vec<f64>> {
+        let mut acc = vec![0.0; rows.len()];
+        let mut any = false;
+        for member in &self.members {
+            if let BaseModel::Gp(gp) = member {
+                let (_, v) = gp.predict_with_variance(rows);
+                for (a, vi) in acc.iter_mut().zip(v) {
+                    *a += vi;
+                }
+                any = true;
+            }
+        }
+        if any {
+            Some(acc.into_iter().map(|v| v / self.members.len() as f64).collect())
+        } else {
+            None
+        }
+    }
+}
+
+impl Classifier for BaggingClassifier {
+    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let per_member = self.member_predictions(rows);
+        let mut mean = vec![0.0; rows.len()];
+        for preds in &per_member {
+            for (m, p) in mean.iter_mut().zip(preds) {
+                *m += p;
+            }
+        }
+        mean.into_iter().map(|m| m / self.members.len() as f64).collect()
+    }
+}
+
+impl UncertainClassifier for BaggingClassifier {
+    /// Mean prediction plus an uncertainty score: for GP ensembles the
+    /// averaged GP posterior variance (the paper's choice); otherwise the
+    /// empirical variance of the member predictions (the heuristic the
+    /// paper compares against in Fig. 7).
+    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let per_member = self.member_predictions(rows);
+        let b = per_member.len() as f64;
+        let mut mean = vec![0.0; rows.len()];
+        for preds in &per_member {
+            for (m, p) in mean.iter_mut().zip(preds) {
+                *m += p;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= b;
+        }
+        if let Some(v) = self.intrinsic_variance(rows) {
+            return (mean, v);
+        }
+        let mut var = vec![0.0; rows.len()];
+        for preds in &per_member {
+            for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
+                *v += (p - m) * (p - m);
+            }
+        }
+        for v in var.iter_mut() {
+            *v /= b;
+        }
+        (mean, var)
+    }
+}
+
+fn balanced_bootstrap<R: Rng>(positives: &[usize], negatives: &[usize], rng: &mut R) -> Vec<usize> {
+    // Undersample the majority (negative) class to the positive count;
+    // positives are bootstrapped to preserve their full variety.
+    let n_pos = positives.len();
+    let mut out = Vec::with_capacity(2 * n_pos);
+    for _ in 0..n_pos {
+        out.push(positives[rng.gen_range(0..n_pos)]);
+    }
+    for _ in 0..n_pos {
+        out.push(negatives[rng.gen_range(0..negatives.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+
+    fn imbalanced_data(n: usize, positive_rate: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let positive = rng.gen::<f64>() < positive_rate;
+            let centre = if positive { 1.0 } else { -0.3 };
+            rows.push(vec![
+                centre + rng.gen_range(-1.0..1.0),
+                centre + rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(if positive { 1.0 } else { 0.0 });
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn tree_bagging_beats_chance() {
+        let (rows, labels) = imbalanced_data(500, 0.3, 1);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels);
+        let (trows, tlabels) = imbalanced_data(300, 0.3, 2);
+        let auc = roc_auc(&tlabels, &model.predict_proba(&trows));
+        assert!(auc > 0.8, "auc={auc}");
+    }
+
+    #[test]
+    fn balanced_bagging_helps_under_extreme_imbalance() {
+        let (rows, labels) = imbalanced_data(1200, 0.02, 3);
+        let plain = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels);
+        let balanced = BaggingClassifier::fit(
+            &BaggingConfig {
+                balanced: true,
+                ..BaggingConfig::trees(10, 3)
+            },
+            &rows,
+            &labels,
+        );
+        let (trows, tlabels) = imbalanced_data(800, 0.02, 4);
+        let auc_plain = roc_auc(&tlabels, &plain.predict_proba(&trows));
+        let auc_balanced = roc_auc(&tlabels, &balanced.predict_proba(&trows));
+        // Balanced bagging should not be (much) worse and typically better.
+        assert!(auc_balanced > auc_plain - 0.05, "plain={auc_plain} balanced={auc_balanced}");
+        assert!(auc_balanced > 0.7);
+    }
+
+    #[test]
+    fn member_count_and_in_bag_shapes() {
+        let (rows, labels) = imbalanced_data(100, 0.3, 5);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(7, 3), &rows, &labels);
+        assert_eq!(model.n_members(), 7);
+        assert_eq!(model.in_bag_counts().len(), 7);
+        assert!(model.in_bag_counts().iter().all(|c| c.len() == 100));
+        // Bootstraps of fraction 1.0 contain exactly n draws.
+        for counts in model.in_bag_counts() {
+            let total: u32 = counts.iter().sum();
+            assert_eq!(total as usize, 100);
+        }
+    }
+
+    #[test]
+    fn variance_from_member_spread_for_trees() {
+        let (rows, labels) = imbalanced_data(300, 0.3, 6);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(15, 3), &rows, &labels);
+        let (p, v) = model.predict_with_variance(&rows[..50]);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(v.iter().all(|&x| x >= 0.0));
+        assert!(v.iter().any(|&x| x > 0.0), "member spread should be non-degenerate");
+    }
+
+    #[test]
+    fn gp_bagging_reports_intrinsic_variance() {
+        let (rows, labels) = imbalanced_data(150, 0.3, 7);
+        let config = BaggingConfig {
+            base: BaseLearnerConfig::Gp(GpConfig {
+                max_points: 80,
+                ..GpConfig::default()
+            }),
+            ..BaggingConfig::gps(4, 3)
+        };
+        let model = BaggingClassifier::fit(&config, &rows, &labels);
+        assert!(model.intrinsic_variance(&rows[..10]).is_some());
+        let (_, v) = model.predict_with_variance(&rows[..10]);
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn tree_bagging_has_no_intrinsic_variance() {
+        let (rows, labels) = imbalanced_data(100, 0.3, 8);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(5, 3), &rows, &labels);
+        assert!(model.intrinsic_variance(&rows[..5]).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = imbalanced_data(200, 0.3, 9);
+        let a = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), &rows, &labels);
+        let b = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), &rows, &labels);
+        assert_eq!(a.predict_proba(&rows[..20]), b.predict_proba(&rows[..20]));
+    }
+
+    #[test]
+    fn short_names_match_paper_acronyms() {
+        assert_eq!(BaggingConfig::trees(1, 0).base.short_name(), "DTB");
+        assert_eq!(BaggingConfig::svms(1, 0).base.short_name(), "SVB");
+        assert_eq!(BaggingConfig::gps(1, 0).base.short_name(), "GPB");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ensemble member")]
+    fn zero_members_rejected() {
+        let (rows, labels) = imbalanced_data(50, 0.3, 10);
+        let config = BaggingConfig {
+            n_estimators: 0,
+            ..BaggingConfig::trees(1, 0)
+        };
+        let _ = BaggingClassifier::fit(&config, &rows, &labels);
+    }
+}

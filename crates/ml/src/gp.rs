@@ -1,0 +1,279 @@
+//! Gaussian-process classifier with predictive variance.
+//!
+//! The paper's main predictive enhancement (Sec. IV) is to use Gaussian
+//! process classifiers as the weak learners of iWare-E so each prediction
+//! carries an uncertainty value: `f(x) ~ GP(µ(X), Σ(X))` with an RBF
+//! covariance. The implementation performs GP label regression on the
+//! binary targets with a Gaussian likelihood (a standard, well-calibrated
+//! approximation to full GP classification at these data sizes): the
+//! predictive mean (clipped to [0, 1]) is the positive-class probability and
+//! the predictive variance is the uncertainty score later consumed by the
+//! robust patrol planner.
+//!
+//! Crucially, the GP predictive variance depends only on where the training
+//! inputs lie (through the kernel), not on the labels — which is exactly why
+//! Fig. 7 finds it nearly uncorrelated with the predicted risk, unlike the
+//! spread of a bagged tree ensemble.
+
+use crate::linalg::{squared_distance, Cholesky};
+use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian-process hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// RBF kernel length scale (in standardised feature units).
+    pub length_scale: f64,
+    /// Kernel signal variance.
+    pub signal_variance: f64,
+    /// Observation noise variance added to the kernel diagonal.
+    pub noise_variance: f64,
+    /// Maximum number of training points retained (a random subset is used
+    /// beyond this, keeping the O(n³) solve tractable inside ensembles).
+    pub max_points: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            length_scale: 2.0,
+            signal_variance: 1.0,
+            noise_variance: 0.1,
+            max_points: 400,
+        }
+    }
+}
+
+/// A fitted Gaussian-process classifier.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    config: GpConfig,
+    train_rows: Vec<Vec<f64>>,
+    /// α = (K + σ²I)⁻¹ (y − ȳ)
+    alpha: Vec<f64>,
+    /// Cholesky factor of (K + σ²I), kept for predictive variances.
+    chol: Cholesky,
+    mean_label: f64,
+}
+
+impl GaussianProcess {
+    /// Fit the GP on `rows` / binary `labels`.
+    pub fn fit(config: &GpConfig, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self {
+        validate_training_data(rows, labels);
+        assert!(config.length_scale > 0.0, "length scale must be positive");
+        assert!(config.noise_variance > 0.0, "noise variance must be positive");
+
+        // Subsample when the training set exceeds the budget.
+        let (rows, labels): (Vec<Vec<f64>>, Vec<f64>) = if rows.len() > config.max_points {
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            idx.shuffle(&mut rng);
+            idx.truncate(config.max_points);
+            (
+                idx.iter().map(|&i| rows[i].clone()).collect(),
+                idx.iter().map(|&i| labels[i]).collect(),
+            )
+        } else {
+            (rows.to_vec(), labels.to_vec())
+        };
+
+        let n = rows.len();
+        let mean_label = labels.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = labels.iter().map(|&y| y - mean_label).collect();
+
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&rows[i], &rows[j], config.length_scale, config.signal_variance);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += config.noise_variance;
+        }
+
+        // Jitter escalation if the kernel matrix is numerically borderline.
+        let chol = match Cholesky::new(&k) {
+            Ok(c) => c,
+            Err(_) => {
+                for (i, row) in k.iter_mut().enumerate() {
+                    row[i] += 1e-6;
+                }
+                Cholesky::new(&k).expect("kernel matrix not PD even with jitter")
+            }
+        };
+        let alpha = chol.solve(&centred).expect("dimensions match by construction");
+
+        Self {
+            config: config.clone(),
+            train_rows: rows,
+            alpha,
+            chol,
+            mean_label,
+        }
+    }
+
+    /// Number of retained training points.
+    pub fn n_train(&self) -> usize {
+        self.train_rows.len()
+    }
+
+    /// Latent predictive mean and variance (before clipping to [0, 1]).
+    pub fn predict_latent(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let mut means = Vec::with_capacity(rows.len());
+        let mut vars = Vec::with_capacity(rows.len());
+        for x in rows {
+            assert_eq!(
+                x.len(),
+                self.train_rows[0].len(),
+                "feature width mismatch"
+            );
+            let kstar: Vec<f64> = self
+                .train_rows
+                .iter()
+                .map(|xi| rbf(x, xi, self.config.length_scale, self.config.signal_variance))
+                .collect();
+            let mean = self.mean_label
+                + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+            // v = L⁻¹ k*, predictive variance = k(x,x) − vᵀv.
+            let v = self
+                .chol
+                .solve_lower(&kstar)
+                .expect("dimensions match by construction");
+            let kxx = self.config.signal_variance;
+            let var = (kxx - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+            means.push(mean);
+            vars.push(var);
+        }
+        (means, vars)
+    }
+}
+
+impl Classifier for GaussianProcess {
+    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let (means, _) = self.predict_latent(rows);
+        means.into_iter().map(|m| m.clamp(0.0, 1.0)).collect()
+    }
+}
+
+impl UncertainClassifier for GaussianProcess {
+    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let (means, vars) = self.predict_latent(rows);
+        (means.into_iter().map(|m| m.clamp(0.0, 1.0)).collect(), vars)
+    }
+}
+
+/// The RBF (squared-exponential) kernel.
+fn rbf(a: &[f64], b: &[f64], length_scale: f64, signal_variance: f64) -> f64 {
+    signal_variance * (-squared_distance(a, b) / (2.0 * length_scale * length_scale)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{pearson, roc_auc};
+    use rand::Rng;
+
+    fn blob_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Two Gaussian blobs.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let positive = i % 2 == 0;
+            let centre = if positive { 1.2 } else { -1.2 };
+            rows.push(vec![
+                centre + rng.gen_range(-1.0..1.0),
+                centre + rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(if positive { 1.0 } else { 0.0 });
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (rows, labels) = blob_data(200, 1);
+        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let (trows, tlabels) = blob_data(100, 2);
+        let probs = gp.predict_proba(&trows);
+        assert!(roc_auc(&tlabels, &probs) > 0.9);
+    }
+
+    #[test]
+    fn probabilities_and_variances_are_valid() {
+        let (rows, labels) = blob_data(120, 3);
+        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let (p, v) = gp.predict_with_variance(&rows);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn variance_is_higher_far_from_training_data() {
+        let (rows, labels) = blob_data(150, 4);
+        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let (_, v_near) = gp.predict_with_variance(&[rows[0].clone()]);
+        let (_, v_far) = gp.predict_with_variance(&[vec![50.0, -50.0]]);
+        assert!(v_far[0] > v_near[0]);
+        // Far from all data the variance approaches the signal variance.
+        assert!((v_far[0] - GpConfig::default().signal_variance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_nearly_uncorrelated_with_prediction() {
+        // The Fig. 7 phenomenon: GP uncertainty tracks data density, not the
+        // predicted probability.
+        let (rows, labels) = blob_data(200, 5);
+        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let test: Vec<Vec<f64>> = (0..150)
+            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .collect();
+        let (p, v) = gp.predict_with_variance(&test);
+        assert!(pearson(&p, &v).abs() < 0.6);
+    }
+
+    #[test]
+    fn respects_max_points_budget() {
+        let (rows, labels) = blob_data(500, 6);
+        let config = GpConfig {
+            max_points: 100,
+            ..GpConfig::default()
+        };
+        let gp = GaussianProcess::fit(&config, &rows, &labels, 3);
+        assert_eq!(gp.n_train(), 100);
+    }
+
+    #[test]
+    fn training_point_prediction_close_to_label_with_low_noise() {
+        let (rows, labels) = blob_data(80, 7);
+        let config = GpConfig {
+            noise_variance: 1e-4,
+            length_scale: 0.5,
+            ..GpConfig::default()
+        };
+        let gp = GaussianProcess::fit(&config, &rows, &labels, 3);
+        let probs = gp.predict_proba(&rows);
+        let close = probs
+            .iter()
+            .zip(&labels)
+            .filter(|(p, y)| (**p - **y).abs() < 0.2)
+            .count();
+        assert!(close as f64 / rows.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = blob_data(300, 8);
+        let config = GpConfig {
+            max_points: 120,
+            ..GpConfig::default()
+        };
+        let a = GaussianProcess::fit(&config, &rows, &labels, 21);
+        let b = GaussianProcess::fit(&config, &rows, &labels, 21);
+        assert_eq!(a.predict_proba(&rows[..10]), b.predict_proba(&rows[..10]));
+    }
+}

@@ -1,0 +1,31 @@
+//! # paws-ml
+//!
+//! From-scratch machine-learning substrate for the PAWS reproduction.
+//!
+//! The original pipeline uses scikit-learn and imbalanced-learn; the Rust
+//! ecosystem has no drop-in equivalent, so this crate implements the pieces
+//! the paper needs:
+//!
+//! * [`tree`] — CART decision trees (DTB weak learners).
+//! * [`svm`] — linear SVM with Platt scaling (SVB weak learners).
+//! * [`gp`] — Gaussian-process classifier with predictive variance (GPB).
+//! * [`bagging`] — plain and balanced (undersampled) bagging ensembles.
+//! * [`jackknife`] — infinitesimal-jackknife variance for bagged trees (Fig. 7).
+//! * [`metrics`] — ROC AUC, log loss, Pearson correlation.
+//! * [`cv`] — (stratified) k-fold splitters for the iWare-E weight fit.
+//! * [`linalg`] — the small dense Cholesky kernel behind the GP.
+pub mod bagging;
+pub mod cv;
+pub mod gp;
+pub mod jackknife;
+pub mod linalg;
+pub mod metrics;
+pub mod svm;
+pub mod traits;
+pub mod tree;
+
+pub use bagging::{BaggingClassifier, BaggingConfig, BaseLearnerConfig, BaseModel};
+pub use gp::{GaussianProcess, GpConfig};
+pub use svm::{LinearSvm, SvmConfig};
+pub use traits::{Classifier, Trainable, UncertainClassifier};
+pub use tree::{DecisionTree, TreeConfig};

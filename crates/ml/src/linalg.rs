@@ -1,0 +1,208 @@
+//! Minimal dense linear algebra used by the Gaussian-process learner.
+//!
+//! The GP weak learners only need symmetric positive-definite solves on
+//! matrices of a few hundred rows (each bagged GP trains on a bootstrap
+//! subsample), so a straightforward `Vec<Vec<f64>>` Cholesky factorisation
+//! is both simpler and fast enough; no external BLAS is required.
+
+/// Errors from linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Vec<Vec<f64>>,
+}
+
+impl Cholesky {
+    /// Factorise `a` (which must be square and symmetric positive definite).
+    pub fn new(a: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let n = a.len();
+        if a.iter().any(|row| row.len() != n) {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut l = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i][j];
+                for k in 0..j {
+                    sum -= l[i][k] * l[j][k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[i][j] = sum.sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.l.len()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor(&self) -> &[Vec<f64>] {
+        &self.l
+    }
+
+    /// Solve `L x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i][k] * x[k];
+            }
+            x[i] = sum / self.l[i][i];
+        }
+        Ok(x)
+    }
+
+    /// Solve `Lᵀ x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k][i] * x[k];
+            }
+            x[i] = sum / self.l[i][i];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Log-determinant of `A = L Lᵀ` (useful for marginal likelihoods).
+    pub fn log_det(&self) -> f64 {
+        2.0 * self.l.iter().enumerate().map(|(i, row)| row[i].ln()).sum::<f64>()
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix() -> Vec<Vec<f64>> {
+        // A = B Bᵀ + I for a small B, guaranteed SPD.
+        vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ]
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = spd_matrix();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let n = a.len();
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += l[i][k] * l[j][k];
+                }
+                assert!((v - a[i][j]).abs() < 1e-10, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_matrix();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[i][j] * x_true[j]).sum())
+            .collect();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_matrix_is_rejected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ch = Cholesky::new(&a).unwrap();
+        assert_eq!(ch.solve(&[1.0]), Err(LinalgError::DimensionMismatch));
+        let ragged = vec![vec![1.0], vec![0.0, 1.0]];
+        assert!(matches!(Cholesky::new(&ragged), Err(LinalgError::DimensionMismatch)));
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_distance_helpers() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Evaluation metrics: ROC AUC, log loss, Pearson correlation.
+//!
+//! The paper evaluates predictive performance with AUC (Table II), optimises
+//! iWare-E classifier weights by log loss (Sec. IV), and compares the
+//! uncertainty signals of GPs and bagged trees with Pearson correlation
+//! (Fig. 7).
+
+/// Area under the ROC curve, computed from the rank statistic
+/// (Mann–Whitney U), with ties resolved by mid-ranks.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank the scores (average rank for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Binary cross-entropy (log loss), with probabilities clipped away from 0
+/// and 1 for numerical stability.
+pub fn log_loss(labels: &[f64], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len(), "labels/probabilities length mismatch");
+    assert!(!labels.is_empty(), "log loss of an empty sample");
+    let eps = 1e-12;
+    let total: f64 = labels
+        .iter()
+        .zip(probabilities)
+        .map(|(&y, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y > 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Pearson correlation coefficient. Returns 0 when either input is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "correlation of an empty sample");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let denom = (va * vb).sqrt();
+    if denom < 1e-300 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// Classification accuracy at a 0.5 threshold.
+pub fn accuracy(labels: &[f64], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len(), "length mismatch");
+    assert!(!labels.is_empty(), "accuracy of an empty sample");
+    let correct = labels
+        .iter()
+        .zip(probabilities)
+        .filter(|(&y, &p)| (p >= 0.5) == (y > 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Brier score (mean squared error of probabilities).
+pub fn brier_score(labels: &[f64], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len(), "length mismatch");
+    assert!(!labels.is_empty(), "brier score of an empty sample");
+    labels
+        .iter()
+        .zip(probabilities)
+        .map(|(&y, &p)| (p - y).powi(2))
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_of_perfect_ranking_is_one() {
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&labels, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_inverted_ranking_is_zero() {
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        assert!(roc_auc(&labels, &scores).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_random_constant_scores_is_half() {
+        let labels = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+        let scores = vec![0.5; 5];
+        assert!((roc_auc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.3, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[0.0, 0.0], &[0.3, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        // 1 positive above, 1 tied, 1 below -> AUC = (1 + 0.5 + 0) / ... hand check:
+        let labels = vec![1.0, 0.0, 1.0, 0.0];
+        let scores = vec![0.9, 0.5, 0.5, 0.1];
+        // pairs: (p=0.9 vs n=0.5):1, (0.9 vs 0.1):1, (0.5 vs 0.5):0.5, (0.5 vs 0.1):1 => 3.5/4
+        assert!((roc_auc(&labels, &scores) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let labels = vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let scores = vec![0.1, 0.7, 0.3, 0.9, 0.6, 0.2];
+        let transformed: Vec<f64> = scores.iter().map(|&s: &f64| (5.0 * s).exp()).collect();
+        assert!((roc_auc(&labels, &scores) - roc_auc(&labels, &transformed)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct_predictions() {
+        let labels = vec![1.0, 0.0];
+        let good = log_loss(&labels, &[0.9, 0.1]);
+        let bad = log_loss(&labels, &[0.6, 0.4]);
+        let wrong = log_loss(&labels, &[0.1, 0.9]);
+        assert!(good < bad && bad < wrong);
+    }
+
+    #[test]
+    fn log_loss_handles_extreme_probabilities() {
+        let labels = vec![1.0, 0.0];
+        let v = log_loss(&labels, &[1.0, 0.0]);
+        assert!(v.is_finite());
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let a = vec![1.0, 1.0, 1.0];
+        let b = vec![0.2, 0.5, 0.9];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn accuracy_and_brier_basics() {
+        let labels = vec![1.0, 0.0, 1.0, 0.0];
+        let probs = vec![0.8, 0.3, 0.4, 0.2];
+        assert!((accuracy(&labels, &probs) - 0.75).abs() < 1e-12);
+        let perfect = brier_score(&labels, &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(perfect, 0.0);
+        assert!(brier_score(&labels, &probs) > 0.0);
+    }
+}

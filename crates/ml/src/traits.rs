@@ -1,0 +1,90 @@
+//! Common interfaces of the weak learners.
+
+/// A fitted binary classifier producing positive-class probabilities.
+pub trait Classifier: Send + Sync {
+    /// Probability of the positive class for each feature row.
+    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64>;
+
+    /// Probability of the positive class for one feature row.
+    fn predict_proba_one(&self, row: &[f64]) -> f64 {
+        self.predict_proba(std::slice::from_ref(&row.to_vec()))[0]
+    }
+}
+
+/// A classifier that also quantifies the uncertainty of each prediction.
+///
+/// For Gaussian processes this is the posterior predictive variance — "an
+/// actual metric intrinsic to the model" (Sec. V-C); for bagged ensembles it
+/// is a heuristic based on the spread of member predictions.
+pub trait UncertainClassifier: Classifier {
+    /// `(probability, variance)` per feature row.
+    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>);
+}
+
+/// Training-time interface: build a fitted classifier from rows, binary
+/// labels (0.0 / 1.0) and a seed for any internal randomness.
+pub trait Trainable: Sized {
+    /// Fit the model. Implementations must be deterministic given `seed`.
+    fn fit(&self, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self;
+}
+
+/// Validate a (rows, labels) training pair, panicking with a clear message
+/// when the shapes are inconsistent. Shared by every learner's `fit`.
+pub fn validate_training_data(rows: &[Vec<f64>], labels: &[f64]) {
+    assert!(!rows.is_empty(), "cannot fit on an empty training set");
+    assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+    let k = rows[0].len();
+    assert!(k > 0, "training rows need at least one feature");
+    assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+    assert!(
+        labels.iter().all(|&y| y == 0.0 || y == 1.0),
+        "labels must be 0.0 or 1.0"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl Classifier for Constant {
+        fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+            vec![self.0; rows.len()]
+        }
+    }
+
+    #[test]
+    fn default_predict_one_delegates_to_batch() {
+        let c = Constant(0.42);
+        assert_eq!(c.predict_proba_one(&[1.0, 2.0]), 0.42);
+    }
+
+    #[test]
+    fn validation_accepts_good_data() {
+        validate_training_data(&[vec![1.0, 2.0], vec![3.0, 4.0]], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn validation_rejects_empty() {
+        validate_training_data(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validation_rejects_mismatched_labels() {
+        validate_training_data(&[vec![1.0]], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn validation_rejects_ragged_rows() {
+        validate_training_data(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn validation_rejects_non_binary_labels() {
+        validate_training_data(&[vec![1.0], vec![2.0]], &[0.5, 1.0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! CART decision-tree classifier.
+//!
+//! Decision trees are one of the weak learners used in the iWare-E ensemble
+//! (the DTB variants of Table II). This is a standard CART implementation:
+//! greedy binary splits chosen by Gini impurity reduction, optional random
+//! feature subsampling per split (which turns a bagging ensemble of these
+//! trees into a random forest, as noted in Sec. V-C), and leaf probabilities
+//! given by the positive fraction of training samples in the leaf.
+
+use crate::traits::{validate_training_data, Classifier};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features considered per split; `None` uses all features.
+    pub max_features: Option<usize>,
+    /// Maximum number of candidate thresholds evaluated per feature
+    /// (quantile-spaced); keeps training fast on large nodes.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 3,
+            min_samples_split: 6,
+            max_features: None,
+            max_thresholds: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fit a tree on `rows` / binary `labels`. `seed` drives the feature
+    /// subsampling (when `max_features` is set).
+    pub fn fit(config: &TreeConfig, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self {
+        validate_training_data(rows, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features: rows[0].len(),
+        };
+        let indices: Vec<usize> = (0..rows.len()).collect();
+        tree.build(config, rows, labels, &indices, 0, &mut rng);
+        tree
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (longest root-to-leaf path, in edges).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    fn build(
+        &mut self,
+        config: &TreeConfig,
+        rows: &[Vec<f64>],
+        labels: &[f64],
+        indices: &[usize],
+        depth: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
+        let n = indices.len();
+        let positives: f64 = indices.iter().map(|&i| labels[i]).sum();
+        let proba = positives / n as f64;
+
+        let is_pure = positives == 0.0 || positives == n as f64;
+        if depth >= config.max_depth || n < config.min_samples_split || is_pure {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+
+        let candidate_features: Vec<usize> = match config.max_features {
+            Some(m) if m < self.n_features => {
+                let mut all: Vec<usize> = (0..self.n_features).collect();
+                all.shuffle(rng);
+                all.truncate(m.max(1));
+                all
+            }
+            _ => (0..self.n_features).collect(),
+        };
+
+        let parent_impurity = gini(proba);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &candidate_features {
+            let mut values: Vec<f64> = indices.iter().map(|&i| rows[i][f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let stride = (values.len() / config.max_thresholds.max(1)).max(1);
+            for w in (0..values.len() - 1).step_by(stride) {
+                let threshold = (values[w] + values[w + 1]) / 2.0;
+                let (mut nl, mut pl, mut nr, mut pr) = (0usize, 0.0f64, 0usize, 0.0f64);
+                for &i in indices {
+                    if rows[i][f] <= threshold {
+                        nl += 1;
+                        pl += labels[i];
+                    } else {
+                        nr += 1;
+                        pr += labels[i];
+                    }
+                }
+                if nl < config.min_samples_leaf || nr < config.min_samples_leaf {
+                    continue;
+                }
+                let gl = gini(pl / nl as f64);
+                let gr = gini(pr / nr as f64);
+                let weighted = (nl as f64 * gl + nr as f64 * gr) / n as f64;
+                let gain = parent_impurity - weighted;
+                if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| rows[i][feature] <= threshold);
+
+        // Reserve this node's slot before recursing so child indices are known.
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { proba }); // placeholder
+        let left = self.build(config, rows, labels, &left_idx, depth + 1, rng);
+        let right = self.build(config, rows, labels, &right_idx, depth + 1, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[inline]
+fn gini(p: f64) -> f64 {
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use rand::Rng;
+
+    fn xor_like_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Axis-aligned separable-by-tree problem: positive iff x0 > 0.5 and x1 > 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 && r[1] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_axis_aligned_concept() {
+        let (rows, labels) = xor_like_data(400, 1);
+        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        let (test_rows, test_labels) = xor_like_data(200, 2);
+        let probs = tree.predict_proba(&test_rows);
+        assert!(roc_auc(&test_labels, &probs) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let (rows, labels) = xor_like_data(200, 3);
+        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        for p in tree.predict_proba(&rows) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (rows, labels) = xor_like_data(300, 4);
+        let config = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&config, &rows, &labels, 7);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_labels_make_a_single_leaf() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![0.0, 0.0, 0.0];
+        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_proba(&rows), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = xor_like_data(200, 5);
+        let config = TreeConfig {
+            max_features: Some(2),
+            ..TreeConfig::default()
+        };
+        let a = DecisionTree::fit(&config, &rows, &labels, 11);
+        let b = DecisionTree::fit(&config, &rows, &labels, 11);
+        assert_eq!(a.predict_proba(&rows), b.predict_proba(&rows));
+    }
+
+    #[test]
+    fn feature_subsampling_changes_the_tree() {
+        let (rows, labels) = xor_like_data(300, 6);
+        let config = TreeConfig {
+            max_features: Some(1),
+            ..TreeConfig::default()
+        };
+        let a = DecisionTree::fit(&config, &rows, &labels, 1);
+        let b = DecisionTree::fit(&config, &rows, &labels, 2);
+        // With only one of three features available per split, different
+        // seeds should typically produce different trees/predictions.
+        assert_ne!(a.predict_proba(&rows), b.predict_proba(&rows));
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected_via_leaf_probabilities() {
+        let (rows, labels) = xor_like_data(100, 8);
+        let config = TreeConfig {
+            min_samples_leaf: 20,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&config, &rows, &labels, 7);
+        // With at least 20 samples per leaf, leaf probabilities are multiples
+        // of 1/n with n >= 20, so no leaf can be based on fewer samples than
+        // allowed. Just sanity-check the tree is shallow and valid.
+        assert!(tree.depth() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn prediction_rejects_wrong_width() {
+        let (rows, labels) = xor_like_data(50, 9);
+        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        let _ = tree.predict_proba(&[vec![1.0]]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # paws-plan
+//!
+//! Green Security Game patrol planning under uncertainty (Sec. VI of the
+//! paper): piecewise-linear approximation of the learned effort-response
+//! functions, MILP optimisation of patrol effort, a robust objective that
+//! penalises model uncertainty, route extraction, and plan evaluation.
+//!
+//! Typical flow:
+//! 1. Sample g_v(c) / ν_v(c) from a fitted `paws_iware::IWareModel` with
+//!    `effort_response`, squash the variances with [`robust::squash_matrix`].
+//! 2. Build a [`game::PlanningProblem`] per patrol post.
+//! 3. Optimise with [`planner::plan`] (allocation MILP by default, the
+//!    time-unrolled flow MILP for small instances).
+//! 4. Extract ranger routes with [`routes::extract_routes`] and evaluate
+//!    Uβ(Cβ)/Uβ(Cβ=0) with [`evaluate::compare_robust_vs_baseline`].
+
+pub mod evaluate;
+pub mod game;
+pub mod planner;
+pub mod pwl;
+pub mod robust;
+pub mod routes;
+
+pub use evaluate::{compare_robust_vs_baseline, compare_with_ground_truth, expected_detections, RobustComparison};
+pub use game::{park_travel_distances, PlanningCell, PlanningProblem};
+pub use planner::{plan, PatrolPlan, PlannerConfig, PlannerMethod};
+pub use pwl::PwlFunction;
+pub use robust::{squash_matrix, VarianceSquash};
+pub use routes::{extract_routes, route_coverage, Route};

@@ -1,0 +1,426 @@
+//! The patrol-planning optimiser (problem P of Sec. VI-B/C).
+//!
+//! Two formulations are provided:
+//!
+//! * [`PlannerMethod::Allocation`] — the effort-allocation MILP: one PWL
+//!   (λ / SOS2) block per candidate cell, a total-budget constraint
+//!   Σ_v c_v ≤ T·K, and per-cell effort caps derived from the round-trip
+//!   travel time to the patrol post. Binary variables are introduced only
+//!   for cells whose utility PWL is non-concave, so most instances solve as
+//!   pure LPs. This is the formulation the benchmark harness sweeps
+//!   (Figs. 8 and 9).
+//! * [`PlannerMethod::Flow`] — the full time-unrolled flow formulation of
+//!   Eq. (2): aggregate patrol flow over nodes (cell, t) with conservation,
+//!   source/sink at the patrol post, coverage defined as flow through a cell
+//!   and the same PWL objective. Exact but much larger; intended for small
+//!   regions and for validating the allocation formulation.
+
+use crate::game::PlanningProblem;
+use crate::pwl::PwlFunction;
+use paws_solver::{solve_milp, ConstraintOp, MilpOptions, Model, Sense, SolveStatus, Variable};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Which MILP formulation to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlannerMethod {
+    /// Separable effort-allocation formulation (default).
+    Allocation,
+    /// Time-unrolled network-flow formulation (small instances only).
+    Flow,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Number of segments in each PWL approximation (the paper sweeps 5–30).
+    pub segments: usize,
+    /// Formulation to use.
+    pub method: PlannerMethod,
+    /// Branch-and-bound options.
+    pub milp: MilpOptions,
+    /// Encode non-concave utilities exactly with SOS2 binaries. When false
+    /// (the default) the planner optimises the upper concave envelope of
+    /// each non-concave utility instead, which keeps park-scale instances
+    /// pure LPs; the reported coverage is re-evaluated against the true
+    /// utility. Set to true for exact solutions on small instances.
+    pub exact_sos2: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            segments: 10,
+            method: PlannerMethod::Allocation,
+            milp: MilpOptions::default(),
+            exact_sos2: false,
+        }
+    }
+}
+
+/// A computed patrol plan.
+#[derive(Debug, Clone)]
+pub struct PatrolPlan {
+    /// Patrol effort (km) allocated to each candidate cell of the problem.
+    pub coverage: Vec<f64>,
+    /// Objective value Σ_v U_v(c_v) of the optimised (PWL) model.
+    pub objective: f64,
+    /// Wall-clock solve time.
+    pub solve_time: Duration,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// LP relaxations solved.
+    pub lp_solves: usize,
+    /// Termination status of the underlying solver.
+    pub status: SolveStatus,
+}
+
+/// Compute a patrol plan for a planning problem.
+pub fn plan(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
+    assert!(config.segments >= 1, "need at least one PWL segment");
+    let start = Instant::now();
+    let result = match config.method {
+        PlannerMethod::Allocation => solve_allocation(problem, config),
+        PlannerMethod::Flow => solve_flow(problem, config),
+    };
+    PatrolPlan {
+        solve_time: start.elapsed(),
+        ..result
+    }
+}
+
+/// Per-cell utility PWL resampled to the configured number of segments.
+fn cell_utilities(problem: &PlanningProblem, segments: usize) -> Vec<PwlFunction> {
+    (0..problem.n_cells())
+        .map(|i| {
+            let u = problem.utility(i, problem.beta);
+            let hi = problem.max_effort(i).max(1e-3);
+            PwlFunction::from_samples(0.0, hi, segments, |c| u.eval(c))
+        })
+        .collect()
+}
+
+/// Add one cell's λ / SOS2 block to the model. Returns the λ variables and
+/// their breakpoint x values.
+fn add_pwl_block(
+    model: &mut Model,
+    utility: &PwlFunction,
+    cell_label: usize,
+    exact_sos2: bool,
+) -> (Vec<Variable>, Vec<f64>) {
+    // Non-concave utilities either get an exact SOS2 encoding (binaries) or
+    // are replaced by their upper concave envelope, which the LP relaxation
+    // solves exactly.
+    let envelope;
+    let utility = if !exact_sos2 && !utility.is_concave(1e-9) {
+        envelope = utility.concave_envelope();
+        &envelope
+    } else {
+        utility
+    };
+    let xs = utility.xs().to_vec();
+    let ys = utility.ys();
+    let lambdas: Vec<Variable> = (0..xs.len())
+        .map(|j| model.add_continuous(&format!("lam_{cell_label}_{j}"), 0.0, f64::INFINITY, ys[j]))
+        .collect();
+    // Convexity: Σ λ = 1.
+    let terms: Vec<(Variable, f64)> = lambdas.iter().map(|&v| (v, 1.0)).collect();
+    model.add_constraint(&terms, ConstraintOp::Eq, 1.0);
+
+    // SOS2 binaries only when the utility is non-concave; for concave
+    // utilities the LP relaxation already attains the true maximum.
+    if !utility.is_concave(1e-9) {
+        let n_seg = xs.len() - 1;
+        let zs: Vec<Variable> = (0..n_seg)
+            .map(|s| model.add_binary(&format!("z_{cell_label}_{s}"), 0.0))
+            .collect();
+        let zterms: Vec<(Variable, f64)> = zs.iter().map(|&z| (z, 1.0)).collect();
+        model.add_constraint(&zterms, ConstraintOp::Eq, 1.0);
+        for j in 0..xs.len() {
+            // λ_j can be positive only if an adjacent segment is selected.
+            let mut terms = vec![(lambdas[j], 1.0)];
+            if j > 0 {
+                terms.push((zs[j - 1], -1.0));
+            }
+            if j < n_seg {
+                terms.push((zs[j], -1.0));
+            }
+            model.add_constraint(&terms, ConstraintOp::Le, 0.0);
+        }
+    }
+    (lambdas, xs)
+}
+
+fn solve_allocation(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
+    let utilities = cell_utilities(problem, config.segments);
+    let mut model = Model::new(Sense::Maximize);
+    let mut blocks = Vec::with_capacity(problem.n_cells());
+    for (i, u) in utilities.iter().enumerate() {
+        blocks.push(add_pwl_block(&mut model, u, i, config.exact_sos2));
+    }
+    // Budget: Σ_v c_v ≤ T·K where c_v = Σ_j λ_vj x_vj.
+    let mut budget_terms = Vec::new();
+    for (lambdas, xs) in &blocks {
+        for (l, &x) in lambdas.iter().zip(xs) {
+            if x != 0.0 {
+                budget_terms.push((*l, x));
+            }
+        }
+    }
+    model.add_constraint(&budget_terms, ConstraintOp::Le, problem.budget_km());
+
+    let (solution, stats) = solve_milp(&model, &config.milp);
+    let coverage = extract_coverage(&solution.values, &blocks);
+    PatrolPlan {
+        coverage,
+        objective: solution.objective,
+        solve_time: Duration::default(),
+        nodes: stats.nodes,
+        lp_solves: stats.lp_solves,
+        status: solution.status,
+    }
+}
+
+fn solve_flow(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
+    let utilities = cell_utilities(problem, config.segments);
+    let t_steps = problem.patrol_length_km.round().max(1.0) as usize;
+    let k = problem.n_patrols as f64;
+    let n = problem.n_cells();
+    let mut model = Model::new(Sense::Maximize);
+
+    // Flow variables f[i][j][t]: patrols moving from cell i to cell j (j a
+    // neighbour of i, or i itself for "stay") between time t and t+1.
+    let mut flow: Vec<Vec<Vec<(usize, Variable)>>> = vec![vec![Vec::new(); t_steps]; n];
+    for i in 0..n {
+        let mut targets = problem.neighbours[i].clone();
+        targets.push(i);
+        for t in 0..t_steps {
+            for &j in &targets {
+                let v = model.add_continuous(&format!("f_{i}_{j}_{t}"), 0.0, k, 0.0);
+                flow[i][t].push((j, v));
+            }
+        }
+    }
+
+    // Source: all K patrols leave the post at t = 0; nothing leaves any other
+    // cell at t = 0.
+    for i in 0..n {
+        let terms: Vec<(Variable, f64)> = flow[i][0].iter().map(|&(_, v)| (v, 1.0)).collect();
+        let rhs = if i == problem.post_index { k } else { 0.0 };
+        model.add_constraint(&terms, ConstraintOp::Eq, rhs);
+    }
+    // Conservation: inflow into (i, t) equals outflow from (i, t) for
+    // 1 <= t < T; at t = T all flow must be at the post (sink).
+    for t in 1..t_steps {
+        for i in 0..n {
+            let mut terms: Vec<(Variable, f64)> = Vec::new();
+            // Inflow from any j with an edge into i at time t-1.
+            for j in 0..n {
+                for &(dest, v) in &flow[j][t - 1] {
+                    if dest == i {
+                        terms.push((v, 1.0));
+                    }
+                }
+            }
+            for &(_, v) in &flow[i][t] {
+                terms.push((v, -1.0));
+            }
+            model.add_constraint(&terms, ConstraintOp::Eq, 0.0);
+        }
+    }
+    // Sink: the inflow at the final step must return to the post.
+    let mut sink_terms: Vec<(Variable, f64)> = Vec::new();
+    for j in 0..n {
+        for &(dest, v) in &flow[j][t_steps - 1] {
+            if dest == problem.post_index {
+                sink_terms.push((v, 1.0));
+            }
+        }
+    }
+    model.add_constraint(&sink_terms, ConstraintOp::Eq, k);
+
+    // Coverage of cell i: time steps spent at i = Σ_t outflow from (i, t).
+    // Link to the PWL blocks: Σ_j λ_ij x_ij − c_i = 0.
+    let mut blocks = Vec::with_capacity(n);
+    for (i, u) in utilities.iter().enumerate() {
+        let block = add_pwl_block(&mut model, u, i, config.exact_sos2);
+        let mut link: Vec<(Variable, f64)> = block
+            .0
+            .iter()
+            .zip(&block.1)
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(&l, &x)| (l, x))
+            .collect();
+        for t in 0..t_steps {
+            for &(_, v) in &flow[i][t] {
+                link.push((v, -1.0));
+            }
+        }
+        model.add_constraint(&link, ConstraintOp::Eq, 0.0);
+        blocks.push(block);
+    }
+
+    let (solution, stats) = solve_milp(&model, &config.milp);
+    let coverage = extract_coverage(&solution.values, &blocks);
+    PatrolPlan {
+        coverage,
+        objective: solution.objective,
+        solve_time: Duration::default(),
+        nodes: stats.nodes,
+        lp_solves: stats.lp_solves,
+        status: solution.status,
+    }
+}
+
+fn extract_coverage(values: &[f64], blocks: &[(Vec<Variable>, Vec<f64>)]) -> Vec<f64> {
+    blocks
+        .iter()
+        .map(|(lambdas, xs)| {
+            lambdas
+                .iter()
+                .zip(xs)
+                .map(|(&l, &x)| values[l.0] * x)
+                .sum::<f64>()
+                .max(0.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paws_geo::parks::test_park_spec;
+    use paws_geo::Park;
+
+    /// A small problem with synthetic response curves.
+    fn small_problem(beta: f64, patrol_len: f64, n_patrols: usize) -> PlanningProblem {
+        let park = Park::generate(&test_park_spec(), 7);
+        let post = park.patrol_posts[0];
+        let grid: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+        let probs: Vec<Vec<f64>> = (0..park.n_cells())
+            .map(|i| {
+                let scale = 0.1 + 0.8 * ((i * 37) % 100) as f64 / 100.0;
+                grid.iter().map(|&e| scale * (1.0 - (-0.7 * e).exp())).collect()
+            })
+            .collect();
+        let vars: Vec<Vec<f64>> = (0..park.n_cells())
+            .map(|i| {
+                let base = 0.05 + 0.4 * ((i * 61) % 100) as f64 / 100.0;
+                grid.iter().map(|&e| base + 0.03 * e).collect()
+            })
+            .collect();
+        PlanningProblem::from_response(&park, post, &grid, &probs, &vars, patrol_len, n_patrols, beta)
+    }
+
+    #[test]
+    fn allocation_plan_respects_budget_and_caps() {
+        let problem = small_problem(0.0, 8.0, 3);
+        let plan = plan(&problem, &PlannerConfig::default());
+        assert_eq!(plan.status, SolveStatus::Optimal);
+        let total: f64 = plan.coverage.iter().sum();
+        assert!(total <= problem.budget_km() + 1e-6, "budget violated: {total}");
+        for (i, &c) in plan.coverage.iter().enumerate() {
+            assert!(c <= problem.max_effort(i) + 1e-6);
+            assert!(c >= -1e-9);
+        }
+        assert!(plan.objective > 0.0);
+    }
+
+    #[test]
+    fn allocation_concentrates_effort_on_high_value_cells() {
+        let problem = small_problem(0.0, 8.0, 2);
+        let computed = plan(&problem, &PlannerConfig::default());
+        // Compare against a uniform allocation of the same budget.
+        let uniform = vec![problem.budget_km() / problem.n_cells() as f64; problem.n_cells()];
+        let u_plan = problem.coverage_utility(&computed.coverage, 0.0);
+        let u_unif = problem.coverage_utility(&uniform, 0.0);
+        assert!(u_plan >= u_unif - 1e-6, "plan {u_plan} vs uniform {u_unif}");
+    }
+
+    #[test]
+    fn objective_matches_reevaluated_coverage_utility() {
+        let problem = small_problem(0.5, 8.0, 2);
+        let config = PlannerConfig {
+            segments: 20,
+            ..PlannerConfig::default()
+        };
+        let p = plan(&problem, &config);
+        let reeval = problem.coverage_utility(&p.coverage, 0.5);
+        // PWL approximation error only.
+        assert!((p.objective - reeval).abs() < 0.15 * reeval.abs().max(1.0));
+    }
+
+    #[test]
+    fn more_segments_never_hurts_much() {
+        let problem = small_problem(1.0, 8.0, 2);
+        let coarse = plan(
+            &problem,
+            &PlannerConfig {
+                segments: 3,
+                ..PlannerConfig::default()
+            },
+        );
+        let fine = plan(
+            &problem,
+            &PlannerConfig {
+                segments: 25,
+                ..PlannerConfig::default()
+            },
+        );
+        let u_coarse = problem.coverage_utility(&coarse.coverage, 1.0);
+        let u_fine = problem.coverage_utility(&fine.coverage, 1.0);
+        assert!(u_fine >= u_coarse - 0.05 * u_coarse.abs().max(1.0));
+    }
+
+    #[test]
+    fn robust_plan_differs_from_nominal_plan() {
+        let mut nominal_problem = small_problem(0.0, 8.0, 2);
+        let nominal = plan(&nominal_problem, &PlannerConfig::default());
+        nominal_problem.beta = 1.0;
+        let robust = plan(&nominal_problem, &PlannerConfig::default());
+        // The uncertainty penalty shifts effort; coverages should not be identical.
+        let diff: f64 = nominal
+            .coverage
+            .iter()
+            .zip(&robust.coverage)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "robust and nominal plans identical");
+    }
+
+    #[test]
+    fn flow_formulation_agrees_with_allocation_on_tiny_instance() {
+        // Restrict to a very small problem so the flow MILP stays tiny.
+        let problem = small_problem(0.0, 4.0, 1);
+        let alloc = plan(&problem, &PlannerConfig::default());
+        let flow = plan(
+            &problem,
+            &PlannerConfig {
+                method: PlannerMethod::Flow,
+                segments: 8,
+                ..PlannerConfig::default()
+            },
+        );
+        assert_eq!(flow.status, SolveStatus::Optimal);
+        let total_flow: f64 = flow.coverage.iter().sum();
+        assert!((total_flow - problem.budget_km()).abs() < 1e-4, "flow uses the whole patrol time");
+        // The flow formulation is more constrained, so its optimum cannot
+        // exceed the allocation optimum (up to PWL resolution differences).
+        assert!(flow.objective <= alloc.objective + 0.1 * alloc.objective.abs().max(1.0));
+        assert!(flow.objective > 0.0);
+    }
+
+    #[test]
+    fn zero_beta_plan_maximises_pure_detection() {
+        let problem = small_problem(0.0, 6.0, 1);
+        let p = plan(&problem, &PlannerConfig::default());
+        // With beta=0 the objective equals sum of g at the coverage.
+        let g_sum: f64 = p
+            .coverage
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| problem.cells[i].g.eval(c))
+            .sum();
+        assert!((p.objective - g_sum).abs() < 0.1 * g_sum.max(1.0));
+    }
+}

@@ -1,0 +1,29 @@
+//! # paws-sim
+//!
+//! Ground-truth poacher behaviour and ranger patrol simulation for the PAWS
+//! reproduction.
+//!
+//! The real system learns from proprietary SMART patrol data; this crate is
+//! the substitute substrate that generates data with the same statistical
+//! structure: extreme class imbalance, one-sided label noise tied to patrol
+//! effort, spatial bias towards patrol posts, deterrence effects, and (for
+//! SWS) wet/dry seasonality. It also serves as the evaluation oracle — the
+//! plan evaluation and simulated field tests score patrols against the true
+//! attack process.
+//!
+//! Entry points:
+//! * [`behaviour::PoacherModel`] — the ground-truth attack model.
+//! * [`patrol::simulate_month`] / [`patrol::simulate_patrol`] — ranger walks.
+//! * [`history::simulate_history`] — multi-year SMART-like histories.
+//! * [`presets`] — per-park simulator calibrations.
+
+pub mod behaviour;
+pub mod detection;
+pub mod history;
+pub mod patrol;
+pub mod presets;
+
+pub use behaviour::{AttackModelConfig, PoacherModel, Season};
+pub use detection::DetectionModel;
+pub use history::{History, MonthRecord, SimConfig};
+pub use patrol::{Patrol, PatrolConfig, Transport, Waypoint};

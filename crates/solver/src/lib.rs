@@ -1,0 +1,18 @@
+//! # paws-solver
+//!
+//! A small, self-contained linear / mixed-binary optimisation toolkit: the
+//! from-scratch substitute for the commercial MILP solver the paper's patrol
+//! planner relies on.
+//!
+//! * [`model::Model`] — build variables, bounds, objective and constraints.
+//! * [`simplex::solve_lp`] — dense two-phase primal simplex for the
+//!   continuous relaxation.
+//! * [`milp::solve_milp`] — branch-and-bound over the binary variables.
+
+pub mod milp;
+pub mod model;
+pub mod simplex;
+
+pub use milp::{solve_milp, MilpOptions, MilpStats};
+pub use model::{ConstraintOp, Model, Sense, Solution, SolveStatus, VarKind, Variable};
+pub use simplex::solve_lp;

@@ -1,0 +1,309 @@
+//! Branch-and-bound for mixed binary programs.
+//!
+//! The patrol-planning MILP (problem P with a piecewise-linear objective)
+//! needs binary variables only for the SOS2 encoding of non-concave PWL
+//! pieces; all other decision variables (patrol effort, flows, λ weights)
+//! are continuous. Branch-and-bound on the binaries with the dense simplex
+//! of [`crate::simplex`] as the relaxation solver is therefore sufficient.
+
+use crate::model::{Model, Sense, SolveStatus, Solution};
+use crate::simplex::solve_lp;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum number of explored nodes before returning the incumbent.
+    pub max_nodes: usize,
+    /// Absolute optimality gap at which a node is fathomed.
+    pub gap_tolerance: f64,
+    /// Integrality tolerance.
+    pub int_tolerance: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            max_nodes: 20_000,
+            gap_tolerance: 1e-6,
+            int_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Debug, Clone, Default)]
+pub struct MilpStats {
+    /// Number of explored nodes.
+    pub nodes: usize,
+    /// Number of LP relaxations solved.
+    pub lp_solves: usize,
+}
+
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    relaxation_bound: f64,
+}
+
+/// Solve a model whose binary variables must take integral values.
+pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats) {
+    let binaries = model.binary_vars();
+    let mut stats = MilpStats::default();
+
+    let root_bounds: Vec<(f64, f64)> = (0..model.n_vars())
+        .map(|i| (model.vars[i].lower, model.vars[i].upper))
+        .collect();
+
+    let root = solve_lp(model, Some(&root_bounds));
+    stats.lp_solves += 1;
+    match root.status {
+        SolveStatus::Infeasible | SolveStatus::Unbounded => return (root, stats),
+        _ => {}
+    }
+    if binaries.is_empty() {
+        return (root, stats);
+    }
+
+    // Maximisation internally: convert sense so "better" means larger.
+    let better = |a: f64, b: f64| match model.sense() {
+        Sense::Maximize => a > b,
+        Sense::Minimize => a < b,
+    };
+
+    let mut incumbent: Option<Solution> = None;
+    let mut stack: Vec<Node> = vec![Node {
+        bounds: root_bounds,
+        relaxation_bound: root.objective,
+    }];
+
+    while let Some(node) = stack.pop() {
+        if stats.nodes >= options.max_nodes {
+            break;
+        }
+        stats.nodes += 1;
+
+        // Bound-based fathoming against the incumbent.
+        if let Some(inc) = &incumbent {
+            let gap_ok = match model.sense() {
+                Sense::Maximize => node.relaxation_bound <= inc.objective + options.gap_tolerance,
+                Sense::Minimize => node.relaxation_bound >= inc.objective - options.gap_tolerance,
+            };
+            if gap_ok {
+                continue;
+            }
+        }
+
+        let relax = solve_lp(model, Some(&node.bounds));
+        stats.lp_solves += 1;
+        if relax.status == SolveStatus::Infeasible {
+            continue;
+        }
+        if let Some(inc) = &incumbent {
+            if !better(relax.objective, inc.objective + 0.0) {
+                continue;
+            }
+        }
+
+        // Most fractional binary.
+        let fractional = binaries
+            .iter()
+            .map(|&v| (v, relax.value(v)))
+            .filter(|(_, x)| (x - x.round()).abs() > options.int_tolerance)
+            .max_by(|a, b| {
+                let fa = (a.1 - 0.5).abs();
+                let fb = (b.1 - 0.5).abs();
+                fb.partial_cmp(&fa).unwrap()
+            });
+
+        match fractional {
+            None => {
+                // Integral solution: candidate incumbent.
+                let mut values = relax.values.clone();
+                for &v in &binaries {
+                    values[v.0] = values[v.0].round();
+                }
+                let objective = model.objective_value(&values);
+                let candidate = Solution {
+                    status: SolveStatus::Optimal,
+                    objective,
+                    values,
+                };
+                if incumbent
+                    .as_ref()
+                    .map_or(true, |inc| better(candidate.objective, inc.objective))
+                {
+                    incumbent = Some(candidate);
+                }
+            }
+            Some((var, value)) => {
+                // Branch: explore the side closer to the relaxation value last
+                // (so it is popped first from the DFS stack).
+                let mut zero = node.bounds.clone();
+                zero[var.0] = (0.0, 0.0);
+                let mut one = node.bounds.clone();
+                one[var.0] = (1.0, 1.0);
+                let (first, second) = if value >= 0.5 { (zero, one) } else { (one, zero) };
+                stack.push(Node {
+                    bounds: first,
+                    relaxation_bound: relax.objective,
+                });
+                stack.push(Node {
+                    bounds: second,
+                    relaxation_bound: relax.objective,
+                });
+            }
+        }
+    }
+
+    match incumbent {
+        Some(mut sol) => {
+            if stats.nodes >= options.max_nodes {
+                sol.status = SolveStatus::LimitReached;
+            }
+            (sol, stats)
+        }
+        None => (
+            Solution {
+                status: if stats.nodes >= options.max_nodes {
+                    SolveStatus::LimitReached
+                } else {
+                    SolveStatus::Infeasible
+                },
+                objective: match model.sense() {
+                    Sense::Maximize => f64::NEG_INFINITY,
+                    Sense::Minimize => f64::INFINITY,
+                },
+                values: vec![0.0; model.n_vars()],
+            },
+            stats,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model, Sense};
+
+    #[test]
+    fn solves_small_knapsack() {
+        // Knapsack: values 10, 13, 7; weights 5, 7, 4; capacity 9 -> pick items 1 and 3 (17).
+        let mut m = Model::new(Sense::Maximize);
+        let x1 = m.add_binary("x1", 10.0);
+        let x2 = m.add_binary("x2", 13.0);
+        let x3 = m.add_binary("x3", 7.0);
+        m.add_constraint(&[(x1, 5.0), (x2, 7.0), (x3, 4.0)], ConstraintOp::Le, 9.0);
+        let (sol, stats) = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 17.0).abs() < 1e-6);
+        assert!((sol.value(x1) - 1.0).abs() < 1e-6);
+        assert!((sol.value(x2) - 0.0).abs() < 1e-6);
+        assert!((sol.value(x3) - 1.0).abs() < 1e-6);
+        assert!(stats.nodes >= 1);
+    }
+
+    #[test]
+    fn mixed_integer_with_continuous_part() {
+        // max 4y + x  s.t. x <= 3.5, x + 10y <= 10, y binary.
+        // y=1 -> x <= 0 -> obj 4; y=0 -> x <= 3.5 -> obj 3.5. Optimal y=1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 3.5, 1.0);
+        let y = m.add_binary("y", 4.0);
+        m.add_constraint(&[(x, 1.0), (y, 10.0)], ConstraintOp::Le, 10.0);
+        let (sol, _) = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+        assert!((sol.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 2.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 5.0);
+        let (sol, stats) = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+        assert_eq!(stats.lp_solves, 1);
+    }
+
+    #[test]
+    fn infeasible_binary_problem_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        let (sol, _) = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn set_partitioning_exactly_one() {
+        // Choose exactly one of three options, maximise value.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 2.0);
+        let b = m.add_binary("b", 5.0);
+        let c = m.add_binary("c", 3.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Eq, 1.0);
+        let (sol, _) = solve_milp(&m, &MilpOptions::default());
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!((sol.value(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimisation_branching_works() {
+        // min 3a + 2b + 4c s.t. a + b + c >= 2 (binaries) -> pick b and a? 2+3=5 vs b+c=6, a+c=7 -> 5.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a", 3.0);
+        let b = m.add_binary("b", 2.0);
+        let c = m.add_binary("c", 4.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Ge, 2.0);
+        let (sol, _) = solve_milp(&m, &MilpOptions::default());
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!((sol.value(a) - 1.0).abs() < 1e-6);
+        assert!((sol.value(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_limit_status() {
+        // A 12-item knapsack with a node limit of 1 cannot finish.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(&format!("x{i}"), (i % 5) as f64 + 1.5)).collect();
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (i % 3) as f64 + 1.0)).collect();
+        m.add_constraint(&terms, ConstraintOp::Le, 7.5);
+        let options = MilpOptions {
+            max_nodes: 1,
+            ..MilpOptions::default()
+        };
+        let (sol, stats) = solve_milp(&m, &options);
+        assert!(stats.nodes <= 2);
+        assert!(sol.status == SolveStatus::LimitReached || sol.status == SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn larger_knapsack_matches_dynamic_programming() {
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 14;
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0_f64).round()).collect();
+        let weights: Vec<usize> = (0..n).map(|_| rng.gen_range(1..8)).collect();
+        let capacity = 20usize;
+
+        // DP over integer weights.
+        let mut dp = vec![0.0f64; capacity + 1];
+        for i in 0..n {
+            for w in (weights[i]..=capacity).rev() {
+                dp[w] = dp[w].max(dp[w - weights[i]] + values[i]);
+            }
+        }
+        let best_dp = dp[capacity];
+
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(&format!("x{i}"), values[i])).collect();
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i] as f64)).collect();
+        m.add_constraint(&terms, ConstraintOp::Le, capacity as f64);
+        let (sol, _) = solve_milp(&m, &MilpOptions::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - best_dp).abs() < 1e-6, "milp={} dp={}", sol.objective, best_dp);
+    }
+}

@@ -1,0 +1,262 @@
+//! Optimisation-model builder shared by the LP and MILP solvers.
+//!
+//! The patrol planner of the paper formulates problem (P) as a mixed integer
+//! linear program and hands it to a commercial solver; this crate provides
+//! the from-scratch substitute. A [`Model`] collects variables (continuous or
+//! binary, with bounds and objective coefficients) and linear constraints;
+//! [`crate::simplex`] solves its continuous relaxation and
+//! [`crate::milp`] wraps that in branch-and-bound for the binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Maximise the objective.
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Kind of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Continuous variable within its bounds.
+    Continuous,
+    /// Binary variable (bounds are implicitly [0, 1]).
+    Binary,
+}
+
+/// Handle to a variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Variable(pub usize);
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub kind: VarKind,
+    pub objective: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ConstraintDef {
+    pub terms: Vec<(usize, f64)>,
+    pub op: ConstraintOp,
+    pub rhs: f64,
+}
+
+/// A linear optimisation model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<ConstraintDef>,
+}
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The problem is infeasible.
+    Infeasible,
+    /// The problem is unbounded in the optimisation direction.
+    Unbounded,
+    /// The iteration or node limit was reached; the incumbent (if any) is
+    /// returned.
+    LimitReached,
+}
+
+/// Result of solving a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Objective value of the returned point (meaningful for `Optimal` and
+    /// `LimitReached` with an incumbent).
+    pub objective: f64,
+    /// Value of every variable, indexed by [`Variable`] id.
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of a variable in this solution.
+    pub fn value(&self, var: Variable) -> f64 {
+        self.values[var.0]
+    }
+}
+
+impl Model {
+    /// Create an empty model with the given optimisation sense.
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `objective`.
+    /// The upper bound may be `f64::INFINITY` for an unbounded-above variable.
+    pub fn add_continuous(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> Variable {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(!upper.is_nan(), "upper bound must not be NaN");
+        assert!(lower <= upper, "lower bound exceeds upper bound for {name}");
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            lower,
+            upper,
+            kind: VarKind::Continuous,
+            objective,
+        });
+        Variable(self.vars.len() - 1)
+    }
+
+    /// Add a binary variable with objective coefficient `objective`.
+    pub fn add_binary(&mut self, name: &str, objective: f64) -> Variable {
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            lower: 0.0,
+            upper: 1.0,
+            kind: VarKind::Binary,
+            objective,
+        });
+        Variable(self.vars.len() - 1)
+    }
+
+    /// Add a linear constraint `Σ coeff·var  op  rhs`.
+    pub fn add_constraint(&mut self, terms: &[(Variable, f64)], op: ConstraintOp, rhs: f64) {
+        assert!(!terms.is_empty(), "constraint needs at least one term");
+        for (v, _) in terms {
+            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+        }
+        self.constraints.push(ConstraintDef {
+            terms: terms.iter().map(|(v, c)| (v.0, *c)).collect(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Indices of the binary variables.
+    pub fn binary_vars(&self) -> Vec<Variable> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| Variable(i))
+            .collect()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, var: Variable) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.vars.len(), "value vector length mismatch");
+        self.vars
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Check whether a point satisfies every constraint and bound within
+    /// `tol`. Used by tests and by debug assertions in the planner.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(i, coeff)| coeff * values[i]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_construction_and_introspection() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0, 1.0);
+        let y = m.add_binary("y", 5.0);
+        m.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Le, 8.0);
+        assert_eq!(m.n_vars(), 2);
+        assert_eq!(m.n_constraints(), 1);
+        assert_eq!(m.binary_vars(), vec![y]);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.objective_value(&[3.0, 1.0]), 8.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_constraints() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 5.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert!(m.is_feasible(&[3.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // violates >= 2
+        assert!(!m.is_feasible(&[6.0], 1e-9)); // violates upper bound
+        assert!(!m.is_feasible(&[3.0, 0.0], 1e-9)); // wrong length
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper bound")]
+    fn bad_bounds_rejected() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_continuous("x", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_unknown_variable_rejected() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_continuous("x", 0.0, 1.0, 0.0);
+        m.add_constraint(&[(Variable(5), 1.0)], ConstraintOp::Le, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Uncertainty analysis: Gaussian processes vs bagged decision trees
+//! (Sec. V-B/C and Fig. 7 of the paper).
+//!
+//! ```bash
+//! cargo run --release --example uncertainty_analysis
+//! ```
+//!
+//! Trains one GP weak learner and one bagged-tree ensemble on the same
+//! training data, then compares how each model's uncertainty signal relates
+//! to its own predictions: the GP posterior variance tracks data density and
+//! is nearly uncorrelated with the predicted risk, while the bagged-tree
+//! (infinitesimal-jackknife) variance is strongly tied to the prediction —
+//! the reason the paper insists GPs are necessary for planning.
+
+use paws_core::Scenario;
+use paws_data::{build_dataset, split_by_test_year, Discretization, StandardScaler};
+use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
+use paws_ml::gp::{GaussianProcess, GpConfig};
+use paws_ml::jackknife::infinitesimal_jackknife_variance;
+use paws_ml::metrics::{pearson, roc_auc};
+use paws_ml::traits::{Classifier, UncertainClassifier};
+
+fn main() {
+    let scenario = Scenario::test_scenario(21);
+    let history = scenario.simulate_years(2014, 3);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2016, 2).expect("test year present");
+
+    let train_rows = dataset.feature_rows(&split.train);
+    let train_labels = dataset.labels(&split.train);
+    let test_rows = dataset.feature_rows(&split.test);
+    let test_labels = dataset.labels(&split.test);
+    let (scaler, train_scaled) = StandardScaler::fit_transform(&train_rows);
+    let test_scaled = scaler.transform(&test_rows);
+
+    // Gaussian process weak learner.
+    let gp = GaussianProcess::fit(
+        &GpConfig {
+            max_points: 300,
+            ..GpConfig::default()
+        },
+        &train_scaled,
+        &train_labels,
+        3,
+    );
+    let (gp_pred, gp_var) = gp.predict_with_variance(&test_scaled);
+    println!("Gaussian process:");
+    println!("  test AUC                        = {:.3}", roc_auc(&test_labels, &gp_pred));
+    println!(
+        "  corr(prediction, variance)      = {:+.3}   (paper: -0.198)",
+        pearson(&gp_pred, &gp_var)
+    );
+
+    // Bagged decision trees (equivalent to a random forest).
+    let bag = BaggingClassifier::fit(&BaggingConfig::trees(25, 3), &train_scaled, &train_labels);
+    let bag_pred = bag.predict_proba(&test_scaled);
+    let bag_var = infinitesimal_jackknife_variance(&bag, &test_scaled);
+    println!("Bagged decision trees:");
+    println!("  test AUC                        = {:.3}", roc_auc(&test_labels, &bag_pred));
+    println!(
+        "  corr(prediction, IJ variance)   = {:+.3}   (paper: +0.979)",
+        pearson(&bag_pred, &bag_var)
+    );
+
+    println!();
+    println!(
+        "The GP variance is (nearly) independent of the predicted risk, so it adds\n\
+         information the planner can exploit; the bagged-tree variance largely\n\
+         restates the prediction itself (Fig. 7)."
+    );
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the PAWS reproduction.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual library code lives in the
+//! `paws-*` crates under `crates/`; the most convenient entry point for
+//! downstream users is [`paws_core`].
+
+pub use paws_core as core;
+pub use paws_data as data;
+pub use paws_field as field;
+pub use paws_geo as geo;
+pub use paws_iware as iware;
+pub use paws_ml as ml;
+pub use paws_plan as plan;
+pub use paws_sim as sim;
+pub use paws_solver as solver;

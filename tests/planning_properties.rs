@@ -1,0 +1,84 @@
+//! Property-based integration tests of the planning stack: for randomly
+//! generated response curves the planner must respect its budget, never lose
+//! to trivial baselines under its own objective, and stay consistent between
+//! the robust and nominal formulations.
+
+use paws_geo::parks::test_park_spec;
+use paws_geo::Park;
+use paws_plan::{plan, PlannerConfig, PlanningProblem};
+use proptest::prelude::*;
+
+/// Build a planning problem with parameterised response shapes.
+fn build_problem(seed_scale: f64, uncertainty_level: f64, beta: f64) -> PlanningProblem {
+    let park = Park::generate(&test_park_spec(), 7);
+    let post = park.patrol_posts[0];
+    let grid: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let probs: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let s = (0.05 + seed_scale * ((i * 37 + 11) % 100) as f64 / 100.0).min(0.95);
+            grid.iter().map(|&e| s * (1.0 - (-0.7 * e).exp())).collect()
+        })
+        .collect();
+    let vars: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let base = uncertainty_level * ((i * 61 + 3) % 100) as f64 / 100.0;
+            grid.iter().map(|&e| (base + 0.02 * e).min(0.99)).collect()
+        })
+        .collect();
+    PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 8.0, 2, beta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn plans_respect_budget_and_caps(
+        scale in 0.2..0.9f64,
+        unc in 0.0..0.9f64,
+        beta in 0.0..1.0f64,
+    ) {
+        let problem = build_problem(scale, unc, beta);
+        let result = plan(&problem, &PlannerConfig::default());
+        let total: f64 = result.coverage.iter().sum();
+        prop_assert!(total <= problem.budget_km() + 1e-6);
+        for (i, &c) in result.coverage.iter().enumerate() {
+            prop_assert!(c >= -1e-9);
+            prop_assert!(c <= problem.max_effort(i) + 1e-6);
+        }
+        prop_assert!(result.objective.is_finite());
+    }
+
+    #[test]
+    fn planner_beats_uniform_allocation(
+        scale in 0.2..0.9f64,
+        unc in 0.0..0.6f64,
+    ) {
+        let problem = build_problem(scale, unc, 0.0);
+        let result = plan(&problem, &PlannerConfig::default());
+        let uniform = vec![
+            (problem.budget_km() / problem.n_cells() as f64)
+                .min(problem.max_effort(0));
+            problem.n_cells()
+        ];
+        let u_opt = problem.coverage_utility(&result.coverage, 0.0);
+        let u_uniform = problem.coverage_utility(&uniform, 0.0);
+        prop_assert!(u_opt >= u_uniform - 1e-6, "optimised {u_opt} < uniform {u_uniform}");
+    }
+
+    #[test]
+    fn robust_plan_wins_under_its_own_objective(
+        scale in 0.3..0.8f64,
+        unc in 0.2..0.9f64,
+        beta in 0.5..1.0f64,
+    ) {
+        let problem = build_problem(scale, unc, beta);
+        let robust = plan(&problem, &PlannerConfig::default());
+        let mut nominal_problem = problem.clone();
+        nominal_problem.beta = 0.0;
+        let nominal = plan(&nominal_problem, &PlannerConfig::default());
+        let u_robust = problem.coverage_utility(&robust.coverage, beta);
+        let u_nominal = problem.coverage_utility(&nominal.coverage, beta);
+        // Allow a tiny tolerance for PWL resolution differences.
+        prop_assert!(u_robust >= u_nominal - 0.02 * u_nominal.abs().max(1.0));
+    }
+}
