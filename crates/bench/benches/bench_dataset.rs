@@ -27,7 +27,13 @@ fn bench_dataset_build(c: &mut Criterion) {
     let scenario = Scenario::test_scenario(7);
     let history = scenario.simulate_years(2014, 2);
     c.bench_function("build_quarterly_dataset", |b| {
-        b.iter(|| black_box(build_dataset(&scenario.park, &history, Discretization::quarterly())))
+        b.iter(|| {
+            black_box(build_dataset(
+                &scenario.park,
+                &history,
+                Discretization::quarterly(),
+            ))
+        })
     });
 }
 

@@ -3,6 +3,7 @@
 //! counts, and the flow formulation on a tiny instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paws_data::Matrix;
 use paws_geo::parks::test_park_spec;
 use paws_geo::Park;
 use paws_plan::{plan, PlannerConfig, PlannerMethod, PlanningProblem};
@@ -24,7 +25,16 @@ fn problem(patrol_length_km: f64) -> PlanningProblem {
             grid.iter().map(|&e| (b + 0.03 * e).min(0.95)).collect()
         })
         .collect();
-    PlanningProblem::from_response(&park, post, &grid, &probs, &vars, patrol_length_km, 3, 1.0)
+    PlanningProblem::from_response(
+        &park,
+        post,
+        &grid,
+        &Matrix::from_rows(&probs),
+        &Matrix::from_rows(&vars),
+        patrol_length_km,
+        3,
+        1.0,
+    )
 }
 
 fn bench_allocation_segments(c: &mut Criterion) {
@@ -32,13 +42,17 @@ fn bench_allocation_segments(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocation_milp_by_segments");
     group.sample_size(10);
     for segments in [5usize, 10, 20] {
-        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &segments| {
-            let config = PlannerConfig {
-                segments,
-                ..PlannerConfig::default()
-            };
-            b.iter(|| black_box(plan(&problem, &config)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| {
+                let config = PlannerConfig {
+                    segments,
+                    ..PlannerConfig::default()
+                };
+                b.iter(|| black_box(plan(&problem, &config)));
+            },
+        );
     }
     group.finish();
 }
@@ -52,7 +66,9 @@ fn bench_flow_formulation(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("flow_formulation");
     group.sample_size(10);
-    group.bench_function("flow_milp_tiny", |b| b.iter(|| black_box(plan(&problem, &config))));
+    group.bench_function("flow_milp_tiny", |b| {
+        b.iter(|| black_box(plan(&problem, &config)))
+    });
     group.finish();
 }
 

@@ -33,7 +33,13 @@ fn bench_weak_learners(c: &mut Criterion) {
     let mut c = c.benchmark_group("weak_learners");
     c.sample_size(20);
     c.bench_function("fit_bagged_trees_10", |b| {
-        b.iter(|| black_box(BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels)))
+        b.iter(|| {
+            black_box(BaggingClassifier::fit(
+                &BaggingConfig::trees(10, 3),
+                rows.view(),
+                &labels,
+            ))
+        })
     });
     c.bench_function("fit_gp_200_points", |b| {
         b.iter(|| {
@@ -42,7 +48,7 @@ fn bench_weak_learners(c: &mut Criterion) {
                     max_points: 200,
                     ..GpConfig::default()
                 },
-                &rows,
+                rows.view(),
                 &labels,
                 3,
             ))
@@ -56,19 +62,33 @@ fn bench_iware_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("iware_training");
     group.sample_size(10);
     group.bench_function("train_dtb_iware", |b| {
-        b.iter(|| black_box(train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true))))
+        b.iter(|| {
+            black_box(train(
+                &dataset,
+                &split,
+                &quick_config(WeakLearnerKind::DecisionTree, true),
+            ))
+        })
     });
     group.finish();
 }
 
 fn bench_park_prediction(c: &mut Criterion) {
     let (scenario, dataset, split) = setup();
-    let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+    let model = train(
+        &dataset,
+        &split,
+        &quick_config(WeakLearnerKind::DecisionTree, true),
+    );
     let prev = dataset.coverage.last().unwrap().clone();
     let mut group = c.benchmark_group("park_prediction");
     group.sample_size(20);
     group.bench_function("risk_map_500_cells", |b| {
         b.iter(|| black_box(model.risk_map(&scenario.park, &dataset, &prev, 1.0)))
+    });
+    let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    group.bench_function("park_response_500_cells_6_levels", |b| {
+        b.iter(|| black_box(model.park_response(&scenario.park, &dataset, &prev, &grid)))
     });
     group.finish();
 }

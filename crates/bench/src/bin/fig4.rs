@@ -64,7 +64,12 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["Effort percentile", "Threshold (km)", "% positive (train)", "% positive (test)"],
+                &[
+                    "Effort percentile",
+                    "Threshold (km)",
+                    "% positive (train)",
+                    "% positive (test)"
+                ],
                 &rows
             )
         );

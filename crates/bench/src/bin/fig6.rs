@@ -32,7 +32,11 @@ fn main() {
     let split = split_by_test_year(&dataset, 2016, 3).expect("2016 present");
     let config = park_model_config("MFNP", WeakLearnerKind::GaussianProcess, true, scale);
     let model = train(&dataset, &split, &config);
-    println!("{} test AUC: {:.3}\n", config.name(), model.auc_on(&dataset, &split.test));
+    println!(
+        "{} test AUC: {:.3}\n",
+        config.name(),
+        model.auc_on(&dataset, &split.test)
+    );
 
     // Historical patrol effort and detections over the training years (Fig. 6a/6b).
     let n = sc.park.n_cells();
@@ -66,7 +70,8 @@ fn main() {
             println!("{}", ascii_heatmap(&sc.park, &unc));
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let mean_at = |idx: &[usize], v: &[f64]| idx.iter().map(|&i| v[i]).sum::<f64>() / idx.len() as f64;
+        let mean_at =
+            |idx: &[usize], v: &[f64]| idx.iter().map(|&i| v[i]).sum::<f64>() / idx.len() as f64;
         let level = Fig6Level {
             effort_km: effort,
             mean_risk: mean(&risk),
@@ -99,6 +104,8 @@ fn main() {
         )
     );
     println!("Paper findings reproduced when: mean risk rises with prospective effort,");
-    println!("and the uncertainty gap is positive (the model is least certain where rangers rarely go).");
+    println!(
+        "and the uncertainty gap is positive (the model is least certain where rangers rarely go)."
+    );
     write_json("fig6", &levels);
 }

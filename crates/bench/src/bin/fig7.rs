@@ -35,8 +35,8 @@ fn main() {
     let train_labels = dataset.labels(&split.train);
     let test_rows = dataset.feature_rows(&split.test);
     let test_labels = dataset.labels(&split.test);
-    let (scaler, train_scaled) = StandardScaler::fit_transform(&train_rows);
-    let test_scaled = scaler.transform(&test_rows);
+    let (scaler, train_scaled) = StandardScaler::fit_transform(train_rows);
+    let test_scaled = scaler.transform(test_rows.view());
 
     // One GP classifier C_{θi^-} (a single weak learner, as in the figure).
     let gp = GaussianProcess::fit(
@@ -44,19 +44,23 @@ fn main() {
             max_points: 400,
             ..GpConfig::default()
         },
-        &train_scaled,
+        train_scaled.view(),
         &train_labels,
         7,
     );
-    let (gp_pred, gp_var) = gp.predict_with_variance(&test_scaled);
+    let (gp_pred, gp_var) = gp.predict_with_variance(test_scaled.view());
     let gp_corr = pearson(&gp_pred, &gp_var);
     let gp_auc = roc_auc(&test_labels, &gp_pred);
 
     // One bagging ensemble of decision trees with the infinitesimal-jackknife
     // confidence interval as the uncertainty surrogate.
-    let bag = BaggingClassifier::fit(&BaggingConfig::trees(30, 7), &train_scaled, &train_labels);
-    let bag_pred = bag.predict_proba(&test_scaled);
-    let bag_var = infinitesimal_jackknife_variance(&bag, &test_scaled);
+    let bag = BaggingClassifier::fit(
+        &BaggingConfig::trees(30, 7),
+        train_scaled.view(),
+        &train_labels,
+    );
+    let bag_pred = bag.predict_proba(test_scaled.view());
+    let bag_var = infinitesimal_jackknife_variance(&bag, test_scaled.view());
     let bag_corr = pearson(&bag_pred, &bag_var);
     let bag_auc = roc_auc(&test_labels, &bag_pred);
 
@@ -88,7 +92,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(&["Model", "AUC", "corr(pred, variance)", "paper corr"], &rows)
+        format_table(
+            &["Model", "AUC", "corr(pred, variance)", "paper corr"],
+            &rows
+        )
     );
     println!("Shape to reproduce: the tree-ensemble correlation is far larger than the GP's,");
     println!("so only the GP variance adds information beyond the prediction itself.");

@@ -16,7 +16,7 @@
 use paws_bench::{mean, park_model_config, quarterly_dataset, scenario, write_json, Scale};
 use paws_core::{format_table, train, WeakLearnerKind};
 use paws_data::split_by_test_year;
-use paws_plan::{compare_with_ground_truth, plan, PlannerConfig, PlanningProblem, squash_matrix};
+use paws_plan::{compare_with_ground_truth, plan, squash_matrix, PlannerConfig, PlanningProblem};
 use paws_sim::Season;
 use serde::Serialize;
 
@@ -144,7 +144,10 @@ fn main() {
         }
         println!(
             "{}",
-            format_table(&["beta", "avg ratio", "max ratio", "avg detection gain"], &rows)
+            format_table(
+                &["beta", "avg ratio", "max ratio", "avg detection gain"],
+                &rows
+            )
         );
 
         // (d)-(f): sweep PWL segments at β = 1.

@@ -8,7 +8,9 @@
 //! cargo run --release -p paws-bench --bin table2 -- --full # full grid
 //! ```
 
-use paws_bench::{dry_season_dataset, park_model_config, quarterly_dataset, scenario, write_json, Scale};
+use paws_bench::{
+    dry_season_dataset, park_model_config, quarterly_dataset, scenario, write_json, Scale,
+};
 use paws_core::{format_table, train, WeakLearnerKind};
 use paws_data::{split_by_test_year, Dataset};
 use serde::Serialize;
@@ -64,9 +66,17 @@ fn main() {
 
     let mut rows: Vec<Table2Row> = Vec::new();
     let park_years: Vec<(&str, Vec<u32>)> = if scale.is_full() {
-        vec![("MFNP", vec![2014, 2015, 2016]), ("QENP", vec![2014, 2015, 2016]), ("SWS", vec![2016, 2017, 2018])]
+        vec![
+            ("MFNP", vec![2014, 2015, 2016]),
+            ("QENP", vec![2014, 2015, 2016]),
+            ("SWS", vec![2016, 2017, 2018]),
+        ]
     } else {
-        vec![("MFNP", vec![2016]), ("QENP", vec![2016]), ("SWS", vec![2017])]
+        vec![
+            ("MFNP", vec![2016]),
+            ("QENP", vec![2016]),
+            ("SWS", vec![2017]),
+        ]
     };
 
     for (park_name, years) in &park_years {
@@ -81,7 +91,10 @@ fn main() {
 
     // Pivot: one row per (dataset, year), one column per model.
     let models = ["SVB", "DTB", "GPB", "SVB-iW", "DTB-iW", "GPB-iW"];
-    let mut keys: Vec<(String, u32)> = rows.iter().map(|r| (r.dataset.clone(), r.test_year)).collect();
+    let mut keys: Vec<(String, u32)> = rows
+        .iter()
+        .map(|r| (r.dataset.clone(), r.test_year))
+        .collect();
     keys.dedup();
     let table: Vec<Vec<String>> = keys
         .iter()
@@ -101,7 +114,10 @@ fn main() {
     println!();
     println!(
         "{}",
-        format_table(&["Dataset", "Year", "SVB", "DTB", "GPB", "SVB-iW", "DTB-iW", "GPB-iW"], &table)
+        format_table(
+            &["Dataset", "Year", "SVB", "DTB", "GPB", "SVB-iW", "DTB-iW", "GPB-iW"],
+            &table
+        )
     );
 
     // Aggregate claims.

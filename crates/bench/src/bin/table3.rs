@@ -11,10 +11,14 @@
 //! cargo run --release -p paws-bench --bin table3
 //! ```
 
-use paws_bench::{dry_season_dataset, park_model_config, quarterly_dataset, scenario, write_json, Scale};
+use paws_bench::{
+    dry_season_dataset, park_model_config, quarterly_dataset, scenario, write_json, Scale,
+};
 use paws_core::{format_table, train, WeakLearnerKind};
 use paws_data::{split_by_test_year, Dataset};
-use paws_field::{design_field_test, run_trial, ProtocolConfig, RiskGroup, TrialConfig, TrialOutcome};
+use paws_field::{
+    design_field_test, run_trial, ProtocolConfig, RiskGroup, TrialConfig, TrialOutcome,
+};
 use paws_sim::Season;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -71,7 +75,16 @@ fn print_report(r: &TrialReport) {
         .collect();
     println!(
         "{}",
-        format_table(&["Risk group", "# Obs.", "# Cells", "Effort", "# Obs. / # Cells"], &rows)
+        format_table(
+            &[
+                "Risk group",
+                "# Obs.",
+                "# Cells",
+                "Effort",
+                "# Obs. / # Cells"
+            ],
+            &rows
+        )
     );
     println!(
         "chi-squared = {:.2}, p = {:.4}, High >= Medium >= Low: {}\n",
@@ -131,8 +144,20 @@ fn main() {
     {
         let sc0 = scenario("MFNP");
         let dataset = quarterly_dataset(&sc0);
-        let (sc, plan) = design("MFNP", &dataset, 2016, WeakLearnerKind::DecisionTree, 2, 8, scale, 41);
-        for (label, months, seed) in [("MFNP trial 1 (Nov-Dec 2017)", 2, 1u64), ("MFNP trial 2 (Jan-Mar 2018)", 3, 2)] {
+        let (sc, plan) = design(
+            "MFNP",
+            &dataset,
+            2016,
+            WeakLearnerKind::DecisionTree,
+            2,
+            8,
+            scale,
+            41,
+        );
+        for (label, months, seed) in [
+            ("MFNP trial 1 (Nov-Dec 2017)", 2, 1u64),
+            ("MFNP trial 2 (Jan-Mar 2018)", 3, 2),
+        ] {
             let outcome = run_trial(
                 &sc.park,
                 &sc.poacher,
@@ -155,7 +180,16 @@ fn main() {
     {
         let sc0 = scenario("SWS");
         let dataset = dry_season_dataset(&sc0);
-        let (sc, plan) = design("SWS", &dataset, 2017, WeakLearnerKind::GaussianProcess, 3, 5, scale, 43);
+        let (sc, plan) = design(
+            "SWS",
+            &dataset,
+            2017,
+            WeakLearnerKind::GaussianProcess,
+            3,
+            5,
+            scale,
+            43,
+        );
         for (label, months, seed) in [
             ("SWS trial 1 (Dec 2018-Jan 2019)", 2, 3u64),
             ("SWS trial 2 (Feb-Mar 2019)", 2, 4),

@@ -75,7 +75,12 @@ pub fn dry_season_dataset(scenario: &Scenario) -> Dataset {
 /// The model configuration a park uses in the paper: 20 iWare-E learners for
 /// MFNP/QENP, 10 for SWS, balanced bagging only for SWS; ensemble sizes are
 /// reduced at `Scale::Quick`.
-pub fn park_model_config(park_name: &str, learner: WeakLearnerKind, use_iware: bool, scale: Scale) -> ModelConfig {
+pub fn park_model_config(
+    park_name: &str,
+    learner: WeakLearnerKind,
+    use_iware: bool,
+    scale: Scale,
+) -> ModelConfig {
     let mut cfg = ModelConfig::new(learner, use_iware, 2020);
     cfg.n_learners = match (park_name, scale) {
         ("SWS", _) => 10,
@@ -126,8 +131,8 @@ mod tests {
 
     #[test]
     fn quick_scale_is_default() {
-        assert_eq!(Scale::Quick.is_full(), false);
-        assert_eq!(Scale::Full.is_full(), true);
+        assert!(!Scale::Quick.is_full());
+        assert!(Scale::Full.is_full());
     }
 
     #[test]

@@ -148,8 +148,14 @@ mod tests {
 
     #[test]
     fn names_match_paper_acronyms() {
-        assert_eq!(ModelConfig::new(WeakLearnerKind::Svm, false, 0).name(), "SVB");
-        assert_eq!(ModelConfig::new(WeakLearnerKind::DecisionTree, true, 0).name(), "DTB-iW");
+        assert_eq!(
+            ModelConfig::new(WeakLearnerKind::Svm, false, 0).name(),
+            "SVB"
+        );
+        assert_eq!(
+            ModelConfig::new(WeakLearnerKind::DecisionTree, true, 0).name(),
+            "DTB-iW"
+        );
         assert_eq!(
             ModelConfig::new(WeakLearnerKind::GaussianProcess, true, 0).name(),
             "GPB-iW"

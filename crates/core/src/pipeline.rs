@@ -1,8 +1,14 @@
 //! The end-to-end PAWS pipeline: dataset → predictive model → risk and
 //! uncertainty maps → patrol-planning inputs.
+//!
+//! Feature batches flow through the whole stack as flat row-major matrices:
+//! training gathers the split's rows into one [`Matrix`], the scaler
+//! standardises in place, and park-wide evaluation produces flat
+//! `cells × effort-levels` response matrices consumed directly by the
+//! planner.
 
 use crate::config::ModelConfig;
-use paws_data::{Dataset, StandardScaler, TrainTestSplit};
+use paws_data::{Dataset, Matrix, MatrixView, StandardScaler, TrainTestSplit};
 use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
 use paws_ml::bagging::BaggingClassifier;
@@ -33,12 +39,23 @@ pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) ->
     let rows = dataset.feature_rows(&split.train);
     let labels = dataset.labels(&split.train);
     let efforts = dataset.efforts(&split.train);
-    let (scaler, scaled) = StandardScaler::fit_transform(&rows);
+    // In-place fit-transform: the gathered training matrix is standardised
+    // without a second copy.
+    let (scaler, scaled) = StandardScaler::fit_transform(rows);
 
     let fitted = if config.use_iware {
-        FittedModel::IWare(IWareModel::fit(&config.iware_config(), &scaled, &labels, &efforts))
+        FittedModel::IWare(IWareModel::fit(
+            &config.iware_config(),
+            scaled.view(),
+            &labels,
+            &efforts,
+        ))
     } else {
-        FittedModel::Plain(BaggingClassifier::fit(&config.bagging_config(), &scaled, &labels))
+        FittedModel::Plain(BaggingClassifier::fit(
+            &config.bagging_config(),
+            scaled.view(),
+            &labels,
+        ))
     };
 
     TrainedModel {
@@ -51,20 +68,24 @@ pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) ->
 impl TrainedModel {
     /// Predict detection probabilities for raw (unscaled) feature rows,
     /// given the patrol effort associated with each row.
-    pub fn predict(&self, rows: &[Vec<f64>], efforts: &[f64]) -> Vec<f64> {
-        let scaled = self.scaler.transform(rows);
+    pub fn predict(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
+        let scaled = self.scaler.transform(x);
         match &self.fitted {
-            FittedModel::IWare(m) => m.predict_proba_at_effort(&scaled, efforts),
-            FittedModel::Plain(m) => m.predict_proba(&scaled),
+            FittedModel::IWare(m) => m.predict_proba_at_effort(scaled.view(), efforts),
+            FittedModel::Plain(m) => m.predict_proba(scaled.view()),
         }
     }
 
     /// Predict probabilities and uncertainty (variance) for raw rows.
-    pub fn predict_with_variance(&self, rows: &[Vec<f64>], efforts: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let scaled = self.scaler.transform(rows);
+    pub fn predict_with_variance(
+        &self,
+        x: MatrixView<'_>,
+        efforts: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let scaled = self.scaler.transform(x);
         match &self.fitted {
-            FittedModel::IWare(m) => m.predict_with_variance_at_effort(&scaled, efforts),
-            FittedModel::Plain(m) => m.predict_with_variance(&scaled),
+            FittedModel::IWare(m) => m.predict_with_variance_at_effort(scaled.view(), efforts),
+            FittedModel::Plain(m) => m.predict_with_variance(scaled.view()),
         }
     }
 
@@ -74,7 +95,7 @@ impl TrainedModel {
         let rows = dataset.feature_rows(idx);
         let labels = dataset.labels(idx);
         let efforts = dataset.efforts(idx);
-        let probs = self.predict(&rows, &efforts);
+        let probs = self.predict(rows.view(), &efforts);
         roc_auc(&labels, &probs)
     }
 
@@ -88,30 +109,35 @@ impl TrainedModel {
         effort_km: f64,
     ) -> (Vec<f64>, Vec<f64>) {
         let rows = dataset.full_feature_matrix(park, prev_coverage);
-        let efforts = vec![effort_km; rows.len()];
-        self.predict_with_variance(&rows, &efforts)
+        let efforts = vec![effort_km; rows.n_rows()];
+        self.predict_with_variance(rows.view(), &efforts)
     }
 
     /// Response curves g_v(c), ν_v(c) for every in-park cell over a grid of
-    /// prospective effort levels — the planner's input (probs and vars are
-    /// indexed `[cell][effort level]`).
+    /// prospective effort levels — the planner's input, as flat
+    /// `cells × effort-levels` matrices.
     pub fn park_response(
         &self,
         park: &Park,
         dataset: &Dataset,
         prev_coverage: &[f64],
         effort_grid: &[f64],
-    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let rows = dataset.full_feature_matrix(park, prev_coverage);
-        let scaled = self.scaler.transform(&rows);
+    ) -> (Matrix, Matrix) {
+        let mut rows = dataset.full_feature_matrix(park, prev_coverage);
+        self.scaler.transform_in_place(&mut rows);
         match &self.fitted {
-            FittedModel::IWare(m) => m.effort_response(&scaled, effort_grid),
+            FittedModel::IWare(m) => m.effort_response(rows.view(), effort_grid),
             FittedModel::Plain(m) => {
                 // A plain ensemble has no notion of prospective effort: its
                 // prediction and variance are constant across effort levels.
-                let (p, v) = m.predict_with_variance(&scaled);
-                let probs = p.iter().map(|&x| vec![x; effort_grid.len()]).collect();
-                let vars = v.iter().map(|&x| vec![x; effort_grid.len()]).collect();
+                let (p, v) = m.predict_with_variance(rows.view());
+                let n_levels = effort_grid.len();
+                let mut probs = Matrix::zeros(p.len(), n_levels);
+                let mut vars = Matrix::zeros(v.len(), n_levels);
+                for (i, (&pi, &vi)) in p.iter().zip(&v).enumerate() {
+                    probs.row_mut(i).fill(pi);
+                    vars.row_mut(i).fill(vi);
+                }
                 (probs, vars)
             }
         }
@@ -172,22 +198,31 @@ mod tests {
     #[test]
     fn training_and_auc_beat_chance_for_trees() {
         let (_, dataset, split) = small_setup();
-        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
         let auc = model.auc_on(&dataset, &split.test);
         assert!(auc > 0.55, "test AUC too low: {auc}");
         let train_auc = model.auc_on(&dataset, &split.train);
-        assert!(train_auc > auc - 0.1, "training AUC should not trail test AUC badly");
+        assert!(
+            train_auc > auc - 0.1,
+            "training AUC should not trail test AUC badly"
+        );
     }
 
     #[test]
     fn plain_and_iware_variants_both_train() {
         let (_, dataset, split) = small_setup();
         for use_iware in [false, true] {
-            let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, use_iware));
-            let probs = model.predict(
-                &dataset.feature_rows(&split.test[..10.min(split.test.len())]),
-                &dataset.efforts(&split.test[..10.min(split.test.len())]),
+            let model = train(
+                &dataset,
+                &split,
+                &quick_config(WeakLearnerKind::DecisionTree, use_iware),
             );
+            let idx = &split.test[..10.min(split.test.len())];
+            let probs = model.predict(dataset.feature_rows(idx).view(), &dataset.efforts(idx));
             assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
@@ -195,7 +230,11 @@ mod tests {
     #[test]
     fn risk_map_covers_every_cell_with_valid_values() {
         let (scenario, dataset, split) = small_setup();
-        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
         let prev = dataset.coverage.last().unwrap().clone();
         let (risk, var) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
         assert_eq!(risk.len(), scenario.park.n_cells());
@@ -207,19 +246,43 @@ mod tests {
     #[test]
     fn park_response_has_requested_shape() {
         let (scenario, dataset, split) = small_setup();
-        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
         let prev = vec![0.0; scenario.park.n_cells()];
         let grid = [0.0, 0.5, 1.0, 2.0];
         let (p, v) = model.park_response(&scenario.park, &dataset, &prev, &grid);
-        assert_eq!(p.len(), scenario.park.n_cells());
-        assert_eq!(p[0].len(), 4);
-        assert_eq!(v.len(), scenario.park.n_cells());
+        assert_eq!(p.n_rows(), scenario.park.n_cells());
+        assert_eq!(p.n_cols(), 4);
+        assert_eq!(v.n_rows(), scenario.park.n_cells());
+    }
+
+    #[test]
+    fn plain_model_response_is_effort_constant() {
+        let (scenario, dataset, split) = small_setup();
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, false),
+        );
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let grid = [0.0, 1.0, 4.0];
+        let (p, _) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        for row in p.rows() {
+            assert!(row.iter().all(|&x| x == row[0]));
+        }
     }
 
     #[test]
     fn planning_problem_builds_from_trained_model() {
         let (scenario, dataset, split) = small_setup();
-        let model = train(&dataset, &split, &quick_config(WeakLearnerKind::DecisionTree, true));
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
         let prev = vec![0.0; scenario.park.n_cells()];
         let grid = [0.0, 0.5, 1.0, 2.0, 4.0];
         let problem = build_planning_problem(

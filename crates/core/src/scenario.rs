@@ -74,7 +74,11 @@ impl Scenario {
 
     /// Ground-truth attack probabilities of every in-park cell given a
     /// previous-coverage vector (used when scoring plans and field tests).
-    pub fn attack_probabilities(&self, prev_coverage: &[f64], season: paws_sim::Season) -> Vec<f64> {
+    pub fn attack_probabilities(
+        &self,
+        prev_coverage: &[f64],
+        season: paws_sim::Season,
+    ) -> Vec<f64> {
         self.poacher.attack_probabilities(prev_coverage, season)
     }
 }

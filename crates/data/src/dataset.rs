@@ -8,22 +8,26 @@
 //! during step t. Only patrolled (cell, step) pairs become data points
 //! (unpatrolled cells carry no observation at all), which is what produces
 //! the point counts of Table I.
+//!
+//! Feature rows live in one contiguous row-major [`Matrix`] (row i ↔
+//! `points[i]`); training subsets are taken by index with
+//! [`Matrix::gather`], never by cloning rows.
 
 use crate::discretize::{Discretization, StepInfo};
+use crate::matrix::Matrix;
 use crate::trajectory::reconstruct_effort;
 use paws_geo::Park;
 use paws_sim::History;
 use serde::{Deserialize, Serialize};
 
-/// One (cell, time-step) observation.
+/// One (cell, time-step) observation. The feature vector of point `i` is
+/// row `i` of [`Dataset::features`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataPoint {
     /// Chronological time-step index within the dataset.
     pub step: usize,
     /// In-park cell index (`Park::cells` order).
     pub cell_idx: usize,
-    /// Feature vector: static features followed by previous-step coverage.
-    pub features: Vec<f64>,
     /// Patrol effort (km) reconstructed for this cell during this step —
     /// the quantity iWare-E thresholds filter on.
     pub current_effort: f64,
@@ -42,6 +46,9 @@ pub struct Dataset {
     pub feature_names: Vec<String>,
     /// All (cell, step) data points with non-zero patrol effort.
     pub points: Vec<DataPoint>,
+    /// Feature matrix: row `i` holds the features of `points[i]` (static
+    /// features followed by previous-step coverage).
+    pub features: Matrix,
     /// Number of in-park cells.
     pub n_cells: usize,
     /// Step metadata in chronological order.
@@ -70,9 +77,15 @@ impl Dataset {
         self.points.iter().filter(|p| p.label).count()
     }
 
-    /// Feature rows of a set of points (by index into `points`).
-    pub fn feature_rows(&self, idx: &[usize]) -> Vec<Vec<f64>> {
-        idx.iter().map(|&i| self.points[i].features.clone()).collect()
+    /// Feature vector of one point.
+    pub fn features_of(&self, point_idx: usize) -> &[f64] {
+        self.features.row(point_idx)
+    }
+
+    /// Feature rows of a set of points (by index into `points`), gathered
+    /// into one contiguous matrix.
+    pub fn feature_rows(&self, idx: &[usize]) -> Matrix {
+        self.features.gather(idx)
     }
 
     /// Labels (1.0 / 0.0) of a set of points.
@@ -102,24 +115,31 @@ impl Dataset {
     /// Build the full-park feature matrix for a hypothetical next time step
     /// whose previous-step coverage is `prev_coverage` (length = `n_cells`).
     /// Row order follows `Park::cells`.
-    pub fn full_feature_matrix(&self, park: &Park, prev_coverage: &[f64]) -> Vec<Vec<f64>> {
-        assert_eq!(prev_coverage.len(), self.n_cells, "coverage length mismatch");
+    pub fn full_feature_matrix(&self, park: &Park, prev_coverage: &[f64]) -> Matrix {
+        assert_eq!(
+            prev_coverage.len(),
+            self.n_cells,
+            "coverage length mismatch"
+        );
         assert_eq!(park.n_cells(), self.n_cells, "park does not match dataset");
-        park.cells
-            .iter()
-            .enumerate()
-            .map(|(i, &cell)| {
-                let mut row = park.feature_row(cell);
-                row.push(prev_coverage[i]);
-                row
-            })
-            .collect()
+        let k = self.n_features();
+        let mut matrix = Matrix::zeros(self.n_cells, k);
+        for (i, &cell) in park.cells.iter().enumerate() {
+            let row = matrix.row_mut(i);
+            park.write_feature_row(cell, &mut row[..k - 1]);
+            row[k - 1] = prev_coverage[i];
+        }
+        matrix
     }
 }
 
 /// Build a [`Dataset`] from a simulated history.
 pub fn build_dataset(park: &Park, history: &History, disc: Discretization) -> Dataset {
-    assert_eq!(history.n_cells, park.n_cells(), "history does not match park");
+    assert_eq!(
+        history.n_cells,
+        park.n_cells(),
+        "history does not match park"
+    );
     let n_cells = park.n_cells();
 
     // Group months into (year, step_in_year) buckets, preserving order.
@@ -151,8 +171,12 @@ pub fn build_dataset(park: &Park, history: &History, disc: Discretization) -> Da
         }
     }
 
-    // Static features per cell, extracted once.
-    let static_rows: Vec<Vec<f64>> = park.cells.iter().map(|&c| park.feature_row(c)).collect();
+    // Static features per cell, extracted once into a flat matrix.
+    let n_static = park.n_static_features();
+    let mut static_rows = Matrix::zeros(n_cells, n_static);
+    for (i, &cell) in park.cells.iter().enumerate() {
+        park.write_feature_row(cell, static_rows.row_mut(i));
+    }
     let mut feature_names: Vec<String> = park
         .features
         .names()
@@ -160,23 +184,30 @@ pub fn build_dataset(park: &Park, history: &History, disc: Discretization) -> Da
         .map(|s| s.to_string())
         .collect();
     feature_names.push("prev_patrol_coverage".to_string());
+    let k = feature_names.len();
 
     // Data points: patrolled cells only; the first step has zero previous
     // coverage everywhere.
     let mut points = Vec::new();
+    let mut features = Matrix::new(k);
+    let mut row_buf = vec![0.0; k];
     for (t, step) in steps.iter().enumerate() {
         for cell_idx in 0..n_cells {
             let effort = coverage[t][cell_idx];
             if effort <= 0.0 {
                 continue;
             }
-            let prev = if t == 0 { 0.0 } else { coverage[t - 1][cell_idx] };
-            let mut features = static_rows[cell_idx].clone();
-            features.push(prev);
+            let prev = if t == 0 {
+                0.0
+            } else {
+                coverage[t - 1][cell_idx]
+            };
+            row_buf[..n_static].copy_from_slice(static_rows.row(cell_idx));
+            row_buf[n_static] = prev;
+            features.push_row(&row_buf);
             points.push(DataPoint {
                 step: t,
                 cell_idx,
-                features,
                 current_effort: effort,
                 label: detections[t][cell_idx],
                 year: step.year,
@@ -188,6 +219,7 @@ pub fn build_dataset(park: &Park, history: &History, disc: Discretization) -> Da
         park_name: park.name.clone(),
         feature_names,
         points,
+        features,
         n_cells,
         steps,
         coverage,
@@ -222,6 +254,8 @@ mod tests {
         assert_eq!(ds.n_cells, park.n_cells());
         assert_eq!(ds.n_features(), park.n_static_features() + 1);
         assert!(ds.n_points() > 0);
+        assert_eq!(ds.features.n_rows(), ds.n_points());
+        assert_eq!(ds.features.n_cols(), ds.n_features());
     }
 
     #[test]
@@ -248,12 +282,48 @@ mod tests {
         let park = Park::generate(&test_park_spec(), 7);
         let ds = build_dataset(&park, &history, Discretization::quarterly());
         let k = ds.n_features();
-        for p in ds.points.iter().filter(|p| p.step > 0).take(200) {
+        for (i, p) in ds
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.step > 0)
+            .take(200)
+        {
             let expected = ds.coverage[p.step - 1][p.cell_idx];
-            assert!((p.features[k - 1] - expected).abs() < 1e-12);
+            assert!((ds.features.get(i, k - 1) - expected).abs() < 1e-12);
         }
-        for p in ds.points.iter().filter(|p| p.step == 0).take(50) {
-            assert_eq!(p.features[k - 1], 0.0);
+        for (i, p) in ds
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.step == 0)
+            .take(50)
+        {
+            assert_eq!(ds.features.get(i, k - 1), 0.0);
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn feature_rows_gather_matches_point_features() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        let idx: Vec<usize> = (0..ds.n_points()).step_by(7).collect();
+        let m = ds.feature_rows(&idx);
+        assert_eq!(m.n_rows(), idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            assert_eq!(m.row(r), ds.features_of(i));
+        }
+    }
+
+    #[test]
+    fn static_features_match_park_rows() {
+        let (park, history) = setup();
+        let ds = build_dataset(&park, &history, Discretization::quarterly());
+        let k = ds.n_features();
+        for (i, p) in ds.points.iter().enumerate().take(100) {
+            let expected = park.feature_row(park.cells[p.cell_idx]);
+            assert_eq!(&ds.features_of(i)[..k - 1], expected.as_slice());
         }
     }
 
@@ -274,8 +344,13 @@ mod tests {
         let ds = build_dataset(&park, &history, Discretization::quarterly());
         let prev = ds.coverage.last().unwrap().clone();
         let m = ds.full_feature_matrix(&park, &prev);
-        assert_eq!(m.len(), park.n_cells());
-        assert!(m.iter().all(|r| r.len() == ds.n_features()));
+        assert_eq!(m.n_rows(), park.n_cells());
+        assert_eq!(m.n_cols(), ds.n_features());
+        for (i, &cell) in park.cells.iter().enumerate().take(50) {
+            let expected = park.feature_row(cell);
+            assert_eq!(&m.row(i)[..ds.n_features() - 1], expected.as_slice());
+            assert_eq!(m.get(i, ds.n_features() - 1), prev[i]);
+        }
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //! 5. [`stats`] / [`threshold`] — Table I statistics and the Fig. 4
 //!    positive-rate-vs-effort-threshold curves.
 //! 6. [`scaler`] — feature standardisation fitted on the training rows.
+//!
+//! Feature batches are stored and passed as contiguous row-major
+//! [`matrix::Matrix`] / [`matrix::MatrixView`] values; training subsets are
+//! index-gathered ([`matrix::Matrix::gather`]) rather than row-cloned.
 
 pub mod dataset;
 pub mod discretize;
+pub mod matrix;
 pub mod scaler;
 pub mod split;
 pub mod stats;
@@ -26,6 +31,7 @@ pub mod trajectory;
 
 pub use dataset::{build_dataset, DataPoint, Dataset};
 pub use discretize::{Discretization, SeasonFilter, StepInfo};
+pub use matrix::{Matrix, MatrixView};
 pub use scaler::StandardScaler;
 pub use split::{split_by_test_year, TrainTestSplit};
 pub use stats::DatasetStats;

@@ -4,7 +4,11 @@
 //! on comparable scales; the scaler is fitted on the training rows only and
 //! applied to both train and test rows, exactly as a scikit-learn
 //! `StandardScaler` inside a pipeline would be.
+//!
+//! All entry points work on flat [`Matrix`] / [`MatrixView`] batches; the
+//! in-place transforms never allocate per row.
 
+use crate::matrix::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// Z-score standardiser fitted per feature column.
@@ -15,17 +19,16 @@ pub struct StandardScaler {
 }
 
 impl StandardScaler {
-    /// Fit the scaler on a set of feature rows.
+    /// Fit the scaler on a batch of feature rows.
     ///
     /// # Panics
-    /// Panics on empty input or ragged rows.
-    pub fn fit(rows: &[Vec<f64>]) -> Self {
-        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
-        let k = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
-        let n = rows.len() as f64;
+    /// Panics on empty input.
+    pub fn fit(x: MatrixView<'_>) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on zero rows");
+        let k = x.n_cols();
+        let n = x.n_rows() as f64;
         let mut means = vec![0.0; k];
-        for r in rows {
+        for r in x.rows() {
             for (m, v) in means.iter_mut().zip(r) {
                 *m += v;
             }
@@ -34,9 +37,9 @@ impl StandardScaler {
             *m /= n;
         }
         let mut vars = vec![0.0; k];
-        for r in rows {
-            for ((v, m), x) in vars.iter_mut().zip(&means).zip(r) {
-                *v += (x - m).powi(2);
+        for r in x.rows() {
+            for ((v, m), xv) in vars.iter_mut().zip(&means).zip(r) {
+                *v += (xv - m).powi(2);
             }
         }
         let stds = vars
@@ -66,22 +69,31 @@ impl StandardScaler {
         }
     }
 
-    /// Transform a batch of rows, returning new rows.
-    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        rows.iter()
-            .map(|r| {
-                let mut out = r.clone();
-                self.transform_row(&mut out);
-                out
-            })
-            .collect()
+    /// Transform a whole matrix in place — the zero-clone path used by
+    /// training and batch prediction.
+    pub fn transform_in_place(&self, x: &mut Matrix) {
+        assert_eq!(x.n_cols(), self.means.len(), "matrix width mismatch");
+        let k = self.means.len();
+        for row in x.as_mut_slice().chunks_exact_mut(k) {
+            for ((value, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *value = (*value - m) / s;
+            }
+        }
     }
 
-    /// Fit on `rows` and return the transformed rows together with the scaler.
-    pub fn fit_transform(rows: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
-        let scaler = Self::fit(rows);
-        let out = scaler.transform(rows);
-        (scaler, out)
+    /// Transform a borrowed batch, returning a new matrix.
+    pub fn transform(&self, x: MatrixView<'_>) -> Matrix {
+        let mut out = x.to_matrix();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Fit on `x` and standardise it in place, returning the scaler and the
+    /// transformed matrix (the input buffer is reused, not cloned).
+    pub fn fit_transform(mut x: Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(x.view());
+        scaler.transform_in_place(&mut x);
+        (scaler, x)
     }
 }
 
@@ -91,11 +103,14 @@ mod tests {
 
     #[test]
     fn standardised_columns_have_zero_mean_unit_variance() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 100.0 + 3.0 * i as f64]).collect();
-        let (_, out) = StandardScaler::fit_transform(&rows);
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 100.0 + 3.0 * i as f64])
+            .collect();
+        let (_, out) = StandardScaler::fit_transform(Matrix::from_rows(&rows));
         for col in 0..2 {
-            let mean: f64 = out.iter().map(|r| r[col]).sum::<f64>() / out.len() as f64;
-            let var: f64 = out.iter().map(|r| (r[col] - mean).powi(2)).sum::<f64>() / out.len() as f64;
+            let mean: f64 = out.rows().map(|r| r[col]).sum::<f64>() / out.n_rows() as f64;
+            let var: f64 =
+                out.rows().map(|r| (r[col] - mean).powi(2)).sum::<f64>() / out.n_rows() as f64;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-9);
         }
@@ -103,31 +118,39 @@ mod tests {
 
     #[test]
     fn constant_column_is_left_finite() {
-        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
-        let (scaler, out) = StandardScaler::fit_transform(&rows);
+        let rows = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let (scaler, out) = StandardScaler::fit_transform(rows);
         assert_eq!(scaler.n_features(), 1);
-        assert!(out.iter().all(|r| r[0].is_finite()));
-        assert!(out.iter().all(|r| r[0] == 0.0));
+        assert!(out.rows().all(|r| r[0].is_finite()));
+        assert!(out.rows().all(|r| r[0] == 0.0));
     }
 
     #[test]
     fn transform_uses_training_statistics() {
-        let train = vec![vec![0.0], vec![10.0]];
-        let scaler = StandardScaler::fit(&train);
-        let test = scaler.transform(&[vec![5.0], vec![15.0]]);
-        assert!((test[0][0] - 0.0).abs() < 1e-12);
-        assert!(test[1][0] > 1.0);
+        let train = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let scaler = StandardScaler::fit(train.view());
+        let test = scaler.transform(Matrix::from_rows(&[vec![5.0], vec![15.0]]).view());
+        assert!((test.get(0, 0) - 0.0).abs() < 1e-12);
+        assert!(test.get(1, 0) > 1.0);
+    }
+
+    #[test]
+    fn in_place_matches_row_transform() {
+        let rows = vec![vec![1.0, -4.0], vec![3.5, 2.0], vec![-2.0, 7.0]];
+        let m = Matrix::from_rows(&rows);
+        let scaler = StandardScaler::fit(m.view());
+        let mut in_place = m.clone();
+        scaler.transform_in_place(&mut in_place);
+        for (i, r) in rows.iter().enumerate() {
+            let mut row = r.clone();
+            scaler.transform_row(&mut row);
+            assert_eq!(in_place.row(i), row.as_slice());
+        }
     }
 
     #[test]
     #[should_panic(expected = "zero rows")]
     fn empty_fit_panics() {
-        StandardScaler::fit(&[]);
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_rows_panic() {
-        StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+        StandardScaler::fit(MatrixView::from_flat(&[], 1));
     }
 }

@@ -36,7 +36,11 @@ impl TrainTestSplit {
 
 /// Split a dataset into `train_years` years of training data and one test
 /// year. Returns `None` when the requested years are not present.
-pub fn split_by_test_year(dataset: &Dataset, test_year: u32, train_years: usize) -> Option<TrainTestSplit> {
+pub fn split_by_test_year(
+    dataset: &Dataset,
+    test_year: u32,
+    train_years: usize,
+) -> Option<TrainTestSplit> {
     assert!(train_years > 0, "need at least one training year");
     let years: Vec<u32> = {
         let mut ys: Vec<u32> = dataset.steps.iter().map(|s| s.year).collect();
@@ -129,7 +133,12 @@ mod tests {
     fn train_and_test_are_disjoint_and_cover_selected_years() {
         let ds = dataset();
         let split = split_by_test_year(&ds, 2015, 2).unwrap();
-        let mut all: Vec<usize> = split.train.iter().chain(split.test.iter()).copied().collect();
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(split.test.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), split.n_train() + split.n_test());

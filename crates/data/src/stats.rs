@@ -85,7 +85,8 @@ mod tests {
         assert!(stats.avg_effort_km > 0.0);
         assert!(stats.imbalance_ratio() > 1.0);
         assert!(
-            (stats.pct_positive / 100.0 - stats.n_positive as f64 / stats.n_points as f64).abs() < 1e-12
+            (stats.pct_positive / 100.0 - stats.n_positive as f64 / stats.n_points as f64).abs()
+                < 1e-12
         );
     }
 
@@ -96,6 +97,7 @@ mod tests {
             park_name: "empty".into(),
             feature_names: vec!["a".into()],
             points: vec![],
+            features: crate::matrix::Matrix::new(1),
             n_cells: park.n_cells(),
             steps: vec![],
             coverage: vec![],

@@ -26,7 +26,10 @@ pub struct ThresholdPoint {
 /// interpolation between order statistics.
 pub fn percentile(values: &[f64], pct: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of an empty sample");
-    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile must be in [0, 100]"
+    );
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let rank = pct / 100.0 * (sorted.len() - 1) as f64;
@@ -50,7 +53,11 @@ pub fn positive_rate_by_effort_percentile(
     labels: &[bool],
     percentiles: &[f64],
 ) -> Vec<ThresholdPoint> {
-    assert_eq!(efforts.len(), labels.len(), "efforts/labels length mismatch");
+    assert_eq!(
+        efforts.len(),
+        labels.len(),
+        "efforts/labels length mismatch"
+    );
     assert!(!efforts.is_empty(), "no data points");
     percentiles
         .iter()

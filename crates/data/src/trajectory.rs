@@ -86,7 +86,10 @@ mod tests {
             let total: f64 = rec.iter().sum();
             let walked = p.waypoints.last().unwrap().km_from_start;
             // The whole walk stays inside the park, so all km are attributed.
-            assert!((total - walked).abs() < 1e-9, "total={total} walked={walked}");
+            assert!(
+                (total - walked).abs() < 1e-9,
+                "total={total} walked={walked}"
+            );
         }
     }
 
@@ -102,7 +105,11 @@ mod tests {
         let n = rec.len() as f64;
         let mr = rec.iter().sum::<f64>() / n;
         let mt = truth.iter().sum::<f64>() / n;
-        let cov: f64 = rec.iter().zip(&truth).map(|(a, b)| (a - mr) * (b - mt)).sum();
+        let cov: f64 = rec
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - mr) * (b - mt))
+            .sum();
         let vr: f64 = rec.iter().map(|a| (a - mr).powi(2)).sum();
         let vt: f64 = truth.iter().map(|b| (b - mt).powi(2)).sum();
         let corr = cov / (vr.sqrt() * vt.sqrt()).max(1e-12);
@@ -116,8 +123,14 @@ mod tests {
         let p = Patrol {
             post,
             waypoints: vec![
-                Waypoint { cell: post, km_from_start: 0.0 },
-                Waypoint { cell: post, km_from_start: 0.0 },
+                Waypoint {
+                    cell: post,
+                    km_from_start: 0.0,
+                },
+                Waypoint {
+                    cell: post,
+                    km_from_start: 0.0,
+                },
             ],
             true_effort: vec![],
         };
@@ -140,8 +153,14 @@ mod tests {
         let p = Patrol {
             post: a,
             waypoints: vec![
-                Waypoint { cell: a, km_from_start: 0.0 },
-                Waypoint { cell: b, km_from_start: km },
+                Waypoint {
+                    cell: a,
+                    km_from_start: 0.0,
+                },
+                Waypoint {
+                    cell: b,
+                    km_from_start: km,
+                },
             ],
             true_effort: vec![],
         };

@@ -36,14 +36,19 @@ pub fn chi_squared_test(table: &[Vec<f64>]) -> ChiSquaredResult {
     assert!(table.len() >= 2, "need at least two rows");
     let cols = table[0].len();
     assert!(cols >= 2, "need at least two columns");
-    assert!(table.iter().all(|r| r.len() == cols), "ragged contingency table");
+    assert!(
+        table.iter().all(|r| r.len() == cols),
+        "ragged contingency table"
+    );
     assert!(
         table.iter().flatten().all(|&x| x >= 0.0),
         "counts must be non-negative"
     );
 
     let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col_totals: Vec<f64> = (0..cols).map(|c| table.iter().map(|r| r[c]).sum()).collect();
+    let col_totals: Vec<f64> = (0..cols)
+        .map(|c| table.iter().map(|r| r[c]).sum())
+        .collect();
     let grand: f64 = row_totals.iter().sum();
     assert!(grand > 0.0, "empty contingency table");
     assert!(

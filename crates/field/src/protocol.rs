@@ -114,9 +114,16 @@ pub fn design_field_test<R: Rng>(
     rng: &mut R,
 ) -> FieldTestPlan {
     assert_eq!(risk.len(), park.n_cells(), "risk length mismatch");
-    assert_eq!(historical_effort.len(), park.n_cells(), "effort length mismatch");
+    assert_eq!(
+        historical_effort.len(),
+        park.n_cells(),
+        "effort length mismatch"
+    );
     assert!(config.block_size >= 1, "block size must be at least 1 km");
-    assert!(config.blocks_per_group >= 1, "need at least one block per group");
+    assert!(
+        config.blocks_per_group >= 1,
+        "need at least one block per group"
+    );
 
     // Tile the bounding rectangle into non-overlapping blocks.
     struct Candidate {
@@ -306,8 +313,15 @@ mod tests {
             .flat_map(|b| b.cells.iter())
             .map(|&c| park.grid.coords(c).0 as f64)
             .sum::<f64>()
-            / plan.blocks.iter().map(|b| b.cells.len() as f64).sum::<f64>();
-        assert!(mean_row < park.grid.rows() as f64 * 0.55, "mean row {mean_row}");
+            / plan
+                .blocks
+                .iter()
+                .map(|b| b.cells.len() as f64)
+                .sum::<f64>();
+        assert!(
+            mean_row < park.grid.rows() as f64 * 0.55,
+            "mean row {mean_row}"
+        );
     }
 
     #[test]

@@ -202,7 +202,10 @@ pub fn run_trial(
         .collect();
     let chi_squared = chi_squared_test(&table);
 
-    TrialOutcome { groups, chi_squared }
+    TrialOutcome {
+        groups,
+        chi_squared,
+    }
 }
 
 #[cfg(test)]
@@ -215,12 +218,16 @@ mod tests {
     fn setup() -> (Park, PoacherModel, FieldTestPlan) {
         let park = Park::generate(&test_park_spec(), 7);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut attack_cfg = AttackModelConfig::default();
-        attack_cfg.target_attack_rate = 0.25;
+        let attack_cfg = AttackModelConfig {
+            target_attack_rate: 0.25,
+            ..AttackModelConfig::default()
+        };
         let poacher = PoacherModel::new(&park, attack_cfg, &mut rng);
         // Use the ground-truth static risk as the "prediction" so the
         // protocol has a strong signal to separate groups.
-        let risk: Vec<f64> = (0..park.n_cells()).map(|i| poacher.static_risk(i)).collect();
+        let risk: Vec<f64> = (0..park.n_cells())
+            .map(|i| poacher.static_risk(i))
+            .collect();
         let effort = vec![0.0; park.n_cells()];
         let plan = design_field_test(
             &park,
@@ -242,7 +249,10 @@ mod tests {
         let outcome = run_trial(&park, &poacher, &plan, &TrialConfig::default(), 3);
         assert_eq!(outcome.groups.len(), 3);
         for g in &outcome.groups {
-            assert!(g.patrolled_cells > 0, "every group should receive some patrols");
+            assert!(
+                g.patrolled_cells > 0,
+                "every group should receive some patrols"
+            );
             assert!(g.effort_km > 0.0);
             assert!(g.observed_cells <= g.patrolled_cells);
         }
@@ -278,15 +288,36 @@ mod tests {
         let (park, poacher, plan) = setup();
         let a = run_trial(&park, &poacher, &plan, &TrialConfig::default(), 7);
         let b = run_trial(&park, &poacher, &plan, &TrialConfig::default(), 7);
-        assert_eq!(a.group(RiskGroup::High).observed_cells, b.group(RiskGroup::High).observed_cells);
+        assert_eq!(
+            a.group(RiskGroup::High).observed_cells,
+            b.group(RiskGroup::High).observed_cells
+        );
         assert_eq!(a.chi_squared.statistic, b.chi_squared.statistic);
     }
 
     #[test]
     fn longer_trials_accumulate_more_effort() {
         let (park, poacher, plan) = setup();
-        let short = run_trial(&park, &poacher, &plan, &TrialConfig { months: 1, ..TrialConfig::default() }, 5);
-        let long = run_trial(&park, &poacher, &plan, &TrialConfig { months: 4, ..TrialConfig::default() }, 5);
+        let short = run_trial(
+            &park,
+            &poacher,
+            &plan,
+            &TrialConfig {
+                months: 1,
+                ..TrialConfig::default()
+            },
+            5,
+        );
+        let long = run_trial(
+            &park,
+            &poacher,
+            &plan,
+            &TrialConfig {
+                months: 4,
+                ..TrialConfig::default()
+            },
+            5,
+        );
         let total = |o: &TrialOutcome| o.groups.iter().map(|g| g.effort_km).sum::<f64>();
         assert!(total(&long) > total(&short));
     }

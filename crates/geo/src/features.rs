@@ -196,6 +196,19 @@ impl FeatureTable {
         assert!(cell < self.n_cells, "cell index out of range");
         self.columns.iter().map(|c| c[cell]).collect()
     }
+
+    /// Write the feature vector of one cell into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics when `out` is not exactly `n_features` long or the cell index
+    /// is out of range.
+    pub fn write_row(&self, cell: usize, out: &mut [f64]) {
+        assert!(cell < self.n_cells, "cell index out of range");
+        assert_eq!(out.len(), self.n_features(), "output width mismatch");
+        for (slot, column) in out.iter_mut().zip(&self.columns) {
+            *slot = column[cell];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -143,7 +143,7 @@ mod tests {
         for r in 0..40 {
             for c in 0..60 {
                 let v = n.sample(r as f64 + 0.5, c as f64 + 0.5);
-                assert!(v >= -1.0 - 1e-9 && v <= 1.0 + 1e-9, "out of range: {v}");
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
                 let u = n.sample_unit(r as f64 + 0.5, c as f64 + 0.5);
                 assert!((0.0..=1.0).contains(&u));
             }

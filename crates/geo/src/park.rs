@@ -147,6 +147,12 @@ impl Park {
         self.features.row(cell.index())
     }
 
+    /// Write the static feature vector of a cell into `out` without
+    /// allocating (used by flat feature-matrix assembly).
+    pub fn write_feature_row(&self, cell: CellId, out: &mut [f64]) {
+        self.features.write_row(cell.index(), out);
+    }
+
     /// Number of static feature columns.
     pub fn n_static_features(&self) -> usize {
         self.features.n_features()
@@ -179,7 +185,10 @@ impl<'a> ParkBuilder<'a> {
             spec.target_cells <= (spec.rows as usize * spec.cols as usize),
             "target cell count exceeds the bounding rectangle"
         );
-        assert!(spec.n_patrol_posts > 0, "a park needs at least one patrol post");
+        assert!(
+            spec.n_patrol_posts > 0,
+            "a park needs at least one patrol post"
+        );
         Self {
             spec,
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -189,11 +198,7 @@ impl<'a> ParkBuilder<'a> {
 
     fn build(mut self) -> Park {
         let mask = self.build_mask();
-        let cells: Vec<CellId> = self
-            .grid
-            .cells()
-            .filter(|c| mask[c.index()])
-            .collect();
+        let cells: Vec<CellId> = self.grid.cells().filter(|c| mask[c.index()]).collect();
         let mut cell_pos = vec![u32::MAX; self.grid.len()];
         for (i, c) in cells.iter().enumerate() {
             cell_pos[c.index()] = i as u32;
@@ -201,12 +206,16 @@ impl<'a> ParkBuilder<'a> {
         let boundary = self.boundary_cells(&mask);
 
         // Terrain noise fields.
-        let elevation_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 24.0, 5);
-        let forest_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 14.0, 4);
-        let scrub_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 10.0, 4);
+        let elevation_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 24.0, 5);
+        let forest_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 14.0, 4);
+        let scrub_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 10.0, 4);
         let npp_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 18.0, 4);
         let rain_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 30.0, 3);
-        let animal_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 12.0, 4);
+        let animal_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 12.0, 4);
 
         let elevation: Vec<f64> = self
             .grid
@@ -279,7 +288,8 @@ impl<'a> ParkBuilder<'a> {
                 let i = c.index();
                 let (r, k) = self.grid.centre_km(c);
                 let interior = (dist_boundary_outside[i] / 10.0).min(1.0);
-                let water = (-dist_water_hole[i] / 6.0).exp() * 0.5 + (-dist_river[i] / 8.0).exp() * 0.5;
+                let water =
+                    (-dist_water_hole[i] / 6.0).exp() * 0.5 + (-dist_river[i] / 8.0).exp() * 0.5;
                 let base = animal_noise.sample_unit(r, k);
                 (0.35 * base + 0.30 * interior + 0.20 * water + 0.15 * npp[i]).clamp(0.0, 1.0)
             })
@@ -310,7 +320,9 @@ impl<'a> ParkBuilder<'a> {
 
         let mut features = FeatureTable::new(self.grid.len());
         let finite = |v: Vec<f64>, cap: f64| -> Vec<f64> {
-            v.into_iter().map(|x| if x.is_finite() { x } else { cap }).collect()
+            v.into_iter()
+                .map(|x| if x.is_finite() { x } else { cap })
+                .collect()
         };
         let max_dist = (self.spec.rows + self.spec.cols) as f64;
         for kind in &self.spec.features {
@@ -410,13 +422,14 @@ impl<'a> ParkBuilder<'a> {
             .collect()
     }
 
-    fn trace_rivers(&mut self, mask: &[bool], elevation: &[f64], boundary: &[CellId]) -> Vec<CellId> {
+    fn trace_rivers(
+        &mut self,
+        mask: &[bool],
+        elevation: &[f64],
+        boundary: &[CellId],
+    ) -> Vec<CellId> {
         let mut rivers = Vec::new();
-        let interior: Vec<CellId> = self
-            .grid
-            .cells()
-            .filter(|c| mask[c.index()])
-            .collect();
+        let interior: Vec<CellId> = self.grid.cells().filter(|c| mask[c.index()]).collect();
         if interior.is_empty() {
             return rivers;
         }
@@ -459,7 +472,11 @@ impl<'a> ParkBuilder<'a> {
 
     fn place_water_holes(&mut self, cells: &[CellId], elevation: &[f64]) -> Vec<CellId> {
         let mut sorted: Vec<CellId> = cells.to_vec();
-        sorted.sort_by(|a, b| elevation[a.index()].partial_cmp(&elevation[b.index()]).unwrap());
+        sorted.sort_by(|a, b| {
+            elevation[a.index()]
+                .partial_cmp(&elevation[b.index()])
+                .unwrap()
+        });
         let low = &sorted[..(sorted.len() / 3).max(1)];
         let mut out = Vec::new();
         for _ in 0..self.spec.n_water_holes {
@@ -526,7 +543,9 @@ impl<'a> ParkBuilder<'a> {
             .grid
             .cells()
             .filter(|c| {
-                !mask[c.index()] && dist_to_park[c.index()] >= min_km && dist_to_park[c.index()] <= max_km
+                !mask[c.index()]
+                    && dist_to_park[c.index()] >= min_km
+                    && dist_to_park[c.index()] <= max_km
             })
             .collect();
         let mut out = Vec::new();
@@ -545,7 +564,12 @@ impl<'a> ParkBuilder<'a> {
 
     /// Patrol posts sit inside the park near the boundary (and preferentially
     /// near roads), spread out by greedy max-min distance — mirroring Fig. 11.
-    fn place_patrol_posts(&mut self, cells: &[CellId], boundary: &[CellId], roads: &[CellId]) -> Vec<CellId> {
+    fn place_patrol_posts(
+        &mut self,
+        cells: &[CellId],
+        boundary: &[CellId],
+        roads: &[CellId],
+    ) -> Vec<CellId> {
         let dist_road = distance_to_nearest(&self.grid, roads);
         let dist_outside: Vec<f64> = {
             let outside: Vec<CellId> = self.grid.cells().filter(|c| !cells.contains(c)).collect();
@@ -567,7 +591,11 @@ impl<'a> ParkBuilder<'a> {
             candidates = cells.to_vec();
         }
         // Score candidates by proximity to roads so posts sit on access routes.
-        candidates.sort_by(|a, b| dist_road[a.index()].partial_cmp(&dist_road[b.index()]).unwrap());
+        candidates.sort_by(|a, b| {
+            dist_road[a.index()]
+                .partial_cmp(&dist_road[b.index()])
+                .unwrap()
+        });
         let pool = &candidates[..candidates.len().min(candidates.len() / 2 + 1).max(1)];
 
         let mut posts: Vec<CellId> = Vec::with_capacity(self.spec.n_patrol_posts);
@@ -645,8 +673,8 @@ impl<'a> ParkBuilder<'a> {
                     return 0.0;
                 }
                 let here = elevation[c.index()];
-                let mean: f64 =
-                    neigh.iter().map(|(n, _)| elevation[n.index()]).sum::<f64>() / neigh.len() as f64;
+                let mean: f64 = neigh.iter().map(|(n, _)| elevation[n.index()]).sum::<f64>()
+                    / neigh.len() as f64;
                 let var: f64 = neigh
                     .iter()
                     .map(|(n, _)| (elevation[n.index()] - mean).powi(2))
@@ -738,11 +766,7 @@ mod tests {
         assert!(!park.boundary.is_empty());
         for b in &park.boundary {
             assert!(park.contains(*b));
-            let touches_outside = park
-                .grid
-                .neighbours4(*b)
-                .iter()
-                .any(|n| !park.contains(*n))
+            let touches_outside = park.grid.neighbours4(*b).iter().any(|n| !park.contains(*n))
                 || park.grid.neighbours4(*b).len() < 4;
             assert!(touches_outside);
         }
@@ -779,7 +803,7 @@ mod tests {
         for &c in park.cells.iter().take(50) {
             for (n, step) in park.park_neighbours(c) {
                 assert!(park.contains(n));
-                assert!(step >= 1.0 && step <= std::f64::consts::SQRT_2 + 1e-12);
+                assert!((1.0..=std::f64::consts::SQRT_2 + 1e-12).contains(&step));
             }
         }
     }

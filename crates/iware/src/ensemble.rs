@@ -15,9 +15,17 @@
 //! 3. Gaussian-process weak learners whose predictive variance gives each
 //!    prediction an uncertainty score, later consumed by the robust patrol
 //!    planner.
+//!
+//! Feature batches are flat row-major [`MatrixView`]s. Effort-filtered
+//! training subsets are index-gathered (one flat copy per learner; the
+//! full-data fallback trains on the borrowed batch with no copy at all),
+//! the I learners fit in parallel, and [`IWareModel::effort_response`]
+//! evaluates the park-wide g_v(c) / ν_v(c) surfaces cell-parallel into flat
+//! response matrices.
 
 use crate::thresholds::{qualified_learners, select_thresholds, ThresholdMode};
-use crate::weights::{combine, optimize_weights, WeightMode};
+use crate::weights::{optimize_weights, WeightMode};
+use paws_data::matrix::{Matrix, MatrixView};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::cv::stratified_kfold;
 use paws_ml::traits::{Classifier, UncertainClassifier};
@@ -65,11 +73,11 @@ pub struct IWareModel {
 }
 
 impl IWareModel {
-    /// Fit the ensemble on training rows, binary labels and the patrol
-    /// effort associated with each point (the filtering variable).
-    pub fn fit(config: &IWareConfig, rows: &[Vec<f64>], labels: &[f64], efforts: &[f64]) -> Self {
-        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
-        assert_eq!(rows.len(), efforts.len(), "rows/efforts length mismatch");
+    /// Fit the ensemble on a training feature batch, binary labels and the
+    /// patrol effort associated with each point (the filtering variable).
+    pub fn fit(config: &IWareConfig, x: MatrixView<'_>, labels: &[f64], efforts: &[f64]) -> Self {
+        assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
+        assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
         assert!(config.n_learners >= 1, "need at least one learner");
         let thresholds = select_thresholds(config.threshold_mode, efforts, config.n_learners);
 
@@ -77,7 +85,7 @@ impl IWareModel {
         let weights = match config.weight_mode {
             WeightMode::Uniform => vec![1.0 / config.n_learners as f64; config.n_learners],
             WeightMode::CvOptimized { folds, iterations } => {
-                match cv_weight_fit(config, &thresholds, rows, labels, efforts, folds, iterations) {
+                match cv_weight_fit(config, &thresholds, x, labels, efforts, folds, iterations) {
                     Some(w) => w,
                     None => vec![1.0 / config.n_learners as f64; config.n_learners],
                 }
@@ -85,7 +93,7 @@ impl IWareModel {
         };
 
         // Retrain every learner on the full (filtered) training data.
-        let learners = train_filtered_learners(config, &thresholds, rows, labels, efforts);
+        let learners = train_filtered_learners(config, &thresholds, x, labels, efforts);
 
         Self {
             thresholds,
@@ -115,17 +123,24 @@ impl IWareModel {
         &self.config
     }
 
-    /// Per-learner probabilities for a batch of rows: `out[learner][row]`.
-    fn learner_probabilities(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.learners.par_iter().map(|l| l.predict_proba(rows)).collect()
+    /// Per-learner probabilities as a flat `n_learners × n_rows` matrix.
+    /// Callers guard against empty batches.
+    fn learner_probabilities(&self, x: MatrixView<'_>) -> Matrix {
+        let per_learner: Vec<Vec<f64>> = self
+            .learners
+            .par_iter()
+            .map(|l| l.predict_proba(x))
+            .collect();
+        Matrix::from_rows(&per_learner)
     }
 
-    /// Per-learner (probability, variance) for a batch of rows.
-    fn learner_prob_var(&self, rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    /// Per-learner (probability, variance) tables, each `n_learners × n_rows`.
+    /// Callers guard against empty batches.
+    fn learner_prob_var(&self, x: MatrixView<'_>) -> (Matrix, Matrix) {
         let pv: Vec<(Vec<f64>, Vec<f64>)> = self
             .learners
             .par_iter()
-            .map(|l| l.predict_with_variance(rows))
+            .map(|l| l.predict_with_variance(x))
             .collect();
         let mut probs = Vec::with_capacity(pv.len());
         let mut vars = Vec::with_capacity(pv.len());
@@ -133,19 +148,21 @@ impl IWareModel {
             probs.push(p);
             vars.push(v);
         }
-        (probs, vars)
+        (Matrix::from_rows(&probs), Matrix::from_rows(&vars))
     }
 
     /// Predict the probability of detected poaching for each row, given the
     /// patrol effort that will be (or was) spent in the corresponding cell.
-    pub fn predict_proba_at_effort(&self, rows: &[Vec<f64>], efforts: &[f64]) -> Vec<f64> {
-        assert_eq!(rows.len(), efforts.len(), "rows/efforts length mismatch");
-        let per_learner = self.learner_probabilities(rows);
-        (0..rows.len())
+    pub fn predict_proba_at_effort(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
+        assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
+        if x.n_rows() == 0 {
+            return Vec::new();
+        }
+        let per_learner = self.learner_probabilities(x);
+        (0..x.n_rows())
             .map(|r| {
-                let probs: Vec<f64> = per_learner.iter().map(|l| l[r]).collect();
                 let q = qualified_learners(&self.thresholds, efforts[r]);
-                combine(&probs, &self.weights, &q)
+                combine_indexed(&per_learner, &self.weights, &q, r)
             })
             .collect()
     }
@@ -154,49 +171,143 @@ impl IWareModel {
     /// given patrol efforts.
     pub fn predict_with_variance_at_effort(
         &self,
-        rows: &[Vec<f64>],
+        x: MatrixView<'_>,
         efforts: &[f64],
     ) -> (Vec<f64>, Vec<f64>) {
-        assert_eq!(rows.len(), efforts.len(), "rows/efforts length mismatch");
-        let (per_learner_p, per_learner_v) = self.learner_prob_var(rows);
-        let mut probs = Vec::with_capacity(rows.len());
-        let mut vars = Vec::with_capacity(rows.len());
-        for r in 0..rows.len() {
-            let p: Vec<f64> = per_learner_p.iter().map(|l| l[r]).collect();
-            let v: Vec<f64> = per_learner_v.iter().map(|l| l[r]).collect();
-            let q = qualified_learners(&self.thresholds, efforts[r]);
-            probs.push(combine(&p, &self.weights, &q));
-            vars.push(combine(&v, &self.weights, &q));
+        assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
+        if x.n_rows() == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let (per_learner_p, per_learner_v) = self.learner_prob_var(x);
+        let mut probs = Vec::with_capacity(x.n_rows());
+        let mut vars = Vec::with_capacity(x.n_rows());
+        for (r, &effort) in efforts.iter().enumerate() {
+            let q = qualified_learners(&self.thresholds, effort);
+            probs.push(combine_indexed(&per_learner_p, &self.weights, &q, r));
+            vars.push(combine_indexed(&per_learner_v, &self.weights, &q, r));
         }
         (probs, vars)
     }
 
     /// Evaluate probability and uncertainty for every row across a grid of
-    /// hypothetical patrol efforts. Returns `(probs, vars)` indexed as
-    /// `[row][effort_level]` — the g_v(c) and ν_v(c) response functions the
-    /// patrol planner consumes (Sec. VI).
-    pub fn effort_response(
-        &self,
-        rows: &[Vec<f64>],
-        effort_grid: &[f64],
-    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    /// hypothetical patrol efforts. Returns `(probs, vars)` as flat
+    /// `n_rows × n_levels` matrices — the g_v(c) and ν_v(c) response
+    /// functions the patrol planner consumes (Sec. VI). Rows are evaluated
+    /// cell-parallel in chunks; the per-row inner loop writes straight into
+    /// the flat output with no per-row allocation.
+    pub fn effort_response(&self, x: MatrixView<'_>, effort_grid: &[f64]) -> (Matrix, Matrix) {
         assert!(!effort_grid.is_empty(), "empty effort grid");
-        let (per_learner_p, per_learner_v) = self.learner_prob_var(rows);
+        if x.n_rows() == 0 {
+            let empty = || Matrix::from_flat(Vec::new(), effort_grid.len());
+            return (empty(), empty());
+        }
+        let (per_learner_p, per_learner_v) = self.learner_prob_var(x);
         let qualified_per_level: Vec<Vec<usize>> = effort_grid
             .iter()
             .map(|&e| qualified_learners(&self.thresholds, e))
             .collect();
-        let mut probs = vec![vec![0.0; effort_grid.len()]; rows.len()];
-        let mut vars = vec![vec![0.0; effort_grid.len()]; rows.len()];
-        for r in 0..rows.len() {
-            let p: Vec<f64> = per_learner_p.iter().map(|l| l[r]).collect();
-            let v: Vec<f64> = per_learner_v.iter().map(|l| l[r]).collect();
-            for (e, q) in qualified_per_level.iter().enumerate() {
-                probs[r][e] = combine(&p, &self.weights, q);
-                vars[r][e] = combine(&v, &self.weights, q);
+        let n_rows = x.n_rows();
+        let n_levels = effort_grid.len();
+
+        // Thresholds are ascending, so each level's qualified set is a
+        // prefix of the learner list; when the requested grid is ascending
+        // too, one incremental pass over the learners serves every level
+        // (same accumulation order as `combine`, hence bit-identical).
+        let prefix_lens: Option<Vec<usize>> = {
+            let lens: Vec<usize> = qualified_per_level.iter().map(|q| q.len()).collect();
+            let is_prefix = qualified_per_level
+                .iter()
+                .all(|q| q.iter().copied().eq(0..q.len()));
+            let ascending = lens.windows(2).all(|w| w[0] <= w[1]);
+            if is_prefix && ascending {
+                Some(lens)
+            } else {
+                None
             }
+        };
+
+        const ROW_CHUNK: usize = 256;
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+        let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
+            .into_par_iter()
+            .map(|start| {
+                let end = (start + ROW_CHUNK).min(n_rows);
+                let mut p_flat = Vec::with_capacity((end - start) * n_levels);
+                let mut v_flat = Vec::with_capacity((end - start) * n_levels);
+                for r in start..end {
+                    if let Some(lens) = &prefix_lens {
+                        // Incremental prefix combine: O(learners + levels).
+                        let mut wsum = 0.0;
+                        let mut p_acc = 0.0;
+                        let mut v_acc = 0.0;
+                        let mut p_sum = 0.0;
+                        let mut v_sum = 0.0;
+                        let mut taken = 0usize;
+                        for &len in lens {
+                            while taken < len {
+                                let w = self.weights[taken];
+                                wsum += w;
+                                p_acc += w * per_learner_p.get(taken, r);
+                                v_acc += w * per_learner_v.get(taken, r);
+                                p_sum += per_learner_p.get(taken, r);
+                                v_sum += per_learner_v.get(taken, r);
+                                taken += 1;
+                            }
+                            if wsum <= 1e-12 {
+                                let n = taken.max(1) as f64;
+                                p_flat.push(p_sum / n);
+                                v_flat.push(v_sum / n);
+                            } else {
+                                p_flat.push(p_acc / wsum);
+                                v_flat.push(v_acc / wsum);
+                            }
+                        }
+                    } else {
+                        for q in &qualified_per_level {
+                            p_flat.push(combine_indexed(&per_learner_p, &self.weights, q, r));
+                            v_flat.push(combine_indexed(&per_learner_v, &self.weights, q, r));
+                        }
+                    }
+                }
+                (p_flat, v_flat)
+            })
+            .collect();
+
+        let mut p_all = Vec::with_capacity(n_rows * n_levels);
+        let mut v_all = Vec::with_capacity(n_rows * n_levels);
+        for (p, v) in parts {
+            p_all.extend_from_slice(&p);
+            v_all.extend_from_slice(&v);
         }
-        (probs, vars)
+        (
+            Matrix::from_flat(p_all, n_levels),
+            Matrix::from_flat(v_all, n_levels),
+        )
+    }
+}
+
+/// Weighted combination of one row's per-learner outputs, indexing straight
+/// into the `[learner][row]` prediction table (no per-row scratch vector).
+/// Operation order matches [`crate::weights::combine`] exactly, so results
+/// are bit-identical.
+fn combine_indexed(per_learner: &Matrix, weights: &[f64], qualified: &[usize], r: usize) -> f64 {
+    let mut wsum = 0.0;
+    let mut acc = 0.0;
+    for &i in qualified {
+        wsum += weights[i];
+        acc += weights[i] * per_learner.get(i, r);
+    }
+    if wsum <= 1e-12 {
+        // Degenerate weights: fall back to the unweighted mean of the
+        // qualified learners.
+        let n = qualified.len().max(1) as f64;
+        qualified
+            .iter()
+            .map(|&i| per_learner.get(i, r))
+            .sum::<f64>()
+            / n
+    } else {
+        acc / wsum
     }
 }
 
@@ -211,7 +322,7 @@ fn filtered_indices(labels: &[f64], efforts: &[f64], threshold: f64) -> Vec<usiz
 fn train_filtered_learners(
     config: &IWareConfig,
     thresholds: &[f64],
-    rows: &[Vec<f64>],
+    x: MatrixView<'_>,
     labels: &[f64],
     efforts: &[f64],
 ) -> Vec<BaggingClassifier> {
@@ -219,18 +330,25 @@ fn train_filtered_learners(
         .par_iter()
         .enumerate()
         .map(|(i, &theta)| {
-            let mut idx = filtered_indices(labels, efforts, theta);
+            let idx = filtered_indices(labels, efforts, theta);
             let n_pos = idx.iter().filter(|&&j| labels[j] > 0.5).count();
-            if idx.len() < config.min_subset_size || n_pos == 0 || n_pos == idx.len() {
-                idx = (0..rows.len()).collect();
-            }
-            let srows: Vec<Vec<f64>> = idx.iter().map(|&j| rows[j].clone()).collect();
-            let slabels: Vec<f64> = idx.iter().map(|&j| labels[j]).collect();
             let base = BaggingConfig {
-                seed: config.base.seed.wrapping_add(1000 * i as u64).wrapping_add(config.seed),
+                seed: config
+                    .base
+                    .seed
+                    .wrapping_add(1000 * i as u64)
+                    .wrapping_add(config.seed),
                 ..config.base.clone()
             };
-            BaggingClassifier::fit(&base, &srows, &slabels)
+            if idx.len() < config.min_subset_size || n_pos == 0 || n_pos == idx.len() {
+                // Degenerate filter: train on the full borrowed batch with
+                // no copy at all.
+                BaggingClassifier::fit(&base, x, labels)
+            } else {
+                let sx = x.gather(&idx);
+                let slabels: Vec<f64> = idx.iter().map(|&j| labels[j]).collect();
+                BaggingClassifier::fit(&base, sx.view(), &slabels)
+            }
         })
         .collect()
 }
@@ -240,7 +358,7 @@ fn train_filtered_learners(
 fn cv_weight_fit(
     config: &IWareConfig,
     thresholds: &[f64],
-    rows: &[Vec<f64>],
+    x: MatrixView<'_>,
     labels: &[f64],
     efforts: &[f64],
     folds: usize,
@@ -257,16 +375,21 @@ fn cv_weight_fit(
     let mut fold_labels: Vec<f64> = Vec::new();
 
     for fold in &fold_defs {
-        let train_rows: Vec<Vec<f64>> = fold.train.iter().map(|&i| rows[i].clone()).collect();
+        let train_x = x.gather(&fold.train);
         let train_labels: Vec<f64> = fold.train.iter().map(|&i| labels[i]).collect();
         let train_efforts: Vec<f64> = fold.train.iter().map(|&i| efforts[i]).collect();
-        let valid_rows: Vec<Vec<f64>> = fold.valid.iter().map(|&i| rows[i].clone()).collect();
+        let valid_x = x.gather(&fold.valid);
 
-        let learners =
-            train_filtered_learners(config, thresholds, &train_rows, &train_labels, &train_efforts);
+        let learners = train_filtered_learners(
+            config,
+            thresholds,
+            train_x.view(),
+            &train_labels,
+            &train_efforts,
+        );
         let per_learner: Vec<Vec<f64>> = learners
             .par_iter()
-            .map(|l| l.predict_proba(&valid_rows))
+            .map(|l| l.predict_proba(valid_x.view()))
             .collect();
 
         for (vi, &orig) in fold.valid.iter().enumerate() {
@@ -276,12 +399,18 @@ fn cv_weight_fit(
         }
     }
 
-    Some(optimize_weights(&predictions, &qualified, &fold_labels, iterations))
+    Some(optimize_weights(
+        &predictions,
+        &qualified,
+        &fold_labels,
+        iterations,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paws_data::matrix::Matrix;
     use paws_ml::metrics::roc_auc;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -289,9 +418,9 @@ mod tests {
     /// Synthetic data with iWare-E's noise structure: the true attack
     /// depends on the features, but an attack is *observed* only with
     /// probability increasing in patrol effort.
-    fn noisy_poaching_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    fn noisy_poaching_data(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = Matrix::new(2);
         let mut observed = Vec::with_capacity(n);
         let mut efforts = Vec::with_capacity(n);
         let mut true_attack = Vec::with_capacity(n);
@@ -302,7 +431,7 @@ mod tests {
             let attack = rng.gen::<f64>() < attack_p;
             let effort: f64 = rng.gen_range(0.0..4.0);
             let detect = attack && rng.gen::<f64>() < 1.0 - (-1.2 * effort).exp();
-            rows.push(vec![x0, x1]);
+            rows.push_row(&[x0, x1]);
             observed.push(if detect { 1.0 } else { 0.0 });
             efforts.push(effort);
             true_attack.push(if attack { 1.0 } else { 0.0 });
@@ -327,7 +456,7 @@ mod tests {
     #[test]
     fn fit_produces_expected_shapes() {
         let (rows, labels, efforts, _) = noisy_poaching_data(400, 1);
-        let model = IWareModel::fit(&quick_config(5), &rows, &labels, &efforts);
+        let model = IWareModel::fit(&quick_config(5), rows.view(), &labels, &efforts);
         assert_eq!(model.n_learners(), 5);
         assert_eq!(model.thresholds().len(), 5);
         assert_eq!(model.weights().len(), 5);
@@ -337,17 +466,17 @@ mod tests {
     #[test]
     fn predictions_are_valid_probabilities() {
         let (rows, labels, efforts, _) = noisy_poaching_data(300, 2);
-        let model = IWareModel::fit(&quick_config(4), &rows, &labels, &efforts);
-        let p = model.predict_proba_at_effort(&rows[..50], &efforts[..50]);
+        let model = IWareModel::fit(&quick_config(4), rows.view(), &labels, &efforts);
+        let p = model.predict_proba_at_effort(rows.view().head(50), &efforts[..50]);
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
     }
 
     #[test]
     fn beats_chance_on_the_observation_task() {
         let (rows, labels, efforts, _) = noisy_poaching_data(600, 3);
-        let model = IWareModel::fit(&quick_config(5), &rows, &labels, &efforts);
+        let model = IWareModel::fit(&quick_config(5), rows.view(), &labels, &efforts);
         let (trows, tlabels, tefforts, _) = noisy_poaching_data(300, 4);
-        let p = model.predict_proba_at_effort(&trows, &tefforts);
+        let p = model.predict_proba_at_effort(trows.view(), &tefforts);
         let auc = roc_auc(&tlabels, &p);
         assert!(auc > 0.65, "auc={auc}");
     }
@@ -358,28 +487,50 @@ mod tests {
         // detection probability much: more qualified learners trained on
         // cleaner negatives see the same positives.
         let (rows, labels, efforts, _) = noisy_poaching_data(500, 5);
-        let model = IWareModel::fit(&quick_config(5), &rows, &labels, &efforts);
+        let model = IWareModel::fit(&quick_config(5), rows.view(), &labels, &efforts);
         let grid = vec![0.5, 1.0, 2.0, 3.5];
-        let (probs, vars) = model.effort_response(&rows[..40], &grid);
-        assert_eq!(probs.len(), 40);
-        assert_eq!(probs[0].len(), grid.len());
-        assert!(vars.iter().flatten().all(|&v| v >= 0.0));
+        let (probs, vars) = model.effort_response(rows.view().head(40), &grid);
+        assert_eq!(probs.n_rows(), 40);
+        assert_eq!(probs.n_cols(), grid.len());
+        assert!(vars.as_slice().iter().all(|&v| v >= 0.0));
         let mut rising = 0usize;
         let mut total = 0usize;
-        for r in &probs {
+        for r in probs.rows() {
             if r[grid.len() - 1] >= r[0] - 1e-9 {
                 rising += 1;
             }
             total += 1;
         }
-        assert!(rising as f64 / total as f64 > 0.6, "response mostly increasing");
+        assert!(
+            rising as f64 / total as f64 > 0.6,
+            "response mostly increasing"
+        );
+    }
+
+    #[test]
+    fn effort_response_matches_pointwise_prediction() {
+        // The flat response matrix must agree with predict_proba_at_effort
+        // evaluated level by level.
+        let (rows, labels, efforts, _) = noisy_poaching_data(250, 11);
+        let model = IWareModel::fit(&quick_config(4), rows.view(), &labels, &efforts);
+        let grid = [0.5, 2.0];
+        let q = rows.view().head(15);
+        let (probs, vars) = model.effort_response(q, &grid);
+        for (e, &level) in grid.iter().enumerate() {
+            let level_efforts = vec![level; 15];
+            let (p_ref, v_ref) = model.predict_with_variance_at_effort(q, &level_efforts);
+            for r in 0..15 {
+                assert_eq!(probs.get(r, e), p_ref[r]);
+                assert_eq!(vars.get(r, e), v_ref[r]);
+            }
+        }
     }
 
     #[test]
     fn variance_output_present_for_tree_base() {
         let (rows, labels, efforts, _) = noisy_poaching_data(250, 6);
-        let model = IWareModel::fit(&quick_config(3), &rows, &labels, &efforts);
-        let (p, v) = model.predict_with_variance_at_effort(&rows[..20], &efforts[..20]);
+        let model = IWareModel::fit(&quick_config(3), rows.view(), &labels, &efforts);
+        let (p, v) = model.predict_with_variance_at_effort(rows.view().head(20), &efforts[..20]);
         assert_eq!(p.len(), 20);
         assert_eq!(v.len(), 20);
         assert!(v.iter().all(|&x| x >= 0.0));
@@ -390,7 +541,7 @@ mod tests {
         let (rows, labels, efforts, _) = noisy_poaching_data(200, 7);
         let mut cfg = quick_config(4);
         cfg.weight_mode = WeightMode::Uniform;
-        let model = IWareModel::fit(&cfg, &rows, &labels, &efforts);
+        let model = IWareModel::fit(&cfg, rows.view(), &labels, &efforts);
         for &w in model.weights() {
             assert!((w - 0.25).abs() < 1e-12);
         }
@@ -404,7 +555,7 @@ mod tests {
         let mut labels = vec![0.0; 100];
         labels[0] = 1.0;
         labels[50] = 1.0;
-        let model = IWareModel::fit(&quick_config(3), &rows, &labels, &efforts);
+        let model = IWareModel::fit(&quick_config(3), rows.view(), &labels, &efforts);
         for &w in model.weights() {
             assert!((w - 1.0 / 3.0).abs() < 1e-12);
         }

@@ -91,7 +91,10 @@ mod tests {
         for w in t.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        assert!(*t.last().unwrap() < 10.0, "top threshold must leave some data");
+        assert!(
+            *t.last().unwrap() < 10.0,
+            "top threshold must leave some data"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ fn weighted_log_loss(
     let mut total = 0.0;
     for ((p, q), &y) in predictions.iter().zip(qualified).zip(labels) {
         let prob = combine(p, weights, q).clamp(eps, 1.0 - eps);
-        total += if y > 0.5 { -prob.ln() } else { -(1.0 - prob).ln() };
+        total += if y > 0.5 {
+            -prob.ln()
+        } else {
+            -(1.0 - prob).ln()
+        };
     }
     total / labels.len().max(1) as f64
 }
@@ -93,9 +97,20 @@ pub fn optimize_weights(
     labels: &[f64],
     iterations: usize,
 ) -> Vec<f64> {
-    assert!(!predictions.is_empty(), "no validation predictions supplied");
-    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
-    assert_eq!(predictions.len(), qualified.len(), "predictions/qualified length mismatch");
+    assert!(
+        !predictions.is_empty(),
+        "no validation predictions supplied"
+    );
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions/labels length mismatch"
+    );
+    assert_eq!(
+        predictions.len(),
+        qualified.len(),
+        "predictions/qualified length mismatch"
+    );
     let n_learners = predictions[0].len();
     assert!(n_learners >= 1, "need at least one learner");
     if n_learners == 1 {
@@ -194,7 +209,15 @@ mod tests {
                 ]
             })
             .collect();
-        let qualified: Vec<Vec<usize>> = (0..n).map(|i| if i % 2 == 0 { vec![0, 1, 2] } else { vec![0, 1] }).collect();
+        let qualified: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2]
+                } else {
+                    vec![0, 1]
+                }
+            })
+            .collect();
         let uniform = vec![1.0 / 3.0; 3];
         let w = optimize_weights(&predictions, &qualified, &labels, 150);
         let loss_uniform = weighted_log_loss(&predictions, &qualified, &labels, &uniform);

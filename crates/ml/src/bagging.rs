@@ -7,6 +7,10 @@
 //! (Sec. V-A, following imbalanced-learn), which is reproduced here with the
 //! `balanced` flag.
 //!
+//! Bootstrap samples are materialised with [`MatrixView::gather`] — one
+//! flat copy per member instead of per-row clones — and every member trains
+//! and predicts on contiguous row-major data.
+//!
 //! The ensemble records the per-member in-bag counts of every training
 //! sample so the infinitesimal-jackknife variance of Fig. 7 can be computed
 //! (see [`crate::jackknife`]).
@@ -15,6 +19,7 @@ use crate::gp::{GaussianProcess, GpConfig};
 use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use crate::tree::{DecisionTree, TreeConfig};
+use paws_data::matrix::{Matrix, MatrixView};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,12 +59,27 @@ pub enum BaseModel {
     Gp(GaussianProcess),
 }
 
-impl Classifier for BaseModel {
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+impl BaseModel {
+    /// Predictions plus the intrinsic posterior variance when the learner
+    /// has one (GPs); a single pass over the batch.
+    fn predict_with_optional_variance(&self, x: MatrixView<'_>) -> (Vec<f64>, Option<Vec<f64>>) {
         match self {
-            BaseModel::Tree(m) => m.predict_proba(rows),
-            BaseModel::Svm(m) => m.predict_proba(rows),
-            BaseModel::Gp(m) => m.predict_proba(rows),
+            BaseModel::Tree(m) => (m.predict_proba(x), None),
+            BaseModel::Svm(m) => (m.predict_proba(x), None),
+            BaseModel::Gp(m) => {
+                let (p, v) = m.predict_with_variance(x);
+                (p, Some(v))
+            }
+        }
+    }
+}
+
+impl Classifier for BaseModel {
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+        match self {
+            BaseModel::Tree(m) => m.predict_proba(x),
+            BaseModel::Svm(m) => m.predict_proba(x),
+            BaseModel::Gp(m) => m.predict_proba(x),
         }
     }
 }
@@ -131,15 +151,16 @@ pub struct BaggingClassifier {
 }
 
 impl BaggingClassifier {
-    /// Fit the ensemble.
-    pub fn fit(config: &BaggingConfig, rows: &[Vec<f64>], labels: &[f64]) -> Self {
-        validate_training_data(rows, labels);
+    /// Fit the ensemble on the flat feature batch `x`.
+    pub fn fit(config: &BaggingConfig, x: MatrixView<'_>, labels: &[f64]) -> Self {
+        validate_training_data(x, labels);
         assert!(config.n_estimators > 0, "need at least one ensemble member");
         assert!(
             config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
             "sample fraction must be in (0, 1]"
         );
 
+        let n = x.n_rows();
         let positives: Vec<usize> = labels
             .iter()
             .enumerate()
@@ -161,24 +182,27 @@ impl BaggingClassifier {
                 let indices = if config.balanced && !positives.is_empty() && !negatives.is_empty() {
                     balanced_bootstrap(&positives, &negatives, &mut rng)
                 } else {
-                    let size = ((rows.len() as f64 * config.sample_fraction).round() as usize).max(1);
-                    (0..size).map(|_| rng.gen_range(0..rows.len())).collect::<Vec<usize>>()
+                    let size = ((n as f64 * config.sample_fraction).round() as usize).max(1);
+                    (0..size)
+                        .map(|_| rng.gen_range(0..n))
+                        .collect::<Vec<usize>>()
                 };
-                let mut counts = vec![0u32; rows.len()];
+                let mut counts = vec![0u32; n];
                 for &i in &indices {
                     counts[i] += 1;
                 }
-                let brows: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
+                // One flat gather instead of per-row clones.
+                let bx = x.gather(&indices);
                 let blabels: Vec<f64> = indices.iter().map(|&i| labels[i]).collect();
                 let model = match &config.base {
                     BaseLearnerConfig::Tree(cfg) => {
-                        BaseModel::Tree(DecisionTree::fit(cfg, &brows, &blabels, member_seed))
+                        BaseModel::Tree(DecisionTree::fit(cfg, bx.view(), &blabels, member_seed))
                     }
                     BaseLearnerConfig::Svm(cfg) => {
-                        BaseModel::Svm(LinearSvm::fit(cfg, &brows, &blabels, member_seed))
+                        BaseModel::Svm(LinearSvm::fit(cfg, bx.view(), &blabels, member_seed))
                     }
                     BaseLearnerConfig::Gp(cfg) => {
-                        BaseModel::Gp(GaussianProcess::fit(cfg, &brows, &blabels, member_seed))
+                        BaseModel::Gp(GaussianProcess::fit(cfg, bx.view(), &blabels, member_seed))
                     }
                 };
                 (model, counts)
@@ -189,7 +213,7 @@ impl BaggingClassifier {
         Self {
             members,
             in_bag_counts,
-            n_train: rows.len(),
+            n_train: n,
             config: config.clone(),
         }
     }
@@ -214,20 +238,52 @@ impl BaggingClassifier {
         &self.in_bag_counts
     }
 
-    /// Per-member predictions, `predictions[member][row]`.
-    pub fn member_predictions(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.members.par_iter().map(|m| m.predict_proba(rows)).collect()
+    /// Per-member predictions as a flat `n_members × n_rows` matrix (row
+    /// `m` holds member `m`'s probabilities).
+    ///
+    /// # Panics
+    /// Panics on an empty batch (an `n_members × 0` matrix is not
+    /// representable); the `Classifier` entry points handle that case.
+    pub fn member_predictions(&self, x: MatrixView<'_>) -> Matrix {
+        let per_member: Vec<Vec<f64>> = self
+            .members
+            .par_iter()
+            .map(|m| m.predict_proba(x))
+            .collect();
+        Matrix::from_rows(&per_member)
+    }
+
+    /// Per-member predictions plus intrinsic variances where available, in
+    /// one pass over the members (no recomputation between the probability
+    /// and variance paths).
+    fn member_predictions_with_variance(
+        &self,
+        x: MatrixView<'_>,
+    ) -> Vec<(Vec<f64>, Option<Vec<f64>>)> {
+        self.members
+            .par_iter()
+            .map(|m| m.predict_with_optional_variance(x))
+            .collect()
     }
 
     /// For GP ensembles: the averaged GP posterior variance of each row
     /// (the intrinsic uncertainty metric of Sec. IV). Returns `None` when
     /// the base learner does not expose an intrinsic variance.
-    pub fn intrinsic_variance(&self, rows: &[Vec<f64>]) -> Option<Vec<f64>> {
-        let mut acc = vec![0.0; rows.len()];
+    pub fn intrinsic_variance(&self, x: MatrixView<'_>) -> Option<Vec<f64>> {
+        let per_member = self.member_predictions_with_variance(x);
+        Self::average_intrinsic(&per_member, x.n_rows())
+    }
+
+    /// Average the intrinsic member variances out of a member pass, `None`
+    /// when no member exposes one.
+    fn average_intrinsic(
+        per_member: &[(Vec<f64>, Option<Vec<f64>>)],
+        n_rows: usize,
+    ) -> Option<Vec<f64>> {
+        let mut acc = vec![0.0; n_rows];
         let mut any = false;
-        for member in &self.members {
-            if let BaseModel::Gp(gp) = member {
-                let (_, v) = gp.predict_with_variance(rows);
+        for (_, var) in per_member {
+            if let Some(v) = var {
                 for (a, vi) in acc.iter_mut().zip(v) {
                     *a += vi;
                 }
@@ -235,7 +291,8 @@ impl BaggingClassifier {
             }
         }
         if any {
-            Some(acc.into_iter().map(|v| v / self.members.len() as f64).collect())
+            let b = per_member.len() as f64;
+            Some(acc.into_iter().map(|v| v / b).collect())
         } else {
             None
         }
@@ -243,15 +300,20 @@ impl BaggingClassifier {
 }
 
 impl Classifier for BaggingClassifier {
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        let per_member = self.member_predictions(rows);
-        let mut mean = vec![0.0; rows.len()];
-        for preds in &per_member {
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+        if x.n_rows() == 0 {
+            return Vec::new();
+        }
+        let per_member = self.member_predictions(x);
+        let mut mean = vec![0.0; x.n_rows()];
+        for preds in per_member.rows() {
             for (m, p) in mean.iter_mut().zip(preds) {
                 *m += p;
             }
         }
-        mean.into_iter().map(|m| m / self.members.len() as f64).collect()
+        mean.into_iter()
+            .map(|m| m / self.members.len() as f64)
+            .collect()
     }
 }
 
@@ -259,12 +321,14 @@ impl UncertainClassifier for BaggingClassifier {
     /// Mean prediction plus an uncertainty score: for GP ensembles the
     /// averaged GP posterior variance (the paper's choice); otherwise the
     /// empirical variance of the member predictions (the heuristic the
-    /// paper compares against in Fig. 7).
-    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
-        let per_member = self.member_predictions(rows);
+    /// paper compares against in Fig. 7). Every member is evaluated exactly
+    /// once — the probability and variance outputs share one member pass.
+    fn predict_with_variance(&self, x: MatrixView<'_>) -> (Vec<f64>, Vec<f64>) {
+        let per_member = self.member_predictions_with_variance(x);
         let b = per_member.len() as f64;
-        let mut mean = vec![0.0; rows.len()];
-        for preds in &per_member {
+        let n_rows = x.n_rows();
+        let mut mean = vec![0.0; n_rows];
+        for (preds, _) in &per_member {
             for (m, p) in mean.iter_mut().zip(preds) {
                 *m += p;
             }
@@ -272,11 +336,11 @@ impl UncertainClassifier for BaggingClassifier {
         for m in mean.iter_mut() {
             *m /= b;
         }
-        if let Some(v) = self.intrinsic_variance(rows) {
+        if let Some(v) = Self::average_intrinsic(&per_member, n_rows) {
             return (mean, v);
         }
-        let mut var = vec![0.0; rows.len()];
-        for preds in &per_member {
+        let mut var = vec![0.0; n_rows];
+        for (preds, _) in &per_member {
             for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
                 *v += (p - m) * (p - m);
             }
@@ -306,15 +370,16 @@ fn balanced_bootstrap<R: Rng>(positives: &[usize], negatives: &[usize], rng: &mu
 mod tests {
     use super::*;
     use crate::metrics::roc_auc;
+    use paws_data::matrix::Matrix;
 
-    fn imbalanced_data(n: usize, positive_rate: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn imbalanced_data(n: usize, positive_rate: f64, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = Matrix::new(2);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
             let positive = rng.gen::<f64>() < positive_rate;
             let centre = if positive { 1.0 } else { -0.3 };
-            rows.push(vec![
+            rows.push_row(&[
                 centre + rng.gen_range(-1.0..1.0),
                 centre + rng.gen_range(-1.0..1.0),
             ]);
@@ -326,36 +391,39 @@ mod tests {
     #[test]
     fn tree_bagging_beats_chance() {
         let (rows, labels) = imbalanced_data(500, 0.3, 1);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), rows.view(), &labels);
         let (trows, tlabels) = imbalanced_data(300, 0.3, 2);
-        let auc = roc_auc(&tlabels, &model.predict_proba(&trows));
+        let auc = roc_auc(&tlabels, &model.predict_proba(trows.view()));
         assert!(auc > 0.8, "auc={auc}");
     }
 
     #[test]
     fn balanced_bagging_helps_under_extreme_imbalance() {
         let (rows, labels) = imbalanced_data(1200, 0.02, 3);
-        let plain = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), &rows, &labels);
+        let plain = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), rows.view(), &labels);
         let balanced = BaggingClassifier::fit(
             &BaggingConfig {
                 balanced: true,
                 ..BaggingConfig::trees(10, 3)
             },
-            &rows,
+            rows.view(),
             &labels,
         );
         let (trows, tlabels) = imbalanced_data(800, 0.02, 4);
-        let auc_plain = roc_auc(&tlabels, &plain.predict_proba(&trows));
-        let auc_balanced = roc_auc(&tlabels, &balanced.predict_proba(&trows));
+        let auc_plain = roc_auc(&tlabels, &plain.predict_proba(trows.view()));
+        let auc_balanced = roc_auc(&tlabels, &balanced.predict_proba(trows.view()));
         // Balanced bagging should not be (much) worse and typically better.
-        assert!(auc_balanced > auc_plain - 0.05, "plain={auc_plain} balanced={auc_balanced}");
+        assert!(
+            auc_balanced > auc_plain - 0.05,
+            "plain={auc_plain} balanced={auc_balanced}"
+        );
         assert!(auc_balanced > 0.7);
     }
 
     #[test]
     fn member_count_and_in_bag_shapes() {
         let (rows, labels) = imbalanced_data(100, 0.3, 5);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(7, 3), &rows, &labels);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(7, 3), rows.view(), &labels);
         assert_eq!(model.n_members(), 7);
         assert_eq!(model.in_bag_counts().len(), 7);
         assert!(model.in_bag_counts().iter().all(|c| c.len() == 100));
@@ -369,11 +437,14 @@ mod tests {
     #[test]
     fn variance_from_member_spread_for_trees() {
         let (rows, labels) = imbalanced_data(300, 0.3, 6);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(15, 3), &rows, &labels);
-        let (p, v) = model.predict_with_variance(&rows[..50]);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(15, 3), rows.view(), &labels);
+        let (p, v) = model.predict_with_variance(rows.view().head(50));
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
         assert!(v.iter().all(|&x| x >= 0.0));
-        assert!(v.iter().any(|&x| x > 0.0), "member spread should be non-degenerate");
+        assert!(
+            v.iter().any(|&x| x > 0.0),
+            "member spread should be non-degenerate"
+        );
     }
 
     #[test]
@@ -386,25 +457,55 @@ mod tests {
             }),
             ..BaggingConfig::gps(4, 3)
         };
-        let model = BaggingClassifier::fit(&config, &rows, &labels);
-        assert!(model.intrinsic_variance(&rows[..10]).is_some());
-        let (_, v) = model.predict_with_variance(&rows[..10]);
+        let model = BaggingClassifier::fit(&config, rows.view(), &labels);
+        assert!(model.intrinsic_variance(rows.view().head(10)).is_some());
+        let (_, v) = model.predict_with_variance(rows.view().head(10));
         assert!(v.iter().all(|&x| x > 0.0));
     }
 
     #[test]
     fn tree_bagging_has_no_intrinsic_variance() {
         let (rows, labels) = imbalanced_data(100, 0.3, 8);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(5, 3), &rows, &labels);
-        assert!(model.intrinsic_variance(&rows[..5]).is_none());
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(5, 3), rows.view(), &labels);
+        assert!(model.intrinsic_variance(rows.view().head(5)).is_none());
+    }
+
+    #[test]
+    fn variance_path_matches_separate_prediction_passes() {
+        // predict_with_variance shares one member pass; its mean must equal
+        // the standalone predict_proba and its variance the standalone
+        // intrinsic average.
+        let (rows, labels) = imbalanced_data(150, 0.3, 12);
+        let gp_model = BaggingClassifier::fit(
+            &BaggingConfig {
+                base: BaseLearnerConfig::Gp(GpConfig {
+                    max_points: 60,
+                    ..GpConfig::default()
+                }),
+                ..BaggingConfig::gps(3, 5)
+            },
+            rows.view(),
+            &labels,
+        );
+        let q = rows.view().head(20);
+        let (p, v) = gp_model.predict_with_variance(q);
+        assert_eq!(p, gp_model.predict_proba(q));
+        assert_eq!(v, gp_model.intrinsic_variance(q).unwrap());
+
+        let tree_model = BaggingClassifier::fit(&BaggingConfig::trees(9, 5), rows.view(), &labels);
+        let (p, _) = tree_model.predict_with_variance(q);
+        assert_eq!(p, tree_model.predict_proba(q));
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (rows, labels) = imbalanced_data(200, 0.3, 9);
-        let a = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), &rows, &labels);
-        let b = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), &rows, &labels);
-        assert_eq!(a.predict_proba(&rows[..20]), b.predict_proba(&rows[..20]));
+        let a = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), rows.view(), &labels);
+        let b = BaggingClassifier::fit(&BaggingConfig::trees(6, 42), rows.view(), &labels);
+        assert_eq!(
+            a.predict_proba(rows.view().head(20)),
+            b.predict_proba(rows.view().head(20))
+        );
     }
 
     #[test]
@@ -422,6 +523,6 @@ mod tests {
             n_estimators: 0,
             ..BaggingConfig::trees(1, 0)
         };
-        let _ = BaggingClassifier::fit(&config, &rows, &labels);
+        let _ = BaggingClassifier::fit(&config, rows.view(), &labels);
     }
 }

@@ -101,13 +101,18 @@ mod tests {
         let folds = stratified_kfold(&labels, 5, 2);
         for f in &folds {
             let pos = f.valid.iter().filter(|&&i| labels[i] > 0.5).count();
-            assert_eq!(pos, 2, "each validation fold should hold 2 of the 10 positives");
+            assert_eq!(
+                pos, 2,
+                "each validation fold should hold 2 of the 10 positives"
+            );
         }
     }
 
     #[test]
     fn stratified_folds_cover_everything_exactly_once() {
-        let labels: Vec<f64> = (0..57).map(|i| if i % 9 == 0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f64> = (0..57)
+            .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let folds = stratified_kfold(&labels, 4, 3);
         let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.valid.iter().copied()).collect();
         seen.sort_unstable();
@@ -118,7 +123,10 @@ mod tests {
     fn deterministic_given_seed() {
         assert_eq!(kfold(40, 4, 7), kfold(40, 4, 7));
         let labels = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0];
-        assert_eq!(stratified_kfold(&labels, 2, 7), stratified_kfold(&labels, 2, 7));
+        assert_eq!(
+            stratified_kfold(&labels, 2, 7),
+            stratified_kfold(&labels, 2, 7)
+        );
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! inputs lie (through the kernel), not on the labels — which is exactly why
 //! Fig. 7 finds it nearly uncorrelated with the predicted risk, unlike the
 //! spread of a bagged tree ensemble.
+//!
+//! Training inputs are kept in a flat row-major [`Matrix`]; the kernel
+//! matrix and Cholesky factor are flat as well, so the per-query `k*`
+//! construction and triangular solves stream contiguous memory, and batch
+//! prediction reuses one scratch buffer instead of allocating per row.
 
 use crate::linalg::{squared_distance, Cholesky};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
+use paws_data::matrix::{Matrix, MatrixView};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,7 +57,7 @@ impl Default for GpConfig {
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     config: GpConfig,
-    train_rows: Vec<Vec<f64>>,
+    train_rows: Matrix,
     /// α = (K + σ²I)⁻¹ (y − ȳ)
     alpha: Vec<f64>,
     /// Cholesky factor of (K + σ²I), kept for predictive variances.
@@ -60,55 +66,62 @@ pub struct GaussianProcess {
 }
 
 impl GaussianProcess {
-    /// Fit the GP on `rows` / binary `labels`.
-    pub fn fit(config: &GpConfig, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self {
-        validate_training_data(rows, labels);
+    /// Fit the GP on the feature batch `x` / binary `labels`.
+    pub fn fit(config: &GpConfig, x: MatrixView<'_>, labels: &[f64], seed: u64) -> Self {
+        validate_training_data(x, labels);
         assert!(config.length_scale > 0.0, "length scale must be positive");
-        assert!(config.noise_variance > 0.0, "noise variance must be positive");
+        assert!(
+            config.noise_variance > 0.0,
+            "noise variance must be positive"
+        );
 
-        // Subsample when the training set exceeds the budget.
-        let (rows, labels): (Vec<Vec<f64>>, Vec<f64>) = if rows.len() > config.max_points {
-            let mut idx: Vec<usize> = (0..rows.len()).collect();
+        // Subsample by index gather when the training set exceeds the budget.
+        let (train_rows, labels): (Matrix, Vec<f64>) = if x.n_rows() > config.max_points {
+            let mut idx: Vec<usize> = (0..x.n_rows()).collect();
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             idx.shuffle(&mut rng);
             idx.truncate(config.max_points);
-            (
-                idx.iter().map(|&i| rows[i].clone()).collect(),
-                idx.iter().map(|&i| labels[i]).collect(),
-            )
+            (x.gather(&idx), idx.iter().map(|&i| labels[i]).collect())
         } else {
-            (rows.to_vec(), labels.to_vec())
+            (x.to_matrix(), labels.to_vec())
         };
 
-        let n = rows.len();
+        let n = train_rows.n_rows();
         let mean_label = labels.iter().sum::<f64>() / n as f64;
         let centred: Vec<f64> = labels.iter().map(|&y| y - mean_label).collect();
 
-        let mut k = vec![vec![0.0; n]; n];
+        let mut k = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let v = rbf(&rows[i], &rows[j], config.length_scale, config.signal_variance);
-                k[i][j] = v;
-                k[j][i] = v;
+                let v = rbf(
+                    train_rows.row(i),
+                    train_rows.row(j),
+                    config.length_scale,
+                    config.signal_variance,
+                );
+                k.row_mut(i)[j] = v;
+                k.row_mut(j)[i] = v;
             }
-            k[i][i] += config.noise_variance;
+            k.row_mut(i)[i] += config.noise_variance;
         }
 
         // Jitter escalation if the kernel matrix is numerically borderline.
         let chol = match Cholesky::new(&k) {
             Ok(c) => c,
             Err(_) => {
-                for (i, row) in k.iter_mut().enumerate() {
-                    row[i] += 1e-6;
+                for i in 0..n {
+                    k.row_mut(i)[i] += 1e-6;
                 }
                 Cholesky::new(&k).expect("kernel matrix not PD even with jitter")
             }
         };
-        let alpha = chol.solve(&centred).expect("dimensions match by construction");
+        let alpha = chol
+            .solve(&centred)
+            .expect("dimensions match by construction");
 
         Self {
             config: config.clone(),
-            train_rows: rows,
+            train_rows,
             alpha,
             chol,
             mean_label,
@@ -117,32 +130,36 @@ impl GaussianProcess {
 
     /// Number of retained training points.
     pub fn n_train(&self) -> usize {
-        self.train_rows.len()
+        self.train_rows.n_rows()
     }
 
     /// Latent predictive mean and variance (before clipping to [0, 1]).
-    pub fn predict_latent(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
-        let mut means = Vec::with_capacity(rows.len());
-        let mut vars = Vec::with_capacity(rows.len());
-        for x in rows {
-            assert_eq!(
-                x.len(),
-                self.train_rows[0].len(),
-                "feature width mismatch"
-            );
-            let kstar: Vec<f64> = self
-                .train_rows
-                .iter()
-                .map(|xi| rbf(x, xi, self.config.length_scale, self.config.signal_variance))
-                .collect();
+    pub fn predict_latent(&self, x: MatrixView<'_>) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(
+            x.n_cols(),
+            self.train_rows.n_cols(),
+            "feature width mismatch"
+        );
+        let n = self.n_train();
+        let mut means = Vec::with_capacity(x.n_rows());
+        let mut vars = Vec::with_capacity(x.n_rows());
+        let mut kstar = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let kxx = self.config.signal_variance;
+        for q in x.rows() {
+            for (slot, xi) in kstar.iter_mut().zip(self.train_rows.rows()) {
+                *slot = rbf(q, xi, self.config.length_scale, self.config.signal_variance);
+            }
             let mean = self.mean_label
-                + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+                + kstar
+                    .iter()
+                    .zip(&self.alpha)
+                    .map(|(k, a)| k * a)
+                    .sum::<f64>();
             // v = L⁻¹ k*, predictive variance = k(x,x) − vᵀv.
-            let v = self
-                .chol
-                .solve_lower(&kstar)
+            self.chol
+                .solve_lower_into(&kstar, &mut v)
                 .expect("dimensions match by construction");
-            let kxx = self.config.signal_variance;
             let var = (kxx - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
             means.push(mean);
             vars.push(var);
@@ -152,15 +169,15 @@ impl GaussianProcess {
 }
 
 impl Classifier for GaussianProcess {
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        let (means, _) = self.predict_latent(rows);
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+        let (means, _) = self.predict_latent(x);
         means.into_iter().map(|m| m.clamp(0.0, 1.0)).collect()
     }
 }
 
 impl UncertainClassifier for GaussianProcess {
-    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
-        let (means, vars) = self.predict_latent(rows);
+    fn predict_with_variance(&self, x: MatrixView<'_>) -> (Vec<f64>, Vec<f64>) {
+        let (means, vars) = self.predict_latent(x);
         (means.into_iter().map(|m| m.clamp(0.0, 1.0)).collect(), vars)
     }
 }
@@ -174,17 +191,17 @@ fn rbf(a: &[f64], b: &[f64], length_scale: f64, signal_variance: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::metrics::{pearson, roc_auc};
-    use rand::Rng;
+    use rand::{Rng, SeedableRng};
 
-    fn blob_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn blob_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         // Two Gaussian blobs.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = Matrix::new(2);
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let positive = i % 2 == 0;
             let centre = if positive { 1.2 } else { -1.2 };
-            rows.push(vec![
+            rows.push_row(&[
                 centre + rng.gen_range(-1.0..1.0),
                 centre + rng.gen_range(-1.0..1.0),
             ]);
@@ -196,17 +213,17 @@ mod tests {
     #[test]
     fn separates_blobs() {
         let (rows, labels) = blob_data(200, 1);
-        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let gp = GaussianProcess::fit(&GpConfig::default(), rows.view(), &labels, 3);
         let (trows, tlabels) = blob_data(100, 2);
-        let probs = gp.predict_proba(&trows);
+        let probs = gp.predict_proba(trows.view());
         assert!(roc_auc(&tlabels, &probs) > 0.9);
     }
 
     #[test]
     fn probabilities_and_variances_are_valid() {
         let (rows, labels) = blob_data(120, 3);
-        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
-        let (p, v) = gp.predict_with_variance(&rows);
+        let gp = GaussianProcess::fit(&GpConfig::default(), rows.view(), &labels, 3);
+        let (p, v) = gp.predict_with_variance(rows.view());
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
         assert!(v.iter().all(|&x| x > 0.0));
     }
@@ -214,9 +231,10 @@ mod tests {
     #[test]
     fn variance_is_higher_far_from_training_data() {
         let (rows, labels) = blob_data(150, 4);
-        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
-        let (_, v_near) = gp.predict_with_variance(&[rows[0].clone()]);
-        let (_, v_far) = gp.predict_with_variance(&[vec![50.0, -50.0]]);
+        let gp = GaussianProcess::fit(&GpConfig::default(), rows.view(), &labels, 3);
+        let (_, v_near) = gp.predict_with_variance(rows.view().head(1));
+        let far = [50.0, -50.0];
+        let (_, v_far) = gp.predict_with_variance(MatrixView::single_row(&far));
         assert!(v_far[0] > v_near[0]);
         // Far from all data the variance approaches the signal variance.
         assert!((v_far[0] - GpConfig::default().signal_variance).abs() < 1e-6);
@@ -227,12 +245,13 @@ mod tests {
         // The Fig. 7 phenomenon: GP uncertainty tracks data density, not the
         // predicted probability.
         let (rows, labels) = blob_data(200, 5);
-        let gp = GaussianProcess::fit(&GpConfig::default(), &rows, &labels, 3);
+        let gp = GaussianProcess::fit(&GpConfig::default(), rows.view(), &labels, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let test: Vec<Vec<f64>> = (0..150)
-            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
-            .collect();
-        let (p, v) = gp.predict_with_variance(&test);
+        let mut test = Matrix::new(2);
+        for _ in 0..150 {
+            test.push_row(&[rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)]);
+        }
+        let (p, v) = gp.predict_with_variance(test.view());
         assert!(pearson(&p, &v).abs() < 0.6);
     }
 
@@ -243,7 +262,7 @@ mod tests {
             max_points: 100,
             ..GpConfig::default()
         };
-        let gp = GaussianProcess::fit(&config, &rows, &labels, 3);
+        let gp = GaussianProcess::fit(&config, rows.view(), &labels, 3);
         assert_eq!(gp.n_train(), 100);
     }
 
@@ -255,14 +274,14 @@ mod tests {
             length_scale: 0.5,
             ..GpConfig::default()
         };
-        let gp = GaussianProcess::fit(&config, &rows, &labels, 3);
-        let probs = gp.predict_proba(&rows);
+        let gp = GaussianProcess::fit(&config, rows.view(), &labels, 3);
+        let probs = gp.predict_proba(rows.view());
         let close = probs
             .iter()
             .zip(&labels)
             .filter(|(p, y)| (**p - **y).abs() < 0.2)
             .count();
-        assert!(close as f64 / rows.len() as f64 > 0.9);
+        assert!(close as f64 / rows.n_rows() as f64 > 0.9);
     }
 
     #[test]
@@ -272,8 +291,11 @@ mod tests {
             max_points: 120,
             ..GpConfig::default()
         };
-        let a = GaussianProcess::fit(&config, &rows, &labels, 21);
-        let b = GaussianProcess::fit(&config, &rows, &labels, 21);
-        assert_eq!(a.predict_proba(&rows[..10]), b.predict_proba(&rows[..10]));
+        let a = GaussianProcess::fit(&config, rows.view(), &labels, 21);
+        let b = GaussianProcess::fit(&config, rows.view(), &labels, 21);
+        assert_eq!(
+            a.predict_proba(rows.view().head(10)),
+            b.predict_proba(rows.view().head(10))
+        );
     }
 }

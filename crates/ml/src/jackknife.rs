@@ -15,16 +15,23 @@
 //! variance.
 
 use crate::bagging::BaggingClassifier;
+use paws_data::matrix::MatrixView;
 
 /// Infinitesimal-jackknife variance estimate of the bagged prediction at
 /// each query row.
-pub fn infinitesimal_jackknife_variance(model: &BaggingClassifier, rows: &[Vec<f64>]) -> Vec<f64> {
-    let per_member = model.member_predictions(rows); // [member][row]
+pub fn infinitesimal_jackknife_variance(model: &BaggingClassifier, x: MatrixView<'_>) -> Vec<f64> {
+    assert!(
+        model.n_members() > 1,
+        "jackknife needs at least two ensemble members"
+    );
+    if x.n_rows() == 0 {
+        return Vec::new();
+    }
+    let per_member = model.member_predictions(x); // n_members × n_rows
     let counts = model.in_bag_counts(); // [member][sample]
-    let b = per_member.len();
-    assert!(b > 1, "jackknife needs at least two ensemble members");
+    let b = per_member.n_rows();
     let n_train = model.n_train();
-    let n_rows = rows.len();
+    let n_rows = x.n_rows();
 
     // Mean in-bag count per training sample across members.
     let mut mean_counts = vec![0.0; n_train];
@@ -39,7 +46,7 @@ pub fn infinitesimal_jackknife_variance(model: &BaggingClassifier, rows: &[Vec<f
 
     // Mean prediction per row across members.
     let mut mean_pred = vec![0.0; n_rows];
-    for member in &per_member {
+    for member in per_member.rows() {
         for (m, &p) in mean_pred.iter_mut().zip(member) {
             *m += p;
         }
@@ -54,8 +61,9 @@ pub fn infinitesimal_jackknife_variance(model: &BaggingClassifier, rows: &[Vec<f
             let mut total = 0.0;
             for i in 0..n_train {
                 let mut cov = 0.0;
-                for (member_counts, member_preds) in counts.iter().zip(&per_member) {
-                    cov += (member_counts[i] as f64 - mean_counts[i]) * (member_preds[r] - mean_pred[r]);
+                for (member_counts, member_preds) in counts.iter().zip(per_member.rows()) {
+                    cov += (member_counts[i] as f64 - mean_counts[i])
+                        * (member_preds[r] - mean_pred[r]);
                 }
                 cov /= b as f64;
                 total += cov * cov;
@@ -70,10 +78,11 @@ mod tests {
     use super::*;
     use crate::bagging::BaggingConfig;
     use crate::metrics::pearson;
+    use paws_data::matrix::Matrix;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
-    fn data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
@@ -82,14 +91,14 @@ mod tests {
             .iter()
             .map(|r| if r[0] + 0.3 * r[1] > 0.0 { 1.0 } else { 0.0 })
             .collect();
-        (rows, labels)
+        (Matrix::from_rows(&rows), labels)
     }
 
     #[test]
     fn variance_is_non_negative_and_finite() {
         let (rows, labels) = data(300, 1);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(20, 3), &rows, &labels);
-        let v = infinitesimal_jackknife_variance(&model, &rows[..60]);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(20, 3), rows.view(), &labels);
+        let v = infinitesimal_jackknife_variance(&model, rows.view().head(60));
         assert_eq!(v.len(), 60);
         assert!(v.iter().all(|&x| x.is_finite() && x >= 0.0));
         assert!(v.iter().any(|&x| x > 0.0));
@@ -104,22 +113,28 @@ mod tests {
         // prediction-dependent than a GP-style density signal would be.
         use crate::traits::UncertainClassifier;
         let (rows, labels) = data(400, 2);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(25, 3), &rows, &labels);
-        let (preds, spread) = model.predict_with_variance(&rows[..150]);
-        let vij = infinitesimal_jackknife_variance(&model, &rows[..150]);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(25, 3), rows.view(), &labels);
+        let (preds, spread) = model.predict_with_variance(rows.view().head(150));
+        let vij = infinitesimal_jackknife_variance(&model, rows.view().head(150));
         // p(1-p)-shaped signals: compare against the interior-ness of the prediction.
         let interior: Vec<f64> = preds.iter().map(|p| p * (1.0 - p)).collect();
         let corr_spread = pearson(&vij, &spread);
         let corr_interior = pearson(&vij, &interior);
-        assert!(corr_spread > 0.3, "corr with member spread too low: {corr_spread}");
-        assert!(corr_interior > 0.3, "corr with p(1-p) too low: {corr_interior}");
+        assert!(
+            corr_spread > 0.3,
+            "corr with member spread too low: {corr_spread}"
+        );
+        assert!(
+            corr_interior > 0.3,
+            "corr with p(1-p) too low: {corr_interior}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least two ensemble members")]
     fn single_member_rejected() {
         let (rows, labels) = data(50, 3);
-        let model = BaggingClassifier::fit(&BaggingConfig::trees(1, 3), &rows, &labels);
-        let _ = infinitesimal_jackknife_variance(&model, &rows[..5]);
+        let model = BaggingClassifier::fit(&BaggingConfig::trees(1, 3), rows.view(), &labels);
+        let _ = infinitesimal_jackknife_variance(&model, rows.view().head(5));
     }
 }

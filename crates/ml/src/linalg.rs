@@ -2,8 +2,13 @@
 //!
 //! The GP weak learners only need symmetric positive-definite solves on
 //! matrices of a few hundred rows (each bagged GP trains on a bootstrap
-//! subsample), so a straightforward `Vec<Vec<f64>>` Cholesky factorisation
-//! is both simpler and fast enough; no external BLAS is required.
+//! subsample), so a straightforward Cholesky factorisation is both simpler
+//! and fast enough; no external BLAS is required. The factor is stored as
+//! one flat row-major buffer so the forward/backward substitution loops and
+//! the per-query `L⁻¹ k*` solves in the GP predictive-variance path stream
+//! contiguous memory.
+
+use paws_data::matrix::Matrix;
 
 /// Errors from linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,79 +35,100 @@ impl std::fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
-/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix,
+/// stored flat row-major (entries above the diagonal are zero).
 #[derive(Debug, Clone)]
 pub struct Cholesky {
-    l: Vec<Vec<f64>>,
+    l: Vec<f64>,
+    n: usize,
 }
 
 impl Cholesky {
     /// Factorise `a` (which must be square and symmetric positive definite).
-    pub fn new(a: &[Vec<f64>]) -> Result<Self, LinalgError> {
-        let n = a.len();
-        if a.iter().any(|row| row.len() != n) {
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.n_rows();
+        if a.n_cols() != n {
             return Err(LinalgError::DimensionMismatch);
         }
-        let mut l = vec![vec![0.0; n]; n];
+        let mut l = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a[i][j];
+                let mut sum = a.get(i, j);
+                // sum -= l[i][..j] · l[j][..j]: two contiguous row prefixes.
+                let (ri, rj) = (&l[i * n..i * n + j], &l[j * n..j * n + j]);
                 for k in 0..j {
-                    sum -= l[i][k] * l[j][k];
+                    sum -= ri[k] * rj[k];
                 }
                 if i == j {
                     if sum <= 0.0 {
                         return Err(LinalgError::NotPositiveDefinite { pivot: i });
                     }
-                    l[i][j] = sum.sqrt();
+                    l[i * n + j] = sum.sqrt();
                 } else {
-                    l[i][j] = sum / l[j][j];
+                    l[i * n + j] = sum / l[j * n + j];
                 }
             }
         }
-        Ok(Self { l })
+        Ok(Self { l, n })
     }
 
     /// Dimension of the factorised matrix.
     pub fn dim(&self) -> usize {
-        self.l.len()
+        self.n
     }
 
-    /// Borrow the lower-triangular factor.
-    pub fn factor(&self) -> &[Vec<f64>] {
-        &self.l
+    /// Entry (i, j) of the lower-triangular factor.
+    pub fn factor_at(&self, i: usize, j: usize) -> f64 {
+        self.l[i * self.n + j]
+    }
+
+    /// Row `i` of the lower-triangular factor (zeros above the diagonal).
+    pub fn factor_row(&self, i: usize) -> &[f64] {
+        &self.l[i * self.n..(i + 1) * self.n]
     }
 
     /// Solve `L x = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        let n = self.dim();
+        let n = self.n;
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch);
         }
         let mut x = vec![0.0; n];
+        self.solve_lower_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `L x = b` into a caller-provided buffer (no allocation); used
+    /// by the GP predictive-variance hot loop.
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        let n = self.n;
+        if b.len() != n || x.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
         for i in 0..n {
+            let row = &self.l[i * n..i * n + i];
             let mut sum = b[i];
             for k in 0..i {
-                sum -= self.l[i][k] * x[k];
+                sum -= row[k] * x[k];
             }
-            x[i] = sum / self.l[i][i];
+            x[i] = sum / self.l[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solve `Lᵀ x = b` (backward substitution).
     pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        let n = self.dim();
+        let n = self.n;
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch);
         }
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for k in (i + 1)..n {
-                sum -= self.l[k][i] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l[k * n + i] * xk;
             }
-            x[i] = sum / self.l[i][i];
+            x[i] = sum / self.l[i * n + i];
         }
         Ok(x)
     }
@@ -115,7 +141,9 @@ impl Cholesky {
 
     /// Log-determinant of `A = L Lᵀ` (useful for marginal likelihoods).
     pub fn log_det(&self) -> f64 {
-        2.0 * self.l.iter().enumerate().map(|(i, row)| row[i].ln()).sum::<f64>()
+        2.0 * (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
     }
 }
 
@@ -135,28 +163,27 @@ pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn spd_matrix() -> Vec<Vec<f64>> {
+    fn spd_matrix() -> Matrix {
         // A = B Bᵀ + I for a small B, guaranteed SPD.
-        vec![
+        Matrix::from_rows(&[
             vec![4.0, 2.0, 0.6],
             vec![2.0, 5.0, 1.0],
             vec![0.6, 1.0, 3.0],
-        ]
+        ])
     }
 
     #[test]
     fn cholesky_reconstructs_the_matrix() {
         let a = spd_matrix();
         let ch = Cholesky::new(&a).unwrap();
-        let l = ch.factor();
-        let n = a.len();
+        let n = a.n_rows();
         for i in 0..n {
             for j in 0..n {
                 let mut v = 0.0;
                 for k in 0..n {
-                    v += l[i][k] * l[j][k];
+                    v += ch.factor_at(i, k) * ch.factor_at(j, k);
                 }
-                assert!((v - a[i][j]).abs() < 1e-10, "mismatch at ({i},{j})");
+                assert!((v - a.get(i, j)).abs() < 1e-10, "mismatch at ({i},{j})");
             }
         }
     }
@@ -166,7 +193,7 @@ mod tests {
         let a = spd_matrix();
         let x_true = vec![1.0, -2.0, 0.5];
         let b: Vec<f64> = (0..3)
-            .map(|i| (0..3).map(|j| a[i][j] * x_true[j]).sum())
+            .map(|i| (0..3).map(|j| a.get(i, j) * x_true[j]).sum())
             .collect();
         let ch = Cholesky::new(&a).unwrap();
         let x = ch.solve(&b).unwrap();
@@ -177,7 +204,7 @@ mod tests {
 
     #[test]
     fn non_spd_matrix_is_rejected() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
         assert!(matches!(
             Cholesky::new(&a),
             Err(LinalgError::NotPositiveDefinite { .. })
@@ -186,16 +213,30 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_is_reported() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
         let ch = Cholesky::new(&a).unwrap();
         assert_eq!(ch.solve(&[1.0]), Err(LinalgError::DimensionMismatch));
-        let ragged = vec![vec![1.0], vec![0.0, 1.0]];
-        assert!(matches!(Cholesky::new(&ragged), Err(LinalgError::DimensionMismatch)));
+        let wide = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        assert!(matches!(
+            Cholesky::new(&wide),
+            Err(LinalgError::DimensionMismatch)
+        ));
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating_solve() {
+        let a = spd_matrix();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [0.3, -1.0, 2.0];
+        let alloc = ch.solve_lower(&b).unwrap();
+        let mut buf = [0.0; 3];
+        ch.solve_lower_into(&b, &mut buf).unwrap();
+        assert_eq!(alloc.as_slice(), buf.as_slice());
     }
 
     #[test]
     fn log_det_matches_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
         let ch = Cholesky::new(&a).unwrap();
         assert!(ch.log_det().abs() < 1e-12);
     }

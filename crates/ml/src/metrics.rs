@@ -18,7 +18,11 @@ pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
     }
     // Rank the scores (average rank for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -45,7 +49,11 @@ pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
 /// Binary cross-entropy (log loss), with probabilities clipped away from 0
 /// and 1 for numerical stability.
 pub fn log_loss(labels: &[f64], probabilities: &[f64]) -> f64 {
-    assert_eq!(labels.len(), probabilities.len(), "labels/probabilities length mismatch");
+    assert_eq!(
+        labels.len(),
+        probabilities.len(),
+        "labels/probabilities length mismatch"
+    );
     assert!(!labels.is_empty(), "log loss of an empty sample");
     let eps = 1e-12;
     let total: f64 = labels

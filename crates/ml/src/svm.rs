@@ -5,9 +5,12 @@
 //! stochastic sub-gradient method on the hinge loss and calibrates decision
 //! values into probabilities with Platt scaling (a logistic fit on the
 //! training decision values), matching the common `SVC(probability=True)`
-//! setup used by the original Python pipeline.
+//! setup used by the original Python pipeline. Feature batches are flat
+//! row-major [`MatrixView`]s, so the Pegasos inner loop and the batch
+//! decision-value kernel stream contiguous rows.
 
 use crate::traits::{validate_training_data, Classifier};
+use paws_data::matrix::MatrixView;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -44,12 +47,15 @@ pub struct LinearSvm {
 }
 
 impl LinearSvm {
-    /// Fit the SVM on `rows` / binary `labels` (0.0 / 1.0).
-    pub fn fit(config: &SvmConfig, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self {
-        validate_training_data(rows, labels);
-        let n = rows.len();
-        let k = rows[0].len();
-        let y: Vec<f64> = labels.iter().map(|&l| if l > 0.5 { 1.0 } else { -1.0 }).collect();
+    /// Fit the SVM on the feature batch `x` / binary `labels` (0.0 / 1.0).
+    pub fn fit(config: &SvmConfig, x: MatrixView<'_>, labels: &[f64], seed: u64) -> Self {
+        validate_training_data(x, labels);
+        let n = x.n_rows();
+        let k = x.n_cols();
+        let y: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l > 0.5 { 1.0 } else { -1.0 })
+            .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
         let mut w = vec![0.0; k];
@@ -58,14 +64,15 @@ impl LinearSvm {
         for _ in 0..config.epochs {
             for _ in 0..n {
                 let i = rng.gen_range(0..n);
+                let row = x.row(i);
                 let eta = 1.0 / (config.lambda * t);
-                let margin = y[i] * (dot(&w, &rows[i]) + b);
+                let margin = y[i] * (dot(&w, row) + b);
                 // Regularisation shrinkage.
                 for wj in w.iter_mut() {
                     *wj *= 1.0 - eta * config.lambda;
                 }
                 if margin < 1.0 {
-                    for (wj, xj) in w.iter_mut().zip(&rows[i]) {
+                    for (wj, xj) in w.iter_mut().zip(row) {
                         *wj += eta * y[i] * xj;
                     }
                     b += eta * y[i];
@@ -76,7 +83,7 @@ impl LinearSvm {
 
         // Platt scaling: fit sigma(a*f + b) to the labels by gradient descent
         // on the logistic loss of the decision values.
-        let decisions: Vec<f64> = rows.iter().map(|r| dot(&w, r) + b).collect();
+        let decisions: Vec<f64> = x.rows().map(|r| dot(&w, r) + b).collect();
         let (platt_a, platt_b) = fit_platt(&decisions, labels, config.platt_iterations);
 
         Self {
@@ -100,9 +107,10 @@ impl LinearSvm {
 }
 
 impl Classifier for LinearSvm {
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter()
-            .map(|r| sigmoid(self.platt_a * self.decision_function(r) + self.platt_b))
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+        assert_eq!(x.n_cols(), self.weights.len(), "feature width mismatch");
+        x.rows()
+            .map(|r| sigmoid(self.platt_a * (dot(&self.weights, r) + self.bias) + self.platt_b))
             .collect()
     }
 }
@@ -141,8 +149,9 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::metrics::roc_auc;
+    use paws_data::matrix::Matrix;
 
-    fn linearly_separable(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn linearly_separable(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
@@ -151,22 +160,22 @@ mod tests {
             .iter()
             .map(|r| if r[0] + 0.5 * r[1] > 0.1 { 1.0 } else { 0.0 })
             .collect();
-        (rows, labels)
+        (Matrix::from_rows(&rows), labels)
     }
 
     #[test]
     fn separates_linear_data() {
         let (rows, labels) = linearly_separable(400, 1);
-        let svm = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 3);
+        let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);
         let (trows, tlabels) = linearly_separable(200, 2);
-        let probs = svm.predict_proba(&trows);
+        let probs = svm.predict_proba(trows.view());
         assert!(roc_auc(&tlabels, &probs) > 0.95);
     }
 
     #[test]
     fn probabilities_are_calibrated_direction() {
         let (rows, labels) = linearly_separable(300, 3);
-        let svm = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 3);
+        let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);
         // Clearly positive point gets higher probability than clearly negative.
         let p_pos = svm.predict_proba_one(&[0.9, 0.9]);
         let p_neg = svm.predict_proba_one(&[-0.9, -0.9]);
@@ -179,25 +188,35 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (rows, labels) = linearly_separable(200, 4);
-        let a = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 9);
-        let b = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 9);
-        assert_eq!(a.predict_proba(&rows), b.predict_proba(&rows));
+        let a = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 9);
+        let b = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 9);
+        assert_eq!(a.predict_proba(rows.view()), b.predict_proba(rows.view()));
     }
 
     #[test]
     fn weights_reflect_informative_feature() {
         let (rows, labels) = linearly_separable(500, 5);
-        let svm = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 3);
+        let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);
         // Feature 0 has twice the influence of feature 1 in the ground truth.
         assert!(svm.weights()[0].abs() > svm.weights()[1].abs());
         assert!(svm.weights()[0] > 0.0);
     }
 
     #[test]
+    fn batch_predict_matches_per_row_predict() {
+        let (rows, labels) = linearly_separable(100, 6);
+        let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);
+        let batch = svm.predict_proba(rows.view());
+        for (i, &p) in batch.iter().enumerate() {
+            assert_eq!(p, svm.predict_proba_one(rows.row(i)));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "feature width mismatch")]
     fn decision_function_rejects_wrong_width() {
         let (rows, labels) = linearly_separable(50, 6);
-        let svm = LinearSvm::fit(&SvmConfig::default(), &rows, &labels, 3);
+        let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);
         let _ = svm.decision_function(&[1.0, 2.0, 3.0]);
     }
 }

@@ -1,13 +1,19 @@
 //! Common interfaces of the weak learners.
+//!
+//! All batch interfaces take a flat row-major [`MatrixView`] — a borrowed
+//! `&[f64]` plus a column count — so prediction and training never clone
+//! feature rows and batch kernels stream contiguous memory.
+
+use paws_data::matrix::MatrixView;
 
 /// A fitted binary classifier producing positive-class probabilities.
 pub trait Classifier: Send + Sync {
     /// Probability of the positive class for each feature row.
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64>;
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64>;
 
     /// Probability of the positive class for one feature row.
     fn predict_proba_one(&self, row: &[f64]) -> f64 {
-        self.predict_proba(std::slice::from_ref(&row.to_vec()))[0]
+        self.predict_proba(MatrixView::single_row(row))[0]
     }
 }
 
@@ -18,24 +24,22 @@ pub trait Classifier: Send + Sync {
 /// is a heuristic based on the spread of member predictions.
 pub trait UncertainClassifier: Classifier {
     /// `(probability, variance)` per feature row.
-    fn predict_with_variance(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>);
+    fn predict_with_variance(&self, x: MatrixView<'_>) -> (Vec<f64>, Vec<f64>);
 }
 
-/// Training-time interface: build a fitted classifier from rows, binary
-/// labels (0.0 / 1.0) and a seed for any internal randomness.
+/// Training-time interface: build a fitted classifier from a feature batch,
+/// binary labels (0.0 / 1.0) and a seed for any internal randomness.
 pub trait Trainable: Sized {
     /// Fit the model. Implementations must be deterministic given `seed`.
-    fn fit(&self, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self;
+    fn fit(&self, x: MatrixView<'_>, labels: &[f64], seed: u64) -> Self;
 }
 
-/// Validate a (rows, labels) training pair, panicking with a clear message
+/// Validate an (x, labels) training pair, panicking with a clear message
 /// when the shapes are inconsistent. Shared by every learner's `fit`.
-pub fn validate_training_data(rows: &[Vec<f64>], labels: &[f64]) {
-    assert!(!rows.is_empty(), "cannot fit on an empty training set");
-    assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
-    let k = rows[0].len();
-    assert!(k > 0, "training rows need at least one feature");
-    assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+pub fn validate_training_data(x: MatrixView<'_>, labels: &[f64]) {
+    assert!(!x.is_empty(), "cannot fit on an empty training set");
+    assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
+    assert!(x.n_cols() > 0, "training rows need at least one feature");
     assert!(
         labels.iter().all(|&y| y == 0.0 || y == 1.0),
         "labels must be 0.0 or 1.0"
@@ -45,11 +49,12 @@ pub fn validate_training_data(rows: &[Vec<f64>], labels: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paws_data::matrix::Matrix;
 
     struct Constant(f64);
     impl Classifier for Constant {
-        fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-            vec![self.0; rows.len()]
+        fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+            vec![self.0; x.n_rows()]
         }
     }
 
@@ -61,30 +66,27 @@ mod tests {
 
     #[test]
     fn validation_accepts_good_data() {
-        validate_training_data(&[vec![1.0, 2.0], vec![3.0, 4.0]], &[0.0, 1.0]);
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        validate_training_data(m.view(), &[0.0, 1.0]);
     }
 
     #[test]
     #[should_panic(expected = "empty training set")]
     fn validation_rejects_empty() {
-        validate_training_data(&[], &[]);
+        validate_training_data(MatrixView::from_flat(&[], 1), &[]);
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn validation_rejects_mismatched_labels() {
-        validate_training_data(&[vec![1.0]], &[0.0, 1.0]);
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged")]
-    fn validation_rejects_ragged_rows() {
-        validate_training_data(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]);
+        let m = Matrix::from_rows(&[vec![1.0]]);
+        validate_training_data(m.view(), &[0.0, 1.0]);
     }
 
     #[test]
     #[should_panic(expected = "labels must be")]
     fn validation_rejects_non_binary_labels() {
-        validate_training_data(&[vec![1.0], vec![2.0]], &[0.5, 1.0]);
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        validate_training_data(m.view(), &[0.5, 1.0]);
     }
 }

@@ -6,8 +6,17 @@
 //! feature subsampling per split (which turns a bagging ensemble of these
 //! trees into a random forest, as noted in Sec. V-C), and leaf probabilities
 //! given by the positive fraction of training samples in the leaf.
+//!
+//! Features arrive as a flat row-major [`MatrixView`]. Split search sorts
+//! each candidate feature once per node and evaluates every candidate
+//! threshold from cumulative (count, positive-count) prefixes — one
+//! O(n log n) pass instead of one O(n) scan per threshold. Counts and label
+//! sums are exact integers in `f64`, so the chosen splits (and therefore
+//! the fitted tree and its predictions) are bit-identical to the previous
+//! nested-`Vec` implementation.
 
 use crate::traits::{validate_training_data, Classifier};
+use paws_data::matrix::MatrixView;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -41,17 +50,43 @@ impl Default for TreeConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-enum Node {
-    Leaf {
-        proba: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-    },
+/// Compact 24-byte node: `feature < 0` marks a leaf whose probability is
+/// stored in `value`; otherwise `value` is the split threshold and
+/// `left`/`right` index the child nodes. The dense layout keeps batch
+/// traversal cache-friendly.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Node {
+    feature: i32,
+    left: u32,
+    right: u32,
+    value: f64,
+}
+
+impl Node {
+    #[inline]
+    fn leaf(proba: f64) -> Self {
+        Self {
+            feature: -1,
+            left: 0,
+            right: 0,
+            value: proba,
+        }
+    }
+
+    #[inline]
+    fn split(feature: usize, threshold: f64, left: usize, right: usize) -> Self {
+        Self {
+            feature: feature as i32,
+            left: left as u32,
+            right: right as u32,
+            value: threshold,
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.feature < 0
+    }
 }
 
 /// A fitted CART decision tree.
@@ -62,17 +97,17 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
-    /// Fit a tree on `rows` / binary `labels`. `seed` drives the feature
-    /// subsampling (when `max_features` is set).
-    pub fn fit(config: &TreeConfig, rows: &[Vec<f64>], labels: &[f64], seed: u64) -> Self {
-        validate_training_data(rows, labels);
+    /// Fit a tree on the feature batch `x` / binary `labels`. `seed` drives
+    /// the feature subsampling (when `max_features` is set).
+    pub fn fit(config: &TreeConfig, x: MatrixView<'_>, labels: &[f64], seed: u64) -> Self {
+        validate_training_data(x, labels);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut tree = Self {
             nodes: Vec::new(),
-            n_features: rows[0].len(),
+            n_features: x.n_cols(),
         };
-        let indices: Vec<usize> = (0..rows.len()).collect();
-        tree.build(config, rows, labels, &indices, 0, &mut rng);
+        let indices: Vec<usize> = (0..x.n_rows()).collect();
+        tree.build(config, x, labels, &indices, 0, &mut rng);
         tree
     }
 
@@ -84,9 +119,11 @@ impl DecisionTree {
     /// Tree depth (longest root-to-leaf path, in edges).
     pub fn depth(&self) -> usize {
         fn depth_of(nodes: &[Node], idx: usize) -> usize {
-            match &nodes[idx] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+            let n = nodes[idx];
+            if n.is_leaf() {
+                0
+            } else {
+                1 + depth_of(nodes, n.left as usize).max(depth_of(nodes, n.right as usize))
             }
         }
         if self.nodes.is_empty() {
@@ -99,7 +136,7 @@ impl DecisionTree {
     fn build(
         &mut self,
         config: &TreeConfig,
-        rows: &[Vec<f64>],
+        x: MatrixView<'_>,
         labels: &[f64],
         indices: &[usize],
         depth: usize,
@@ -111,7 +148,7 @@ impl DecisionTree {
 
         let is_pure = positives == 0.0 || positives == n as f64;
         if depth >= config.max_depth || n < config.min_samples_split || is_pure {
-            self.nodes.push(Node::Leaf { proba });
+            self.nodes.push(Node::leaf(proba));
             return self.nodes.len() - 1;
         }
 
@@ -127,26 +164,45 @@ impl DecisionTree {
 
         let parent_impurity = gini(proba);
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+        // (value, cumulative count, cumulative positives) per unique value.
+        let mut uniq: Vec<(f64, usize, f64)> = Vec::with_capacity(n);
         for &f in &candidate_features {
-            let mut values: Vec<f64> = indices.iter().map(|&i| rows[i][f]).collect();
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            values.dedup();
-            if values.len() < 2 {
+            pairs.clear();
+            pairs.extend(indices.iter().map(|&i| (x.get(i, f), labels[i])));
+            pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+            uniq.clear();
+            let mut cum_n = 0usize;
+            let mut cum_p = 0.0f64;
+            let mut start = 0usize;
+            while start < pairs.len() {
+                let value = pairs[start].0;
+                let mut end = start;
+                while end < pairs.len() && pairs[end].0 == value {
+                    cum_n += 1;
+                    cum_p += pairs[end].1;
+                    end += 1;
+                }
+                uniq.push((value, cum_n, cum_p));
+                start = end;
+            }
+            if uniq.len() < 2 {
                 continue;
             }
-            let stride = (values.len() / config.max_thresholds.max(1)).max(1);
-            for w in (0..values.len() - 1).step_by(stride) {
-                let threshold = (values[w] + values[w + 1]) / 2.0;
-                let (mut nl, mut pl, mut nr, mut pr) = (0usize, 0.0f64, 0usize, 0.0f64);
-                for &i in indices {
-                    if rows[i][f] <= threshold {
-                        nl += 1;
-                        pl += labels[i];
-                    } else {
-                        nr += 1;
-                        pr += labels[i];
-                    }
-                }
+            let stride = (uniq.len() / config.max_thresholds.max(1)).max(1);
+            for w in (0..uniq.len() - 1).step_by(stride) {
+                let threshold = (uniq[w].0 + uniq[w + 1].0) / 2.0;
+                // Items with value <= threshold go left. The midpoint of two
+                // adjacent floats can round up onto the right value, in
+                // which case that whole run is on the left as well.
+                let (nl, pl) = if threshold >= uniq[w + 1].0 {
+                    (uniq[w + 1].1, uniq[w + 1].2)
+                } else {
+                    (uniq[w].1, uniq[w].2)
+                };
+                let nr = n - nl;
+                let pr = positives - pl;
                 if nl < config.min_samples_leaf || nr < config.min_samples_leaf {
                     continue;
                 }
@@ -154,56 +210,49 @@ impl DecisionTree {
                 let gr = gini(pr / nr as f64);
                 let weighted = (nl as f64 * gl + nr as f64 * gr) / n as f64;
                 let gain = parent_impurity - weighted;
-                if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, threshold));
                 }
             }
         }
 
         let Some((_, feature, threshold)) = best else {
-            self.nodes.push(Node::Leaf { proba });
+            self.nodes.push(Node::leaf(proba));
             return self.nodes.len() - 1;
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| rows[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
 
         // Reserve this node's slot before recursing so child indices are known.
         let node_idx = self.nodes.len();
-        self.nodes.push(Node::Leaf { proba }); // placeholder
-        let left = self.build(config, rows, labels, &left_idx, depth + 1, rng);
-        let right = self.build(config, rows, labels, &right_idx, depth + 1, rng);
-        self.nodes[node_idx] = Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
-        };
+        self.nodes.push(Node::leaf(proba)); // placeholder
+        let left = self.build(config, x, labels, &left_idx, depth + 1, rng);
+        let right = self.build(config, x, labels, &right_idx, depth + 1, rng);
+        self.nodes[node_idx] = Node::split(feature, threshold, left, right);
         node_idx
     }
 
+    #[inline]
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert_eq!(row.len(), self.n_features, "feature width mismatch");
-        let mut idx = 0;
-        loop {
-            match &self.nodes[idx] {
-                Node::Leaf { proba } => return *proba,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
-                }
-            }
+        let mut node = self.nodes[0];
+        while !node.is_leaf() {
+            let next = if row[node.feature as usize] <= node.value {
+                node.left
+            } else {
+                node.right
+            };
+            node = self.nodes[next as usize];
         }
+        node.value
     }
 }
 
 impl Classifier for DecisionTree {
-    fn predict_proba(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|r| self.predict_row(r)).collect()
+    fn predict_proba(&self, x: MatrixView<'_>) -> Vec<f64> {
+        assert_eq!(x.n_cols(), self.n_features, "feature width mismatch");
+        x.rows().map(|r| self.predict_row(r)).collect()
     }
 }
 
@@ -216,33 +265,36 @@ fn gini(p: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::metrics::roc_auc;
+    use paws_data::matrix::Matrix;
     use rand::Rng;
 
-    fn xor_like_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn xor_like_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         // Axis-aligned separable-by-tree problem: positive iff x0 > 0.5 and x1 > 0.5.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
         let labels: Vec<f64> = rows
             .iter()
             .map(|r| if r[0] > 0.5 && r[1] > 0.5 { 1.0 } else { 0.0 })
             .collect();
-        (rows, labels)
+        (Matrix::from_rows(&rows), labels)
     }
 
     #[test]
     fn learns_axis_aligned_concept() {
         let (rows, labels) = xor_like_data(400, 1);
-        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        let tree = DecisionTree::fit(&TreeConfig::default(), rows.view(), &labels, 7);
         let (test_rows, test_labels) = xor_like_data(200, 2);
-        let probs = tree.predict_proba(&test_rows);
+        let probs = tree.predict_proba(test_rows.view());
         assert!(roc_auc(&test_labels, &probs) > 0.95);
     }
 
     #[test]
     fn probabilities_are_valid() {
         let (rows, labels) = xor_like_data(200, 3);
-        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
-        for p in tree.predict_proba(&rows) {
+        let tree = DecisionTree::fit(&TreeConfig::default(), rows.view(), &labels, 7);
+        for p in tree.predict_proba(rows.view()) {
             assert!((0.0..=1.0).contains(&p));
         }
     }
@@ -254,17 +306,17 @@ mod tests {
             max_depth: 2,
             ..TreeConfig::default()
         };
-        let tree = DecisionTree::fit(&config, &rows, &labels, 7);
+        let tree = DecisionTree::fit(&config, rows.view(), &labels, 7);
         assert!(tree.depth() <= 2);
     }
 
     #[test]
     fn pure_labels_make_a_single_leaf() {
-        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let rows = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
         let labels = vec![0.0, 0.0, 0.0];
-        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
+        let tree = DecisionTree::fit(&TreeConfig::default(), rows.view(), &labels, 7);
         assert_eq!(tree.n_nodes(), 1);
-        assert_eq!(tree.predict_proba(&rows), vec![0.0, 0.0, 0.0]);
+        assert_eq!(tree.predict_proba(rows.view()), vec![0.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -274,9 +326,9 @@ mod tests {
             max_features: Some(2),
             ..TreeConfig::default()
         };
-        let a = DecisionTree::fit(&config, &rows, &labels, 11);
-        let b = DecisionTree::fit(&config, &rows, &labels, 11);
-        assert_eq!(a.predict_proba(&rows), b.predict_proba(&rows));
+        let a = DecisionTree::fit(&config, rows.view(), &labels, 11);
+        let b = DecisionTree::fit(&config, rows.view(), &labels, 11);
+        assert_eq!(a.predict_proba(rows.view()), b.predict_proba(rows.view()));
     }
 
     #[test]
@@ -286,11 +338,11 @@ mod tests {
             max_features: Some(1),
             ..TreeConfig::default()
         };
-        let a = DecisionTree::fit(&config, &rows, &labels, 1);
-        let b = DecisionTree::fit(&config, &rows, &labels, 2);
+        let a = DecisionTree::fit(&config, rows.view(), &labels, 1);
+        let b = DecisionTree::fit(&config, rows.view(), &labels, 2);
         // With only one of three features available per split, different
         // seeds should typically produce different trees/predictions.
-        assert_ne!(a.predict_proba(&rows), b.predict_proba(&rows));
+        assert_ne!(a.predict_proba(rows.view()), b.predict_proba(rows.view()));
     }
 
     #[test]
@@ -300,7 +352,7 @@ mod tests {
             min_samples_leaf: 20,
             ..TreeConfig::default()
         };
-        let tree = DecisionTree::fit(&config, &rows, &labels, 7);
+        let tree = DecisionTree::fit(&config, rows.view(), &labels, 7);
         // With at least 20 samples per leaf, leaf probabilities are multiples
         // of 1/n with n >= 20, so no leaf can be based on fewer samples than
         // allowed. Just sanity-check the tree is shallow and valid.
@@ -308,10 +360,21 @@ mod tests {
     }
 
     #[test]
+    fn batch_predict_matches_per_row_predict() {
+        let (rows, labels) = xor_like_data(150, 9);
+        let tree = DecisionTree::fit(&TreeConfig::default(), rows.view(), &labels, 7);
+        let batch = tree.predict_proba(rows.view());
+        for (i, &p) in batch.iter().enumerate() {
+            assert_eq!(p, tree.predict_proba_one(rows.row(i)));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "feature width mismatch")]
     fn prediction_rejects_wrong_width() {
         let (rows, labels) = xor_like_data(50, 9);
-        let tree = DecisionTree::fit(&TreeConfig::default(), &rows, &labels, 7);
-        let _ = tree.predict_proba(&[vec![1.0]]);
+        let tree = DecisionTree::fit(&TreeConfig::default(), rows.view(), &labels, 7);
+        let narrow = Matrix::from_rows(&[vec![1.0]]);
+        let _ = tree.predict_proba(narrow.view());
     }
 }

@@ -30,7 +30,10 @@ pub struct RobustComparison {
 
 /// Compute the Fig. 8 ratio for one planning problem: plan with β = 0 and
 /// with `problem.beta`, evaluate both under the β-weighted objective.
-pub fn compare_robust_vs_baseline(problem: &PlanningProblem, config: &PlannerConfig) -> RobustComparison {
+pub fn compare_robust_vs_baseline(
+    problem: &PlanningProblem,
+    config: &PlannerConfig,
+) -> RobustComparison {
     let beta = problem.beta;
     let mut baseline_problem = problem.clone();
     baseline_problem.beta = 0.0;
@@ -60,7 +63,11 @@ pub fn expected_detections(
     attack_probability: &[f64],
     detection: impl Fn(f64) -> f64,
 ) -> f64 {
-    assert_eq!(coverage.len(), problem.n_cells(), "coverage length mismatch");
+    assert_eq!(
+        coverage.len(),
+        problem.n_cells(),
+        "coverage length mismatch"
+    );
     assert_eq!(
         attack_probability.len(),
         problem.n_cells(),
@@ -87,14 +94,17 @@ pub fn compare_with_ground_truth(
     baseline_problem.beta = 0.0;
     let baseline = plan(&baseline_problem, config);
     let robust = plan(problem, config);
-    cmp.baseline_detections = expected_detections(problem, &baseline.coverage, attack_probability, detection);
-    cmp.robust_detections = expected_detections(problem, &robust.coverage, attack_probability, detection);
+    cmp.baseline_detections =
+        expected_detections(problem, &baseline.coverage, attack_probability, detection);
+    cmp.robust_detections =
+        expected_detections(problem, &robust.coverage, attack_probability, detection);
     cmp
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paws_data::matrix::Matrix;
     use paws_geo::parks::test_park_spec;
     use paws_geo::Park;
 
@@ -118,7 +128,16 @@ mod tests {
                 grid.iter().map(|&e| s + 0.02 * e).collect()
             })
             .collect();
-        PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 8.0, 2, beta)
+        PlanningProblem::from_response(
+            &park,
+            post,
+            &grid,
+            &Matrix::from_rows(&probs),
+            &Matrix::from_rows(&vars),
+            8.0,
+            2,
+            beta,
+        )
     }
 
     #[test]
@@ -162,7 +181,9 @@ mod tests {
     #[test]
     fn ground_truth_comparison_populates_detections() {
         let problem = uncertain_problem(0.9);
-        let attack: Vec<f64> = (0..problem.n_cells()).map(|i| 0.05 + 0.002 * (i % 10) as f64).collect();
+        let attack: Vec<f64> = (0..problem.n_cells())
+            .map(|i| 0.05 + 0.002 * (i % 10) as f64)
+            .collect();
         let cmp = compare_with_ground_truth(&problem, &PlannerConfig::default(), &attack, |c| {
             1.0 - (-0.9 * c).exp()
         });

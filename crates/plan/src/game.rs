@@ -15,6 +15,7 @@
 //! robustness parameter β.
 
 use crate::pwl::PwlFunction;
+use paws_data::matrix::Matrix;
 use paws_geo::{CellId, Park};
 use serde::{Deserialize, Serialize};
 
@@ -60,24 +61,37 @@ impl PlanningProblem {
     /// * `post` — the patrol post cell.
     /// * `effort_grid` — the effort levels at which `probs`/`vars` were
     ///   sampled (ascending, starting at 0).
-    /// * `probs[cell_index]`, `vars[cell_index]` — response samples for every
-    ///   in-park cell (as produced by `IWareModel::effort_response`), with
-    ///   the variance already squashed to [0, 1].
+    /// * `probs`, `vars` — flat response matrices with one row per in-park
+    ///   cell and one column per effort level (as produced by
+    ///   `IWareModel::effort_response`), the variance already squashed to
+    ///   [0, 1].
+    #[allow(clippy::too_many_arguments)]
     pub fn from_response(
         park: &Park,
         post: CellId,
         effort_grid: &[f64],
-        probs: &[Vec<f64>],
-        vars: &[Vec<f64>],
+        probs: &Matrix,
+        vars: &Matrix,
         patrol_length_km: f64,
         n_patrols: usize,
         beta: f64,
     ) -> Self {
         assert!(park.contains(post), "patrol post must be inside the park");
-        assert_eq!(probs.len(), park.n_cells(), "probs must cover every in-park cell");
-        assert_eq!(vars.len(), park.n_cells(), "vars must cover every in-park cell");
+        assert_eq!(
+            probs.n_rows(),
+            park.n_cells(),
+            "probs must cover every in-park cell"
+        );
+        assert_eq!(
+            vars.n_rows(),
+            park.n_cells(),
+            "vars must cover every in-park cell"
+        );
         assert!(effort_grid.len() >= 2, "need at least two effort levels");
-        assert!(patrol_length_km > 0.0 && n_patrols > 0, "empty patrol budget");
+        assert!(
+            patrol_length_km > 0.0 && n_patrols > 0,
+            "empty patrol budget"
+        );
         assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
 
         // Travel distance from the post to every in-park cell (km, octile).
@@ -91,8 +105,8 @@ impl PlanningProblem {
             let t = travel[pi];
             if t <= reach_limit {
                 let max_effort = effective_max_effort(patrol_length_km, n_patrols, t);
-                let g = resample_response(effort_grid, &probs[pi], max_effort);
-                let nu = resample_response(effort_grid, &vars[pi], max_effort);
+                let g = resample_response(effort_grid, probs.row(pi), max_effort);
+                let nu = resample_response(effort_grid, vars.row(pi), max_effort);
                 park_index_to_planning[pi] = Some(cells.len());
                 cells.push(PlanningCell {
                     cell,
@@ -145,7 +159,11 @@ impl PlanningProblem {
     /// Maximum effort that can feasibly be spent in candidate cell `i`,
     /// accounting for the round trip from the post within each patrol.
     pub fn max_effort(&self, i: usize) -> f64 {
-        effective_max_effort(self.patrol_length_km, self.n_patrols, self.cells[i].travel_km)
+        effective_max_effort(
+            self.patrol_length_km,
+            self.n_patrols,
+            self.cells[i].travel_km,
+        )
     }
 
     /// The robust per-cell utility U_v(c) = g_v(c) − β·g_v(c)·ν_v(c)
@@ -191,7 +209,9 @@ pub fn park_travel_distances(park: &Park, post: CellId) -> Vec<f64> {
     }
 
     let mut dist = vec![f64::INFINITY; park.n_cells()];
-    let start = park.cell_position(post).expect("post must be inside the park");
+    let start = park
+        .cell_position(post)
+        .expect("post must be inside the park");
     dist[start] = 0.0;
     let mut heap = BinaryHeap::new();
     heap.push(Entry(0.0, start));
@@ -221,7 +241,11 @@ fn effective_max_effort(patrol_length_km: f64, n_patrols: usize, travel_km: f64)
 /// breakpoints by interpolation so every cell's PWL lives on its own
 /// feasible-effort domain.
 fn resample_response(effort_grid: &[f64], values: &[f64], max_effort: f64) -> PwlFunction {
-    assert_eq!(effort_grid.len(), values.len(), "response sample length mismatch");
+    assert_eq!(
+        effort_grid.len(),
+        values.len(),
+        "response sample length mismatch"
+    );
     let base = PwlFunction::new(effort_grid.to_vec(), values.to_vec());
     let n = effort_grid.len().max(2) - 1;
     let hi = max_effort.max(1e-3);
@@ -243,13 +267,28 @@ mod tests {
         let probs: Vec<Vec<f64>> = (0..park.n_cells())
             .map(|i| {
                 let scale = 0.2 + 0.6 * (i % 7) as f64 / 7.0;
-                grid.iter().map(|&e| scale * (1.0 - (-0.8 * e).exp())).collect()
+                grid.iter()
+                    .map(|&e| scale * (1.0 - (-0.8 * e).exp()))
+                    .collect()
             })
             .collect();
         let vars: Vec<Vec<f64>> = (0..park.n_cells())
-            .map(|i| grid.iter().map(|&e| 0.1 + 0.05 * e + 0.002 * (i % 13) as f64).collect())
+            .map(|i| {
+                grid.iter()
+                    .map(|&e| 0.1 + 0.05 * e + 0.002 * (i % 13) as f64)
+                    .collect()
+            })
             .collect();
-        let problem = PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 10.0, 3, 1.0);
+        let problem = PlanningProblem::from_response(
+            &park,
+            post,
+            &grid,
+            &Matrix::from_rows(&probs),
+            &Matrix::from_rows(&vars),
+            10.0,
+            3,
+            1.0,
+        );
         (park, problem)
     }
 
@@ -336,6 +375,15 @@ mod tests {
         let grid: Vec<f64> = vec![0.0, 1.0];
         let probs = vec![vec![0.0, 0.1]; park.n_cells()];
         let vars = vec![vec![0.1, 0.1]; park.n_cells()];
-        let _ = PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 8.0, 2, 1.5);
+        let _ = PlanningProblem::from_response(
+            &park,
+            post,
+            &grid,
+            &Matrix::from_rows(&probs),
+            &Matrix::from_rows(&vars),
+            8.0,
+            2,
+            1.5,
+        );
     }
 }

@@ -21,7 +21,9 @@ pub mod pwl;
 pub mod robust;
 pub mod routes;
 
-pub use evaluate::{compare_robust_vs_baseline, compare_with_ground_truth, expected_detections, RobustComparison};
+pub use evaluate::{
+    compare_robust_vs_baseline, compare_with_ground_truth, expected_detections, RobustComparison,
+};
 pub use game::{park_travel_distances, PlanningCell, PlanningProblem};
 pub use planner::{plan, PatrolPlan, PlannerConfig, PlannerMethod};
 pub use pwl::PwlFunction;

@@ -181,6 +181,7 @@ fn solve_allocation(problem: &PlanningProblem, config: &PlannerConfig) -> Patrol
     }
 }
 
+#[allow(clippy::needless_range_loop)]
 fn solve_flow(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
     let utilities = cell_utilities(problem, config.segments);
     let t_steps = problem.patrol_length_km.round().max(1.0) as usize;
@@ -289,6 +290,7 @@ fn extract_coverage(values: &[f64], blocks: &[(Vec<Variable>, Vec<f64>)]) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paws_data::matrix::Matrix;
     use paws_geo::parks::test_park_spec;
     use paws_geo::Park;
 
@@ -300,7 +302,9 @@ mod tests {
         let probs: Vec<Vec<f64>> = (0..park.n_cells())
             .map(|i| {
                 let scale = 0.1 + 0.8 * ((i * 37) % 100) as f64 / 100.0;
-                grid.iter().map(|&e| scale * (1.0 - (-0.7 * e).exp())).collect()
+                grid.iter()
+                    .map(|&e| scale * (1.0 - (-0.7 * e).exp()))
+                    .collect()
             })
             .collect();
         let vars: Vec<Vec<f64>> = (0..park.n_cells())
@@ -309,7 +313,16 @@ mod tests {
                 grid.iter().map(|&e| base + 0.03 * e).collect()
             })
             .collect();
-        PlanningProblem::from_response(&park, post, &grid, &probs, &vars, patrol_len, n_patrols, beta)
+        PlanningProblem::from_response(
+            &park,
+            post,
+            &grid,
+            &Matrix::from_rows(&probs),
+            &Matrix::from_rows(&vars),
+            patrol_len,
+            n_patrols,
+            beta,
+        )
     }
 
     #[test]
@@ -318,7 +331,10 @@ mod tests {
         let plan = plan(&problem, &PlannerConfig::default());
         assert_eq!(plan.status, SolveStatus::Optimal);
         let total: f64 = plan.coverage.iter().sum();
-        assert!(total <= problem.budget_km() + 1e-6, "budget violated: {total}");
+        assert!(
+            total <= problem.budget_km() + 1e-6,
+            "budget violated: {total}"
+        );
         for (i, &c) in plan.coverage.iter().enumerate() {
             assert!(c <= problem.max_effort(i) + 1e-6);
             assert!(c >= -1e-9);
@@ -403,7 +419,10 @@ mod tests {
         );
         assert_eq!(flow.status, SolveStatus::Optimal);
         let total_flow: f64 = flow.coverage.iter().sum();
-        assert!((total_flow - problem.budget_km()).abs() < 1e-4, "flow uses the whole patrol time");
+        assert!(
+            (total_flow - problem.budget_km()).abs() < 1e-4,
+            "flow uses the whole patrol time"
+        );
         // The flow formulation is more constrained, so its optimum cannot
         // exceed the allocation optimum (up to PWL resolution differences).
         assert!(flow.objective <= alloc.objective + 0.1 * alloc.objective.abs().max(1.0));

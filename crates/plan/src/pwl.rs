@@ -23,7 +23,10 @@ impl PwlFunction {
     /// Panics when fewer than two breakpoints are given or the x values are
     /// not strictly ascending.
     pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Self {
-        assert!(xs.len() >= 2, "a PWL function needs at least two breakpoints");
+        assert!(
+            xs.len() >= 2,
+            "a PWL function needs at least two breakpoints"
+        );
         assert_eq!(xs.len(), ys.len(), "breakpoint coordinate length mismatch");
         assert!(
             xs.windows(2).all(|w| w[1] > w[0]),
@@ -106,7 +109,12 @@ impl PwlFunction {
     pub fn concave_envelope(&self) -> PwlFunction {
         // Upper convex hull of the breakpoints (Andrew's monotone chain on
         // the upper side), then re-evaluate at the original x grid.
-        let pts: Vec<(f64, f64)> = self.xs.iter().copied().zip(self.ys.iter().copied()).collect();
+        let pts: Vec<(f64, f64)> = self
+            .xs
+            .iter()
+            .copied()
+            .zip(self.ys.iter().copied())
+            .collect();
         let mut hull: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
         for &p in &pts {
             while hull.len() >= 2 {
@@ -213,10 +221,7 @@ mod tests {
 
     #[test]
     fn concave_envelope_dominates_and_is_concave() {
-        let f = PwlFunction::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.1, 0.9, 0.5, 1.0],
-        );
+        let f = PwlFunction::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.1, 0.9, 0.5, 1.0]);
         let env = f.concave_envelope();
         assert!(env.is_concave(1e-9));
         for (&orig, &e) in f.ys().iter().zip(env.ys()) {
@@ -232,7 +237,7 @@ mod tests {
         fn eval_stays_within_breakpoint_range(x in -10.0..10.0f64) {
             let f = PwlFunction::new(vec![0.0, 1.0, 2.0, 5.0], vec![0.1, 0.9, 0.4, 0.6]);
             let y = f.eval(x);
-            prop_assert!(y >= 0.1 - 1e-12 && y <= 0.9 + 1e-12);
+            prop_assert!((0.1 - 1e-12..=0.9 + 1e-12).contains(&y));
         }
 
         #[test]

@@ -9,6 +9,7 @@
 //! `U_v(c) = g_v(c) − β·g_v(c)·ν_v(c)`, so `U_v` stays non-negative for any
 //! β ≤ 1.
 
+use paws_data::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Logistic squashing of raw predictive variances into [0, 1).
@@ -36,7 +37,9 @@ impl VarianceSquash {
         } else {
             positive.iter().sum::<f64>() / positive.len() as f64
         };
-        Self { scale: mean.max(1e-9) }
+        Self {
+            scale: mean.max(1e-9),
+        }
     }
 
     /// Map a raw variance to [0, 1): `2σ(v / scale) − 1`.
@@ -45,19 +48,21 @@ impl VarianceSquash {
         2.0 / (1.0 + (-v).exp()) - 1.0
     }
 
-    /// Squash every entry of a response matrix (`[row][effort level]`).
-    pub fn apply_matrix(&self, variances: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        variances
-            .iter()
-            .map(|row| row.iter().map(|&v| self.apply(v)).collect())
-            .collect()
+    /// Squash every entry of a flat response matrix (rows = cells,
+    /// columns = effort levels).
+    pub fn apply_matrix(&self, variances: &Matrix) -> Matrix {
+        let mut out = variances.clone();
+        for v in out.as_mut_slice() {
+            *v = self.apply(*v);
+        }
+        out
     }
 }
 
-/// Fit a squash on a full response matrix and apply it.
-pub fn squash_matrix(variances: &[Vec<f64>]) -> (VarianceSquash, Vec<Vec<f64>>) {
-    let flat: Vec<f64> = variances.iter().flatten().copied().collect();
-    let squash = VarianceSquash::fit(&flat);
+/// Fit a squash on a full response matrix and apply it (the flat storage
+/// means fitting needs no intermediate copy of the entries).
+pub fn squash_matrix(variances: &Matrix) -> (VarianceSquash, Matrix) {
+    let squash = VarianceSquash::fit(variances.as_slice());
     let out = squash.apply_matrix(variances);
     (squash, out)
 }
@@ -105,11 +110,11 @@ mod tests {
 
     #[test]
     fn matrix_squash_preserves_shape() {
-        let vars = vec![vec![0.1, 0.2, 0.3], vec![0.0, 0.5, 1.0]];
+        let vars = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.0, 0.5, 1.0]]);
         let (_, out) = squash_matrix(&vars);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].len(), 3);
-        assert!(out.iter().flatten().all(|&v| (0.0..1.0).contains(&v)));
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.n_cols(), 3);
+        assert!(out.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
     }
 
     proptest! {

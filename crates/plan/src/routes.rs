@@ -28,7 +28,11 @@ impl Route {
 
 /// Extract `problem.n_patrols` routes approximating the coverage vector.
 pub fn extract_routes(problem: &PlanningProblem, coverage: &[f64]) -> Vec<Route> {
-    assert_eq!(coverage.len(), problem.n_cells(), "coverage length mismatch");
+    assert_eq!(
+        coverage.len(),
+        problem.n_cells(),
+        "coverage length mismatch"
+    );
     let t_steps = problem.patrol_length_km.round().max(1.0) as usize;
     let mut demand: Vec<f64> = coverage.to_vec();
     // Pre-compute hop distance to the post within the candidate sub-graph so
@@ -117,6 +121,7 @@ fn hop_distances(problem: &PlanningProblem, source: usize) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::planner::{plan, PlannerConfig};
+    use paws_data::matrix::Matrix;
     use paws_geo::parks::test_park_spec;
     use paws_geo::Park;
 
@@ -131,7 +136,16 @@ mod tests {
             })
             .collect();
         let vars = vec![vec![0.2; grid.len()]; park.n_cells()];
-        PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 8.0, 3, 0.0)
+        PlanningProblem::from_response(
+            &park,
+            post,
+            &grid,
+            &Matrix::from_rows(&probs),
+            &Matrix::from_rows(&vars),
+            8.0,
+            3,
+            0.0,
+        )
     }
 
     #[test]
@@ -154,7 +168,9 @@ mod tests {
         for r in &routes {
             // Greedy may add a short tail to return home but never more than
             // the reach radius.
-            assert!(r.n_steps() <= (p.patrol_length_km as usize) + (p.patrol_length_km / 2.0) as usize);
+            assert!(
+                r.n_steps() <= (p.patrol_length_km as usize) + (p.patrol_length_km / 2.0) as usize
+            );
             assert!(r.n_steps() >= 2);
         }
     }
@@ -164,8 +180,12 @@ mod tests {
         let p = problem();
         let coverage = plan(&p, &PlannerConfig::default()).coverage;
         let routes = extract_routes(&p, &coverage);
-        let index_of: std::collections::HashMap<CellId, usize> =
-            p.cells.iter().enumerate().map(|(i, c)| (c.cell, i)).collect();
+        let index_of: std::collections::HashMap<CellId, usize> = p
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.cell, i))
+            .collect();
         for r in &routes {
             for w in r.cells.windows(2) {
                 let a = index_of[&w[0]];
@@ -194,6 +214,9 @@ mod tests {
             .map(|(r, _)| r)
             .sum();
         assert!(total > 0.0);
-        assert!(on_target / total > 0.5, "routes ignore the plan: {on_target}/{total}");
+        assert!(
+            on_target / total > 0.5,
+            "routes ignore the plan: {on_target}/{total}"
+        );
     }
 }

@@ -113,22 +113,39 @@ impl PoacherModel {
     pub fn new<R: Rng>(park: &Park, mut config: AttackModelConfig, rng: &mut R) -> Self {
         let n = park.n_cells();
         let zeros = vec![0.0; n];
-        let animal = park_column_unit(park, FeatureKind::AnimalDensity).unwrap_or_else(|| zeros.clone());
-        let forest = park_column_unit(park, FeatureKind::ForestCover).unwrap_or_else(|| zeros.clone());
+        let animal =
+            park_column_unit(park, FeatureKind::AnimalDensity).unwrap_or_else(|| zeros.clone());
+        let forest =
+            park_column_unit(park, FeatureKind::ForestCover).unwrap_or_else(|| zeros.clone());
         let d_boundary = park
             .features
             .column(FeatureKind::DistBoundary)
-            .map(|col| park.cells.iter().map(|c| col[c.index()]).collect::<Vec<_>>())
+            .map(|col| {
+                park.cells
+                    .iter()
+                    .map(|c| col[c.index()])
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| zeros.clone());
         let d_road = park
             .features
             .column(FeatureKind::DistRoad)
-            .map(|col| park.cells.iter().map(|c| col[c.index()]).collect::<Vec<_>>())
+            .map(|col| {
+                park.cells
+                    .iter()
+                    .map(|c| col[c.index()])
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| vec![10.0; n]);
         let d_village = park
             .features
             .column(FeatureKind::DistVillage)
-            .map(|col| park.cells.iter().map(|c| col[c.index()]).collect::<Vec<_>>())
+            .map(|col| {
+                park.cells
+                    .iter()
+                    .map(|c| col[c.index()])
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| vec![10.0; n]);
 
         let attractiveness: Vec<f64> = (0..n)
@@ -174,10 +191,19 @@ impl PoacherModel {
     /// Ground-truth probability that the adversary at in-park cell index
     /// `cell_idx` places snares during a month, given the ranger coverage
     /// (km patrolled in that cell) of the previous time step.
-    pub fn attack_probability(&self, cell_idx: usize, prev_coverage_km: f64, season: Season) -> f64 {
+    pub fn attack_probability(
+        &self,
+        cell_idx: usize,
+        prev_coverage_km: f64,
+        season: Season,
+    ) -> f64 {
         let seasonal = match (self.seasonality, season) {
-            (Seasonality::WetDry, Season::Dry) => -self.config.seasonal_shift * self.north_south[cell_idx],
-            (Seasonality::WetDry, Season::Wet) => self.config.seasonal_shift * self.north_south[cell_idx],
+            (Seasonality::WetDry, Season::Dry) => {
+                -self.config.seasonal_shift * self.north_south[cell_idx]
+            }
+            (Seasonality::WetDry, Season::Wet) => {
+                self.config.seasonal_shift * self.north_south[cell_idx]
+            }
             (Seasonality::None, _) => 0.0,
         };
         let logit = self.config.intercept + self.attractiveness[cell_idx] + seasonal
@@ -220,7 +246,11 @@ impl PoacherModel {
     /// Identify the cell ids of the `k` highest static-risk cells.
     pub fn top_risk_cells(&self, park: &Park, k: usize) -> Vec<CellId> {
         let mut idx: Vec<usize> = (0..self.n_cells()).collect();
-        idx.sort_by(|&a, &b| self.static_risk(b).partial_cmp(&self.static_risk(a)).unwrap());
+        idx.sort_by(|&a, &b| {
+            self.static_risk(b)
+                .partial_cmp(&self.static_risk(a))
+                .unwrap()
+        });
         idx.into_iter().take(k).map(|i| park.cells[i]).collect()
     }
 }
@@ -229,8 +259,12 @@ impl PoacherModel {
 /// using bisection; the mean is monotone increasing in `b`.
 pub fn calibrate_intercept(scores: &[f64], target: f64) -> f64 {
     assert!(!scores.is_empty(), "cannot calibrate on an empty park");
-    assert!(target > 0.0 && target < 1.0, "target rate must be in (0, 1)");
-    let mean_at = |b: f64| scores.iter().map(|&s| sigmoid(b + s)).sum::<f64>() / scores.len() as f64;
+    assert!(
+        target > 0.0 && target < 1.0,
+        "target rate must be in (0, 1)"
+    );
+    let mean_at =
+        |b: f64| scores.iter().map(|&s| sigmoid(b + s)).sum::<f64>() / scores.len() as f64;
     let (mut lo, mut hi) = (-30.0, 30.0);
     for _ in 0..200 {
         let mid = (lo + hi) / 2.0;
@@ -272,9 +306,15 @@ mod tests {
     fn calibration_hits_target_rate() {
         let (_, m) = model();
         let zeros = vec![0.0; m.n_cells()];
-        let mean: f64 =
-            m.attack_probabilities(&zeros, Season::Dry).iter().sum::<f64>() / m.n_cells() as f64;
-        assert!((mean - m.config().target_attack_rate).abs() < 0.01, "mean={mean}");
+        let mean: f64 = m
+            .attack_probabilities(&zeros, Season::Dry)
+            .iter()
+            .sum::<f64>()
+            / m.n_cells() as f64;
+        assert!(
+            (mean - m.config().target_attack_rate).abs() < 0.01,
+            "mean={mean}"
+        );
     }
 
     #[test]
@@ -294,8 +334,10 @@ mod tests {
         spec.seasonality = Seasonality::WetDry;
         let park = Park::generate(&spec, 7);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut cfg = AttackModelConfig::default();
-        cfg.seasonal_shift = 2.0;
+        let cfg = AttackModelConfig {
+            seasonal_shift: 2.0,
+            ..AttackModelConfig::default()
+        };
         let m = PoacherModel::new(&park, cfg, &mut rng);
         // A clearly-northern cell (small row index) should be riskier in the
         // dry season than in the wet season.
@@ -353,7 +395,11 @@ mod tests {
         let scores = vec![0.0, 0.5, -0.5, 1.0];
         for target in [0.05, 0.3, 0.7] {
             let b = calibrate_intercept(&scores, target);
-            let mean: f64 = scores.iter().map(|&s| 1.0 / (1.0 + (-(b + s)).exp())).sum::<f64>() / 4.0;
+            let mean: f64 = scores
+                .iter()
+                .map(|&s| 1.0 / (1.0 + (-(b + s)).exp()))
+                .sum::<f64>()
+                / 4.0;
             assert!((mean - target).abs() < 1e-6);
         }
     }

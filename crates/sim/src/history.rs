@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Complete simulator configuration for one park.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct SimConfig {
     /// Ground-truth attack model parameters.
     pub attack: crate::behaviour::AttackModelConfig,
@@ -22,16 +22,6 @@ pub struct SimConfig {
     pub detection: DetectionModel,
     /// Patrol simulator parameters.
     pub patrol: PatrolConfig,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        Self {
-            attack: crate::behaviour::AttackModelConfig::default(),
-            detection: DetectionModel::default(),
-            patrol: PatrolConfig::default(),
-        }
-    }
 }
 
 /// Everything that happened in the park during one simulated month.
@@ -183,7 +173,10 @@ mod tests {
             for i in 0..park.n_cells() {
                 if month.detections[i] {
                     assert!(month.attacks[i], "detection without attack");
-                    assert!(month.true_effort[i] > 0.0, "detection without patrol effort");
+                    assert!(
+                        month.true_effort[i] > 0.0,
+                        "detection without patrol effort"
+                    );
                 }
             }
         }
@@ -196,7 +189,10 @@ mod tests {
         for month in &h.months {
             assert!(month.n_detections() <= month.n_attacks());
         }
-        assert!(h.total_detections() > 0, "history should contain some detections");
+        assert!(
+            h.total_detections() > 0,
+            "history should contain some detections"
+        );
     }
 
     #[test]
@@ -214,8 +210,14 @@ mod tests {
         let a = simulate_history(&park, &model, &config, 2013, 1, 5);
         let b = simulate_history(&park, &model, &config, 2013, 1, 6);
         assert_ne!(
-            a.months.iter().map(|m| m.n_detections()).collect::<Vec<_>>(),
-            b.months.iter().map(|m| m.n_detections()).collect::<Vec<_>>()
+            a.months
+                .iter()
+                .map(|m| m.n_detections())
+                .collect::<Vec<_>>(),
+            b.months
+                .iter()
+                .map(|m| m.n_detections())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -143,7 +143,9 @@ pub fn simulate_patrol<R: Rng>(
         let (next, step) = neighbours[chosen];
 
         // Split the step's km between the two cells it touches.
-        let here_idx = park.cell_position(current).expect("current cell is in park");
+        let here_idx = park
+            .cell_position(current)
+            .expect("current cell is in park");
         let next_idx = park.cell_position(next).expect("next cell is in park");
         effort[here_idx] += step / 2.0;
         effort[next_idx] += step / 2.0;
@@ -243,7 +245,13 @@ mod tests {
     fn first_waypoint_is_the_post() {
         let park = park();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let p = simulate_patrol(&park, park.patrol_posts[2], &PatrolConfig::default(), None, &mut rng);
+        let p = simulate_patrol(
+            &park,
+            park.patrol_posts[2],
+            &PatrolConfig::default(),
+            None,
+            &mut rng,
+        );
         assert_eq!(p.waypoints[0].cell, p.post);
         assert_eq!(p.waypoints[0].km_from_start, 0.0);
     }
@@ -304,7 +312,10 @@ mod tests {
             .map(|w| park.grid.distance_km(w.cell, target))
             .fold(f64::INFINITY, f64::min);
         let start_dist = park.grid.distance_km(post, target);
-        assert!(min_dist < start_dist, "targeted walk never approached the target");
+        assert!(
+            min_dist < start_dist,
+            "targeted walk never approached the target"
+        );
     }
 
     #[test]
@@ -330,9 +341,17 @@ mod tests {
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
-        let near: Vec<usize> = (0..park.n_cells()).filter(|&i| dist_post[i] <= 3.0).collect();
-        let far: Vec<usize> = (0..park.n_cells()).filter(|&i| dist_post[i] >= 8.0).collect();
-        let mean = |idx: &[usize]| idx.iter().map(|&i| map[i]).sum::<f64>() / idx.len().max(1) as f64;
-        assert!(mean(&near) > mean(&far), "effort should concentrate near posts");
+        let near: Vec<usize> = (0..park.n_cells())
+            .filter(|&i| dist_post[i] <= 3.0)
+            .collect();
+        let far: Vec<usize> = (0..park.n_cells())
+            .filter(|&i| dist_post[i] >= 8.0)
+            .collect();
+        let mean =
+            |idx: &[usize]| idx.iter().map(|&i| map[i]).sum::<f64>() / idx.len().max(1) as f64;
+        assert!(
+            mean(&near) > mean(&far),
+            "effort should concentrate near posts"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! are continuous. Branch-and-bound on the binaries with the dense simplex
 //! of [`crate::simplex`] as the relaxation solver is therefore sufficient.
 
-use crate::model::{Model, Sense, SolveStatus, Solution};
+use crate::model::{Model, Sense, Solution, SolveStatus};
 use crate::simplex::solve_lp;
 
 /// Options controlling the branch-and-bound search.
@@ -129,7 +129,7 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
                 };
                 if incumbent
                     .as_ref()
-                    .map_or(true, |inc| better(candidate.objective, inc.objective))
+                    .is_none_or(|inc| better(candidate.objective, inc.objective))
                 {
                     incumbent = Some(candidate);
                 }
@@ -141,7 +141,11 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
                 zero[var.0] = (0.0, 0.0);
                 let mut one = node.bounds.clone();
                 one[var.0] = (1.0, 1.0);
-                let (first, second) = if value >= 0.5 { (zero, one) } else { (one, zero) };
+                let (first, second) = if value >= 0.5 {
+                    (zero, one)
+                } else {
+                    (one, zero)
+                };
                 stack.push(Node {
                     bounds: first,
                     relaxation_bound: relax.objective,
@@ -267,8 +271,14 @@ mod tests {
     fn node_limit_returns_limit_status() {
         // A 12-item knapsack with a node limit of 1 cannot finish.
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(&format!("x{i}"), (i % 5) as f64 + 1.5)).collect();
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (i % 3) as f64 + 1.0)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(&format!("x{i}"), (i % 5) as f64 + 1.5))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 3) as f64 + 1.0))
+            .collect();
         m.add_constraint(&terms, ConstraintOp::Le, 7.5);
         let options = MilpOptions {
             max_nodes: 1,
@@ -285,7 +295,9 @@ mod tests {
         use rand_chacha::ChaCha8Rng;
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let n = 14;
-        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0_f64).round()).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(1.0..20.0_f64).round())
+            .collect();
         let weights: Vec<usize> = (0..n).map(|_| rng.gen_range(1..8)).collect();
         let capacity = 20usize;
 
@@ -299,11 +311,22 @@ mod tests {
         let best_dp = dp[capacity];
 
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..n).map(|i| m.add_binary(&format!("x{i}"), values[i])).collect();
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i] as f64)).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_binary(&format!("x{i}"), values[i]))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, weights[i] as f64))
+            .collect();
         m.add_constraint(&terms, ConstraintOp::Le, capacity as f64);
         let (sol, _) = solve_milp(&m, &MilpOptions::default());
         assert_eq!(sol.status, SolveStatus::Optimal);
-        assert!((sol.objective - best_dp).abs() < 1e-6, "milp={} dp={}", sol.objective, best_dp);
+        assert!(
+            (sol.objective - best_dp).abs() < 1e-6,
+            "milp={} dp={}",
+            sol.objective,
+            best_dp
+        );
     }
 }

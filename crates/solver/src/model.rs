@@ -117,7 +117,13 @@ impl Model {
     /// Add a continuous variable with bounds `[lower, upper]` and objective
     /// coefficient `objective`.
     /// The upper bound may be `f64::INFINITY` for an unbounded-above variable.
-    pub fn add_continuous(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> Variable {
+    pub fn add_continuous(
+        &mut self,
+        name: &str,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Variable {
         assert!(lower.is_finite(), "lower bound must be finite");
         assert!(!upper.is_nan(), "upper bound must not be NaN");
         assert!(lower <= upper, "lower bound exceeds upper bound for {name}");
@@ -147,7 +153,10 @@ impl Model {
     pub fn add_constraint(&mut self, terms: &[(Variable, f64)], op: ConstraintOp, rhs: f64) {
         assert!(!terms.is_empty(), "constraint needs at least one term");
         for (v, _) in terms {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
         }
         self.constraints.push(ConstraintDef {
             terms: terms.iter().map(|(v, c)| (v.0, *c)).collect(),
@@ -183,7 +192,11 @@ impl Model {
 
     /// Evaluate the objective at a point.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        assert_eq!(values.len(), self.vars.len(), "value vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.vars.len(),
+            "value vector length mismatch"
+        );
         self.vars
             .iter()
             .zip(values)

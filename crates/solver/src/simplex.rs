@@ -9,7 +9,7 @@
 //! sizes in the patrol planner are at most a few thousand columns, which a
 //! dense tableau handles comfortably.
 
-use crate::model::{ConstraintOp, Model, Sense, SolveStatus, Solution};
+use crate::model::{ConstraintOp, Model, Sense, Solution, SolveStatus};
 
 /// Upper bounds at or above this value are treated as +∞.
 const UNBOUNDED: f64 = 1e15;
@@ -67,7 +67,9 @@ pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Soluti
         Sense::Minimize => -1.0,
     };
     let obj: Vec<f64> = (0..n).map(|i| sign * model.vars[i].objective).collect();
-    let obj_offset: f64 = (0..n).map(|i| sign * model.vars[i].objective * bounds[i].0).sum();
+    let obj_offset: f64 = (0..n)
+        .map(|i| sign * model.vars[i].objective * bounds[i].0)
+        .sum();
 
     let m = rows.len();
     // Count slack and artificial columns.
@@ -133,8 +135,8 @@ pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Soluti
     // Phase 1: minimise the sum of artificials (maximise the negative sum).
     if n_artificial > 0 {
         let mut phase1 = vec![0.0f64; total_cols];
-        for c in artificial_start..total_cols {
-            phase1[c] = -1.0;
+        for slot in phase1.iter_mut().take(total_cols).skip(artificial_start) {
+            *slot = -1.0;
         }
         let status = run_simplex(&mut tableau, &mut basis, &phase1, m, total_cols, width);
         if status == SolveStatus::Unbounded {
@@ -147,7 +149,8 @@ pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Soluti
             .filter(|(_, &b)| b >= artificial_start)
             .map(|(r, _)| tableau[r * width + total_cols])
             .sum();
-        let phase1_obj: f64 = phase1_objective(&tableau, &basis, m, total_cols, width, artificial_start);
+        let phase1_obj: f64 =
+            phase1_objective(&tableau, &basis, m, total_cols, width, artificial_start);
         if art_sum > 1e-6 || phase1_obj > 1e-6 {
             return infeasible(n);
         }
@@ -155,8 +158,8 @@ pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Soluti
         // possible; otherwise their rows are redundant with zero rhs.
         for r in 0..m {
             if basis[r] >= artificial_start {
-                if let Some(col) = (0..artificial_start)
-                    .find(|&c| tableau[r * width + c].abs() > 1e-7)
+                if let Some(col) =
+                    (0..artificial_start).find(|&c| tableau[r * width + c].abs() > 1e-7)
                 {
                     pivot(&mut tableau, &mut basis, r, col, m, width);
                 }
@@ -174,7 +177,14 @@ pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Soluti
     }
     let mut phase2 = vec![0.0f64; total_cols];
     phase2[..n].copy_from_slice(&obj);
-    let status = run_simplex(&mut tableau, &mut basis, &phase2, m, artificial_start, width);
+    let status = run_simplex(
+        &mut tableau,
+        &mut basis,
+        &phase2,
+        m,
+        artificial_start,
+        width,
+    );
     if status == SolveStatus::Unbounded {
         return Solution {
             status: SolveStatus::Unbounded,
@@ -267,8 +277,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = tableau[r * width + width - 1] / a;
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.map_or(true, |l| basis[r] < basis[l]))
+                    || (ratio < best_ratio + EPS && leaving.is_none_or(|l| basis[r] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(r);
@@ -407,8 +416,16 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY, -57.0);
         let z = m.add_continuous("z", 0.0, f64::INFINITY, -9.0);
         let w = m.add_continuous("w", 0.0, f64::INFINITY, -24.0);
-        m.add_constraint(&[(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)], ConstraintOp::Le, 0.0);
-        m.add_constraint(&[(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)], ConstraintOp::Le, 0.0);
+        m.add_constraint(
+            &[(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            &[(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
         let sol = solve_lp(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);

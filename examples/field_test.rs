@@ -25,7 +25,11 @@ fn main() {
     let mut config = ModelConfig::new(WeakLearnerKind::DecisionTree, true, 7);
     config.n_learners = 6;
     let model = train(&dataset, &split, &config);
-    println!("{} test AUC: {:.3}", config.name(), model.auc_on(&dataset, &split.test));
+    println!(
+        "{} test AUC: {:.3}",
+        config.name(),
+        model.auc_on(&dataset, &split.test)
+    );
 
     // Predicted risk of every cell at a nominal effort level, plus total
     // historical effort, drive the block selection.
@@ -54,7 +58,13 @@ fn main() {
         plan.block_size
     );
 
-    let outcome = run_trial(&scenario.park, &scenario.poacher, &plan, &TrialConfig::default(), 123);
+    let outcome = run_trial(
+        &scenario.park,
+        &scenario.poacher,
+        &plan,
+        &TrialConfig::default(),
+        123,
+    );
 
     let rows: Vec<Vec<String>> = RiskGroup::all()
         .iter()
@@ -72,7 +82,16 @@ fn main() {
     println!();
     println!(
         "{}",
-        format_table(&["Risk group", "# Obs.", "# Cells", "Effort", "# Obs. / # Cells"], &rows)
+        format_table(
+            &[
+                "Risk group",
+                "# Obs.",
+                "# Cells",
+                "Effort",
+                "# Obs. / # Cells"
+            ],
+            &rows
+        )
     );
     println!(
         "Chi-squared = {:.2} (dof {}), p-value = {:.4} -> {}",

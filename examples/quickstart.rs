@@ -9,7 +9,9 @@
 //! report its test AUC, print a predicted-risk heat map, and plan a robust
 //! patrol from the first patrol post.
 
-use paws_core::{ascii_heatmap, build_planning_problem, train, ModelConfig, Scenario, WeakLearnerKind};
+use paws_core::{
+    ascii_heatmap, build_planning_problem, train, ModelConfig, Scenario, WeakLearnerKind,
+};
 use paws_data::{build_dataset, split_by_test_year, Discretization};
 use paws_plan::{plan, PlannerConfig};
 
@@ -47,7 +49,11 @@ fn main() {
     config.n_estimators = 4;
     config.gp_max_points = 150;
     let model = train(&dataset, &split, &config);
-    println!("{} test AUC: {:.3}", config.name(), model.auc_on(&dataset, &split.test));
+    println!(
+        "{} test AUC: {:.3}",
+        config.name(),
+        model.auc_on(&dataset, &split.test)
+    );
 
     // 5. Risk map at 1 km of prospective patrol effort (cf. Fig. 6).
     let prev_coverage = dataset.coverage.last().unwrap().clone();

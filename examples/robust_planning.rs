@@ -9,7 +9,9 @@
 //! ratio Uβ(Cβ)/Uβ(Cβ=0) together with the expected number of snares found
 //! under the ground-truth poacher model.
 
-use paws_core::{build_planning_problem, format_table, train, ModelConfig, Scenario, WeakLearnerKind};
+use paws_core::{
+    build_planning_problem, format_table, train, ModelConfig, Scenario, WeakLearnerKind,
+};
 use paws_data::{build_dataset, split_by_test_year, Discretization};
 use paws_plan::{compare_with_ground_truth, PlannerConfig};
 use paws_sim::Season;
@@ -25,7 +27,11 @@ fn main() {
     config.n_estimators = 4;
     config.gp_max_points = 150;
     let model = train(&dataset, &split, &config);
-    println!("{} test AUC: {:.3}\n", config.name(), model.auc_on(&dataset, &split.test));
+    println!(
+        "{} test AUC: {:.3}\n",
+        config.name(),
+        model.auc_on(&dataset, &split.test)
+    );
 
     let prev = dataset.coverage.last().unwrap().clone();
     let effort_grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
@@ -50,10 +56,14 @@ fn main() {
                 beta,
             );
             // Ground-truth attack probabilities of the problem's candidate cells.
-            let attack_local: Vec<f64> = problem.cells.iter().map(|c| attack[c.park_index]).collect();
-            let cmp = compare_with_ground_truth(&problem, &PlannerConfig::default(), &attack_local, |c| {
-                detection.probability(c)
-            });
+            let attack_local: Vec<f64> =
+                problem.cells.iter().map(|c| attack[c.park_index]).collect();
+            let cmp = compare_with_ground_truth(
+                &problem,
+                &PlannerConfig::default(),
+                &attack_local,
+                |c| detection.probability(c),
+            );
             ratios.push(cmp.improvement_ratio);
             if cmp.baseline_detections > 0.0 {
                 detection_gains.push(cmp.robust_detections / cmp.baseline_detections);
@@ -72,9 +82,16 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["beta", "avg Uβ(Cβ)/Uβ(C0)", "max Uβ(Cβ)/Uβ(C0)", "avg detection gain"],
+            &[
+                "beta",
+                "avg Uβ(Cβ)/Uβ(C0)",
+                "max Uβ(Cβ)/Uβ(C0)",
+                "avg detection gain"
+            ],
             &rows
         )
     );
-    println!("Ratios above 1.0 mean the uncertainty-aware plan beats the nominal plan (cf. Fig. 8).");
+    println!(
+        "Ratios above 1.0 mean the uncertainty-aware plan beats the nominal plan (cf. Fig. 8)."
+    );
 }

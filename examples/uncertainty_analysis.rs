@@ -30,8 +30,8 @@ fn main() {
     let train_labels = dataset.labels(&split.train);
     let test_rows = dataset.feature_rows(&split.test);
     let test_labels = dataset.labels(&split.test);
-    let (scaler, train_scaled) = StandardScaler::fit_transform(&train_rows);
-    let test_scaled = scaler.transform(&test_rows);
+    let (scaler, train_scaled) = StandardScaler::fit_transform(train_rows);
+    let test_scaled = scaler.transform(test_rows.view());
 
     // Gaussian process weak learner.
     let gp = GaussianProcess::fit(
@@ -39,24 +39,34 @@ fn main() {
             max_points: 300,
             ..GpConfig::default()
         },
-        &train_scaled,
+        train_scaled.view(),
         &train_labels,
         3,
     );
-    let (gp_pred, gp_var) = gp.predict_with_variance(&test_scaled);
+    let (gp_pred, gp_var) = gp.predict_with_variance(test_scaled.view());
     println!("Gaussian process:");
-    println!("  test AUC                        = {:.3}", roc_auc(&test_labels, &gp_pred));
+    println!(
+        "  test AUC                        = {:.3}",
+        roc_auc(&test_labels, &gp_pred)
+    );
     println!(
         "  corr(prediction, variance)      = {:+.3}   (paper: -0.198)",
         pearson(&gp_pred, &gp_var)
     );
 
     // Bagged decision trees (equivalent to a random forest).
-    let bag = BaggingClassifier::fit(&BaggingConfig::trees(25, 3), &train_scaled, &train_labels);
-    let bag_pred = bag.predict_proba(&test_scaled);
-    let bag_var = infinitesimal_jackknife_variance(&bag, &test_scaled);
+    let bag = BaggingClassifier::fit(
+        &BaggingConfig::trees(25, 3),
+        train_scaled.view(),
+        &train_labels,
+    );
+    let bag_pred = bag.predict_proba(test_scaled.view());
+    let bag_var = infinitesimal_jackknife_variance(&bag, test_scaled.view());
     println!("Bagged decision trees:");
-    println!("  test AUC                        = {:.3}", roc_auc(&test_labels, &bag_pred));
+    println!(
+        "  test AUC                        = {:.3}",
+        roc_auc(&test_labels, &bag_pred)
+    );
     println!(
         "  corr(prediction, IJ variance)   = {:+.3}   (paper: +0.979)",
         pearson(&bag_pred, &bag_var)

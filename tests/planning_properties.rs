@@ -3,6 +3,7 @@
 //! to trivial baselines under its own objective, and stay consistent between
 //! the robust and nominal formulations.
 
+use paws_data::Matrix;
 use paws_geo::parks::test_park_spec;
 use paws_geo::Park;
 use paws_plan::{plan, PlannerConfig, PlanningProblem};
@@ -25,7 +26,16 @@ fn build_problem(seed_scale: f64, uncertainty_level: f64, beta: f64) -> Planning
             grid.iter().map(|&e| (base + 0.02 * e).min(0.99)).collect()
         })
         .collect();
-    PlanningProblem::from_response(&park, post, &grid, &probs, &vars, 8.0, 2, beta)
+    PlanningProblem::from_response(
+        &park,
+        post,
+        &grid,
+        &Matrix::from_rows(&probs),
+        &Matrix::from_rows(&vars),
+        8.0,
+        2,
+        beta,
+    )
 }
 
 proptest! {

@@ -1,0 +1,218 @@
+//! Vendored minimal benchmark harness exposing the slice of the `criterion`
+//! API the workspace benches use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple: a warm-up pass sizes the batch so one
+//! sample takes ≈10 ms, then `sample_size` samples are taken and the
+//! median/min/max per-iteration times are printed in a criterion-like
+//! format. Good enough to compare implementations on one machine; not a
+//! statistics suite.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches here use
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the measured routine; each sample times `batch` calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn format_time(t: f64) -> String {
+    if t < 1e3 {
+        format!("{t:.2} ns")
+    } else if t < 1e6 {
+        format!("{:.2} µs", t / 1e3)
+    } else if t < 1e9 {
+        format!("{:.2} ms", t / 1e6)
+    } else {
+        format!("{:.3} s", t / 1e9)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Warm-up: find a batch size that takes roughly 10 ms per sample.
+    let mut batch = 1u64;
+    let mut warmup_ns;
+    loop {
+        let mut b = Bencher {
+            batch,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        warmup_ns = b.samples.first().map(|d| d.as_nanos()).unwrap_or(0);
+        if warmup_ns == 0 {
+            // Closure never called iter (empty bench) — nothing to measure.
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        if warmup_ns >= 1_000_000 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 8;
+    }
+    let target_ns = 10_000_000u128;
+    let per_iter = (warmup_ns / batch as u128).max(1);
+    batch = ((target_ns / per_iter).clamp(1, 1 << 24)) as u64;
+
+    let mut b = Bencher {
+        batch,
+        samples: Vec::new(),
+    };
+    for _ in 0..sample_size.max(3) {
+        f(&mut b);
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(max)
+    );
+}
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

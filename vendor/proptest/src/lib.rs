@@ -1,0 +1,124 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Supports the narrow pattern the workspace tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` inner attribute, test
+//! functions whose arguments are drawn from literal `lo..hi` float ranges,
+//! and `prop_assert!`. Cases are sampled deterministically from a fixed
+//! seed (no shrinking).
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Deterministic case-sampling generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded generator; tests derive the seed from the case index.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Define property tests whose arguments are sampled from float ranges.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $lo:literal..$hi:literal),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                // Distinct deterministic stream per test and case.
+                let seed = 0x50_52_4f_50u64
+                    .wrapping_mul(31)
+                    .wrapping_add(stringify!($name).len() as u64)
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(case as u64);
+                let mut __rng = $crate::TestRng::new(seed);
+                $(let $arg: f64 = __rng.gen_range_f64($lo, $hi);)*
+                // Run the property; plain assert macros surface failures.
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assertion macro used inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, proptest, ProptestConfig, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn samples_stay_in_range(x in 0.25..0.75f64, y in -1.0..1.0f64) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y out of range: {y}");
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,223 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! Implements the tiny slice of the rayon API the PAWS crates use —
+//! `par_iter()` / `into_par_iter()` followed by `enumerate` / `map` /
+//! `collect` — on top of `std::thread::scope`. Work is distributed over the
+//! available cores with an atomic work-stealing index; results are written
+//! back by index, so ordering semantics match rayon's indexed collect.
+//!
+//! Nested parallel regions run sequentially (a thread-local flag marks pool
+//! workers), which mirrors rayon's behaviour of not oversubscribing and
+//! keeps worst-case thread counts bounded by the outermost region.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` in parallel, preserving input order in the output.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count().min(n);
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand out items by index; slots collect results out of order.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i].lock().unwrap().take().expect("item taken once");
+                    let out = f(item);
+                    *slots[i].lock().unwrap() = Some(out);
+                }
+                IN_POOL.with(|p| p.set(false));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+/// An eager "parallel iterator": adaptors buffer items, `map` runs the
+/// parallel pass, `collect` is a plain ordered drain.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index (same order as sequential `enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Drain the (already computed) items into any `FromIterator` target.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel for-each (order of side effects unspecified, like rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = parallel_map(self.items, f);
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item yielded by the iterator.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the iterator (a reference).
+    type Item: Send;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = v.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn enumerate_matches_sequential() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<(usize, &&str)> = v.par_iter().enumerate().map(|p| p).collect();
+        assert_eq!(out[0].0, 0);
+        assert_eq!(*out[2].1, "c");
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|j| i + j)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+            .collect();
+        assert!(out.iter().all(|&n| n == 100));
+    }
+}

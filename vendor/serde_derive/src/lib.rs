@@ -1,0 +1,290 @@
+//! Vendored minimal `Serialize` / `Deserialize` derives.
+//!
+//! The offline build cannot pull in `syn`/`quote`, so this crate parses the
+//! derive input with a small hand-rolled token walker. It supports exactly
+//! the shapes the PAWS workspace uses: non-generic structs with named
+//! fields, unit structs, tuple structs, and enums whose variants are unit,
+//! single-/multi-field tuples, or named-field structs.
+//!
+//! `Serialize` generates a `to_value` tree in the workspace's mini serde
+//! data model (externally-tagged enums, like upstream serde's default).
+//! `Deserialize` generates a no-op marker impl — nothing in the workspace
+//! parses serialized data back in yet.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derive the workspace `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pushes: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "obj.push((\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value(&self.{f})));"
+                            )
+                        })
+                        .collect();
+                    format!("let mut obj = Vec::new(); {pushes} ::serde::Value::Object(obj)")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Object(Vec::new())".to_string(),
+            };
+            format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    Fields::Named(field_names) => {
+                        let binds = field_names.join(", ");
+                        let pushes: String = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{f}\".to_string(), \
+                                     ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut inner = Vec::new(); {pushes} \
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Object(inner))]) }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derive the workspace `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("#[automatically_derived] impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving {name})");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for item kind {other:?}"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Names of the fields of a named-field body (`{ a: T, b: U }`).
+fn parse_named_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field name, found {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    names
+}
+
+/// Advance past a type, stopping after the comma that ends it (angle-bracket
+/// aware, since `Foo<A, B>` contains commas that are not separators).
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated items at the top level of a stream.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
