@@ -390,6 +390,32 @@ fn bench_batch_vs_per_row_predict(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_forest_traversal(c: &mut Criterion) {
+    // The tentpole of the arena migration: a 10-tree DTB ensemble predicts
+    // the whole park, walked row-at-a-time per tree (the pre-arena access
+    // pattern, on the same slab) versus the level-synchronous batch kernel.
+    let w = workload();
+    let bag = BaggingClassifier::fit(&BaggingConfig::trees(10, 3), w.flat.view(), &w.labels);
+    let forest = bag.forest().expect("tree ensembles are arena-backed");
+    let mut group = c.benchmark_group("forest_traversal");
+    group.sample_size(30);
+    group.bench_function("per_row_tree_walks", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(forest.n_trees() * w.park_flat.n_rows());
+            for t in 0..forest.n_trees() {
+                for row in w.park_flat.rows() {
+                    out.push(forest.predict_row(t, row));
+                }
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("level_sync_batch", |b| {
+        b.iter(|| black_box(forest.predict_proba_batch(w.park_flat.view())))
+    });
+    group.finish();
+}
+
 fn bench_tree_fit_legacy_vs_flat(c: &mut Criterion) {
     let w = workload();
     let cfg = TreeConfig::default();
@@ -476,6 +502,7 @@ criterion_group!(
     benches,
     bench_gather_vs_clone,
     bench_batch_vs_per_row_predict,
+    bench_forest_traversal,
     bench_tree_fit_legacy_vs_flat,
     bench_bagging_fit_legacy_vs_flat,
     bench_iware_legacy_vs_flat

@@ -5,7 +5,10 @@
 //! training gathers the split's rows into one [`Matrix`], the scaler
 //! standardises in place, and park-wide evaluation produces flat
 //! `cells × effort-levels` response matrices consumed directly by the
-//! planner.
+//! planner. For tree-based models the park-wide paths ([`TrainedModel::risk_map`],
+//! [`TrainedModel::park_response`]) are served by one level-synchronous
+//! batch traversal of the ensemble's arena-backed forest (the fused iWare-E
+//! learner stack for "-iW" variants) rather than per-tree row walks.
 
 use crate::config::ModelConfig;
 use paws_data::{Dataset, Matrix, MatrixView, StandardScaler, TrainTestSplit};

@@ -22,12 +22,21 @@
 //! the I learners fit in parallel, and [`IWareModel::effort_response`]
 //! evaluates the park-wide g_v(c) / ν_v(c) surfaces cell-parallel into flat
 //! response matrices.
+//!
+//! When the weak learners are tree ensembles, the whole I×B learner stack
+//! is additionally fused into one arena-backed [`Forest`]: every
+//! park-wide prediction (`effort_response`, the `*_at_effort` entry
+//! points) runs a single level-synchronous batch traversal over the
+//! combined slab instead of I separate per-learner member passes, then
+//! reduces the member rows per learner in the exact member order of the
+//! per-learner path (bit-identical results).
 
 use crate::thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 use crate::weights::{optimize_weights, WeightMode};
 use paws_data::matrix::{Matrix, MatrixView};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::cv::stratified_kfold;
+use paws_ml::forest::Forest;
 use paws_ml::traits::{Classifier, UncertainClassifier};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -64,41 +73,63 @@ impl IWareConfig {
     }
 }
 
+/// The whole learner stack's trees fused into one arena: `ranges[i]` is the
+/// tree index range of learner `i` within the combined forest.
+struct LearnerStack {
+    forest: Forest,
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
 /// A fitted iWare-E ensemble.
 pub struct IWareModel {
     thresholds: Vec<f64>,
     learners: Vec<BaggingClassifier>,
     weights: Vec<f64>,
+    /// Present when every learner is a tree ensemble (the DTB variants).
+    stack: Option<LearnerStack>,
     config: IWareConfig,
 }
 
 impl IWareModel {
     /// Fit the ensemble on a training feature batch, binary labels and the
     /// patrol effort associated with each point (the filtering variable).
+    ///
+    /// With heavy ties in the training effort, tied percentile thresholds
+    /// are deduplicated (see [`select_thresholds`]), so the fitted model
+    /// can hold fewer learners than `config.n_learners` — never duplicate
+    /// ones.
     pub fn fit(config: &IWareConfig, x: MatrixView<'_>, labels: &[f64], efforts: &[f64]) -> Self {
         assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
         assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
         assert!(config.n_learners >= 1, "need at least one learner");
         let thresholds = select_thresholds(config.threshold_mode, efforts, config.n_learners);
+        assert!(
+            thresholds.windows(2).all(|w| w[1] > w[0]),
+            "thresholds must be strictly ascending — duplicates would train \
+             identical learners that are double-counted in the weighted vote"
+        );
+        let n_learners = thresholds.len();
 
         // Optimise the classifier weights by cross-validation when requested.
         let weights = match config.weight_mode {
-            WeightMode::Uniform => vec![1.0 / config.n_learners as f64; config.n_learners],
+            WeightMode::Uniform => vec![1.0 / n_learners as f64; n_learners],
             WeightMode::CvOptimized { folds, iterations } => {
                 match cv_weight_fit(config, &thresholds, x, labels, efforts, folds, iterations) {
                     Some(w) => w,
-                    None => vec![1.0 / config.n_learners as f64; config.n_learners],
+                    None => vec![1.0 / n_learners as f64; n_learners],
                 }
             }
         };
 
         // Retrain every learner on the full (filtered) training data.
         let learners = train_filtered_learners(config, &thresholds, x, labels, efforts);
+        let stack = build_stack(&learners, x.n_cols());
 
         Self {
             thresholds,
             learners,
             weights,
+            stack,
             config: config.clone(),
         }
     }
@@ -123,9 +154,26 @@ impl IWareModel {
         &self.config
     }
 
+    /// Size of the fused learner-stack arena as `(n_trees, n_nodes)`;
+    /// `None` when the weak learners are not tree ensembles.
+    pub fn arena_stats(&self) -> Option<(usize, usize)> {
+        self.stack
+            .as_ref()
+            .map(|s| (s.forest.n_trees(), s.forest.n_nodes()))
+    }
+
     /// Per-learner probabilities as a flat `n_learners × n_rows` matrix.
-    /// Callers guard against empty batches.
+    /// Callers guard against empty batches. Tree stacks answer with one
+    /// batch traversal of the fused arena.
     fn learner_probabilities(&self, x: MatrixView<'_>) -> Matrix {
+        if let Some(stack) = &self.stack {
+            let per_tree = stack.forest.predict_proba_batch(x);
+            let mut probs = Matrix::zeros(self.learners.len(), x.n_rows());
+            for (li, range) in stack.ranges.iter().enumerate() {
+                reduce_members(&per_tree, range.clone(), probs.row_mut(li), None);
+            }
+            return probs;
+        }
         let per_learner: Vec<Vec<f64>> = self
             .learners
             .par_iter()
@@ -135,8 +183,27 @@ impl IWareModel {
     }
 
     /// Per-learner (probability, variance) tables, each `n_learners × n_rows`.
-    /// Callers guard against empty batches.
+    /// Callers guard against empty batches. Tree stacks answer with one
+    /// batch traversal of the fused arena, then reduce each learner's
+    /// member rows to mean and spread (the member order — and therefore
+    /// every float — matches the per-learner path exactly).
     fn learner_prob_var(&self, x: MatrixView<'_>) -> (Matrix, Matrix) {
+        if let Some(stack) = &self.stack {
+            let per_tree = stack.forest.predict_proba_batch(x);
+            let n_rows = x.n_rows();
+            let mut probs = Matrix::zeros(self.learners.len(), n_rows);
+            let mut vars = Matrix::zeros(self.learners.len(), n_rows);
+            for (li, range) in stack.ranges.iter().enumerate() {
+                reduce_members(&per_tree, range.clone(), probs.row_mut(li), None);
+                reduce_members(
+                    &per_tree,
+                    range.clone(),
+                    vars.row_mut(li),
+                    Some(probs.row(li)),
+                );
+            }
+            return (probs, vars);
+        }
         let pv: Vec<(Vec<f64>, Vec<f64>)> = self
             .learners
             .par_iter()
@@ -309,6 +376,58 @@ fn combine_indexed(per_learner: &Matrix, weights: &[f64], qualified: &[usize], r
     } else {
         acc / wsum
     }
+}
+
+/// Accumulate member (tree) rows `range` of a per-tree prediction table
+/// into `out`: the member mean when `mean` is `None`, otherwise the member
+/// spread around the given mean. Accumulation order and the trailing
+/// division match [`BaggingClassifier`]'s per-learner reduction exactly, so
+/// the fused-arena path is bit-identical to it.
+fn reduce_members(
+    per_tree: &Matrix,
+    range: std::ops::Range<usize>,
+    out: &mut [f64],
+    mean: Option<&[f64]>,
+) {
+    let b = range.len() as f64;
+    match mean {
+        None => {
+            for t in range {
+                for (o, &p) in out.iter_mut().zip(per_tree.row(t)) {
+                    *o += p;
+                }
+            }
+        }
+        Some(mean) => {
+            for t in range {
+                for ((o, &p), &m) in out.iter_mut().zip(per_tree.row(t)).zip(mean) {
+                    *o += (p - m) * (p - m);
+                }
+            }
+        }
+    }
+    for o in out.iter_mut() {
+        *o /= b;
+    }
+}
+
+/// Fuse every learner's tree arena into one stack-wide forest; `None` when
+/// the learners are not tree ensembles.
+///
+/// The fused slab copies the learners' node tables (the per-learner arenas
+/// stay alive for the non-stack API surface), trading roughly 2× the tree
+/// node memory — tens of bytes per node — for single-traversal park-wide
+/// prediction.
+fn build_stack(learners: &[BaggingClassifier], n_features: usize) -> Option<LearnerStack> {
+    let mut forest = Forest::new(n_features);
+    let mut ranges = Vec::with_capacity(learners.len());
+    for learner in learners {
+        let member_forest = learner.forest()?;
+        let start = forest.n_trees();
+        forest.push_forest(member_forest);
+        ranges.push(start..forest.n_trees());
+    }
+    Some(LearnerStack { forest, ranges })
 }
 
 /// Filter the training data for learner `i`: keep every positive, and keep
@@ -534,6 +653,51 @@ mod tests {
         assert_eq!(p.len(), 20);
         assert_eq!(v.len(), 20);
         assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn tie_heavy_efforts_deduplicate_learners() {
+        // Many never-patrolled cells recorded at effort 0.0: several
+        // percentile thresholds tie, and the model must deduplicate them
+        // (fewer, distinct learners) instead of training identical filtered
+        // learners that are double-counted in the weighted vote.
+        let (rows, labels, _, _) = noisy_poaching_data(300, 13);
+        // 280 never-patrolled cells and only two distinct positive efforts:
+        // six percentile candidates collapse onto three distinct values.
+        let mut efforts = vec![0.0; 300];
+        for e in efforts.iter_mut().skip(280).take(10) {
+            *e = 1.0;
+        }
+        for e in efforts.iter_mut().skip(290) {
+            *e = 2.0;
+        }
+        let model = IWareModel::fit(&quick_config(6), rows.view(), &labels, &efforts);
+        let t = model.thresholds();
+        for w in t.windows(2) {
+            assert!(w[1] > w[0], "thresholds strictly ascending: {t:?}");
+        }
+        assert!(t.len() < 6, "heavy ties must collapse thresholds: {t:?}");
+        assert_eq!(model.n_learners(), t.len());
+        assert_eq!(model.weights().len(), t.len());
+        assert!((model.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The deduplicated model still predicts sanely.
+        let p = model.predict_proba_at_effort(rows.view().head(20), &efforts[..20]);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn tree_learner_stack_is_arena_fused() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(300, 14);
+        let model = IWareModel::fit(&quick_config(4), rows.view(), &labels, &efforts);
+        // quick_config uses 5-tree bagging per learner.
+        let (n_trees, n_nodes) = model.arena_stats().expect("tree base fuses an arena");
+        assert_eq!(n_trees, model.n_learners() * 5);
+        assert!(n_nodes > n_trees);
+
+        let mut svm_cfg = quick_config(3);
+        svm_cfg.base = BaggingConfig::svms(2, 3);
+        let svm_model = IWareModel::fit(&svm_cfg, rows.view(), &labels, &efforts);
+        assert!(svm_model.arena_stats().is_none());
     }
 
     #[test]

@@ -24,10 +24,20 @@ pub enum ThresholdMode {
     },
 }
 
-/// Compute the `n` ascending thresholds for the given training efforts.
+/// Compute up to `n` **strictly ascending** thresholds for the given
+/// training efforts.
 ///
 /// The first threshold is always 0 (the classifier trained on the entire
 /// dataset), mirroring θ₁ = 0 in the original formulation.
+///
+/// With heavy ties in the training effort (e.g. many never-patrolled cells
+/// recorded at 0.0) several percentiles land on the same value; emitting
+/// them verbatim would train identical filtered learners that are then
+/// double-counted in the weighted vote. Tied percentile candidates are
+/// therefore advanced to the next distinct effort value, and when no
+/// strictly larger value remains the list ends early — the result can hold
+/// fewer than `n` thresholds, never duplicates. A zero-width
+/// `FixedSpacing` range likewise collapses to its single distinct value.
 pub fn select_thresholds(mode: ThresholdMode, efforts: &[f64], n: usize) -> Vec<f64> {
     assert!(n >= 1, "need at least one threshold");
     assert!(!efforts.is_empty(), "no training efforts supplied");
@@ -35,28 +45,35 @@ pub fn select_thresholds(mode: ThresholdMode, efforts: &[f64], n: usize) -> Vec<
         ThresholdMode::Percentile => {
             let mut sorted = efforts.to_vec();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            (0..n)
-                .map(|i| {
-                    if i == 0 {
-                        0.0
-                    } else {
-                        let pct = i as f64 / n as f64;
-                        let rank = (pct * (sorted.len() - 1) as f64).round() as usize;
-                        sorted[rank]
-                    }
-                })
-                .collect()
+            let mut thresholds = Vec::with_capacity(n);
+            thresholds.push(0.0);
+            for i in 1..n {
+                let pct = i as f64 / n as f64;
+                let rank = (pct * (sorted.len() - 1) as f64).round() as usize;
+                let last = *thresholds.last().unwrap();
+                if sorted[rank] > last {
+                    thresholds.push(sorted[rank]);
+                } else if let Some(&next) = sorted[rank..].iter().find(|&&v| v > last) {
+                    // Tied with an earlier threshold: advance to the next
+                    // distinct effort value.
+                    thresholds.push(next);
+                } else {
+                    // Every remaining effort equals the current top
+                    // threshold; stop rather than duplicate learners.
+                    break;
+                }
+            }
+            thresholds
         }
         ThresholdMode::FixedSpacing { min_km, max_km } => {
             assert!(max_km >= min_km, "max threshold below min threshold");
+            if n == 1 || max_km == min_km {
+                // A zero-width range would repeat min_km n times; collapse
+                // to the single distinct threshold instead.
+                return vec![min_km];
+            }
             (0..n)
-                .map(|i| {
-                    if n == 1 {
-                        min_km
-                    } else {
-                        min_km + (max_km - min_km) * i as f64 / (n - 1) as f64
-                    }
-                })
+                .map(|i| min_km + (max_km - min_km) * i as f64 / (n - 1) as f64)
                 .collect()
         }
     }
@@ -114,6 +131,29 @@ mod tests {
     }
 
     #[test]
+    fn tied_percentiles_advance_to_the_next_distinct_effort() {
+        // 70% of cells never patrolled: percentiles 1..=3 of 5 all land on
+        // 0.0, which used to emit duplicate thresholds (and thus identical
+        // filtered learners voting repeatedly).
+        let mut efforts = vec![0.0; 70];
+        efforts.extend((1..=30).map(|i| i as f64 / 10.0));
+        let t = select_thresholds(ThresholdMode::Percentile, &efforts, 5);
+        for w in t.windows(2) {
+            assert!(w[1] > w[0], "thresholds must be strictly ascending: {t:?}");
+        }
+        assert_eq!(t[0], 0.0);
+        // The first tied candidate advances to the smallest positive effort.
+        assert!((t[1] - 0.1).abs() < 1e-12, "expected 0.1, got {t:?}");
+    }
+
+    #[test]
+    fn all_tied_efforts_collapse_to_a_single_threshold() {
+        let efforts = vec![0.0; 50];
+        let t = select_thresholds(ThresholdMode::Percentile, &efforts, 8);
+        assert_eq!(t, vec![0.0]);
+    }
+
+    #[test]
     fn fixed_spacing_matches_original_scheme() {
         let efforts = vec![1.0, 2.0, 3.0];
         let t = select_thresholds(
@@ -128,6 +168,20 @@ mod tests {
         assert_eq!(t[0], 0.0);
         assert!((t[15] - 7.5).abs() < 1e-12);
         assert!((t[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_spacing_with_equal_bounds_collapses_to_one_threshold() {
+        let efforts = vec![1.0, 2.0, 3.0];
+        let t = select_thresholds(
+            ThresholdMode::FixedSpacing {
+                min_km: 2.0,
+                max_km: 2.0,
+            },
+            &efforts,
+            4,
+        );
+        assert_eq!(t, vec![2.0]);
     }
 
     #[test]

@@ -11,10 +11,18 @@
 //! flat copy per member instead of per-row clones — and every member trains
 //! and predicts on contiguous row-major data.
 //!
+//! Tree ensembles are **arena-backed**: after the members fit (in
+//! parallel), their nodes are spliced into one contiguous [`Forest`] slab
+//! and every prediction path (`predict_proba`, `predict_with_variance`,
+//! [`BaggingClassifier::member_predictions`]) runs the level-synchronous
+//! batch traversal instead of walking each tree row by row. SVM and GP
+//! members keep their per-member batch kernels.
+//!
 //! The ensemble records the per-member in-bag counts of every training
 //! sample so the infinitesimal-jackknife variance of Fig. 7 can be computed
 //! (see [`crate::jackknife`]).
 
+use crate::forest::Forest;
 use crate::gp::{GaussianProcess, GpConfig};
 use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
@@ -139,10 +147,20 @@ impl BaggingConfig {
     }
 }
 
+/// The fitted members: tree ensembles collapse into one arena-backed
+/// [`Forest`]; SVM/GP ensembles keep their individual models.
+#[derive(Debug, Clone)]
+enum Members {
+    /// All trees in one contiguous node slab, traversed batch-wise.
+    Forest(Forest),
+    /// Per-member models with their own batch kernels.
+    Models(Vec<BaseModel>),
+}
+
 /// A fitted bagging ensemble.
 #[derive(Debug, Clone)]
 pub struct BaggingClassifier {
-    members: Vec<BaseModel>,
+    members: Members,
     /// `in_bag_counts[member][sample]`: how many times each training sample
     /// appeared in each member's bootstrap.
     in_bag_counts: Vec<Vec<u32>>,
@@ -210,6 +228,20 @@ impl BaggingClassifier {
             .collect();
 
         let (members, in_bag_counts): (Vec<BaseModel>, Vec<Vec<u32>>) = fits.into_iter().unzip();
+        // Tree members collapse into one arena: the per-member `Vec<Node>`s
+        // are spliced into a single slab and dropped.
+        let members = if matches!(config.base, BaseLearnerConfig::Tree(_)) {
+            let mut forest = Forest::new(x.n_cols());
+            for member in &members {
+                match member {
+                    BaseModel::Tree(t) => forest.push_tree(t),
+                    _ => unreachable!("tree base config fits tree members"),
+                }
+            }
+            Members::Forest(forest)
+        } else {
+            Members::Models(members)
+        };
         Self {
             members,
             in_bag_counts,
@@ -220,7 +252,19 @@ impl BaggingClassifier {
 
     /// Number of ensemble members.
     pub fn n_members(&self) -> usize {
-        self.members.len()
+        match &self.members {
+            Members::Forest(f) => f.n_trees(),
+            Members::Models(m) => m.len(),
+        }
+    }
+
+    /// The shared tree arena, when the base learner is a decision tree
+    /// (`None` for SVM/GP ensembles).
+    pub fn forest(&self) -> Option<&Forest> {
+        match &self.members {
+            Members::Forest(f) => Some(f),
+            Members::Models(_) => None,
+        }
     }
 
     /// Number of training samples the ensemble was fitted on.
@@ -239,28 +283,32 @@ impl BaggingClassifier {
     }
 
     /// Per-member predictions as a flat `n_members × n_rows` matrix (row
-    /// `m` holds member `m`'s probabilities).
+    /// `m` holds member `m`'s probabilities). Tree ensembles answer this
+    /// with one level-synchronous pass over the shared arena.
     ///
     /// # Panics
     /// Panics on an empty batch (an `n_members × 0` matrix is not
     /// representable); the `Classifier` entry points handle that case.
     pub fn member_predictions(&self, x: MatrixView<'_>) -> Matrix {
-        let per_member: Vec<Vec<f64>> = self
-            .members
-            .par_iter()
-            .map(|m| m.predict_proba(x))
-            .collect();
-        Matrix::from_rows(&per_member)
+        match &self.members {
+            Members::Forest(f) => f.predict_proba_batch(x),
+            Members::Models(models) => {
+                let per_member: Vec<Vec<f64>> =
+                    models.par_iter().map(|m| m.predict_proba(x)).collect();
+                Matrix::from_rows(&per_member)
+            }
+        }
     }
 
     /// Per-member predictions plus intrinsic variances where available, in
     /// one pass over the members (no recomputation between the probability
-    /// and variance paths).
+    /// and variance paths). SVM/GP only — the tree path consumes
+    /// [`Self::member_predictions`] directly.
     fn member_predictions_with_variance(
-        &self,
+        members: &[BaseModel],
         x: MatrixView<'_>,
     ) -> Vec<(Vec<f64>, Option<Vec<f64>>)> {
-        self.members
+        members
             .par_iter()
             .map(|m| m.predict_with_optional_variance(x))
             .collect()
@@ -270,8 +318,13 @@ impl BaggingClassifier {
     /// (the intrinsic uncertainty metric of Sec. IV). Returns `None` when
     /// the base learner does not expose an intrinsic variance.
     pub fn intrinsic_variance(&self, x: MatrixView<'_>) -> Option<Vec<f64>> {
-        let per_member = self.member_predictions_with_variance(x);
-        Self::average_intrinsic(&per_member, x.n_rows())
+        match &self.members {
+            Members::Forest(_) => None,
+            Members::Models(models) => {
+                let per_member = Self::member_predictions_with_variance(models, x);
+                Self::average_intrinsic(&per_member, x.n_rows())
+            }
+        }
     }
 
     /// Average the intrinsic member variances out of a member pass, `None`
@@ -312,7 +365,7 @@ impl Classifier for BaggingClassifier {
             }
         }
         mean.into_iter()
-            .map(|m| m / self.members.len() as f64)
+            .map(|m| m / self.n_members() as f64)
             .collect()
     }
 }
@@ -322,34 +375,73 @@ impl UncertainClassifier for BaggingClassifier {
     /// averaged GP posterior variance (the paper's choice); otherwise the
     /// empirical variance of the member predictions (the heuristic the
     /// paper compares against in Fig. 7). Every member is evaluated exactly
-    /// once — the probability and variance outputs share one member pass.
+    /// once — the probability and variance outputs share one member pass
+    /// (for trees, one batch traversal of the arena).
     fn predict_with_variance(&self, x: MatrixView<'_>) -> (Vec<f64>, Vec<f64>) {
-        let per_member = self.member_predictions_with_variance(x);
-        let b = per_member.len() as f64;
-        let n_rows = x.n_rows();
-        let mut mean = vec![0.0; n_rows];
-        for (preds, _) in &per_member {
-            for (m, p) in mean.iter_mut().zip(preds) {
-                *m += p;
+        if x.n_rows() == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        match &self.members {
+            Members::Forest(forest) => {
+                let per_member = forest.predict_proba_batch(x);
+                mean_and_spread(&per_member)
+            }
+            Members::Models(models) => {
+                let per_member = Self::member_predictions_with_variance(models, x);
+                let b = per_member.len() as f64;
+                let n_rows = x.n_rows();
+                let mut mean = vec![0.0; n_rows];
+                for (preds, _) in &per_member {
+                    for (m, p) in mean.iter_mut().zip(preds) {
+                        *m += p;
+                    }
+                }
+                for m in mean.iter_mut() {
+                    *m /= b;
+                }
+                if let Some(v) = Self::average_intrinsic(&per_member, n_rows) {
+                    return (mean, v);
+                }
+                let mut var = vec![0.0; n_rows];
+                for (preds, _) in &per_member {
+                    for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
+                        *v += (p - m) * (p - m);
+                    }
+                }
+                for v in var.iter_mut() {
+                    *v /= b;
+                }
+                (mean, var)
             }
         }
-        for m in mean.iter_mut() {
-            *m /= b;
-        }
-        if let Some(v) = Self::average_intrinsic(&per_member, n_rows) {
-            return (mean, v);
-        }
-        let mut var = vec![0.0; n_rows];
-        for (preds, _) in &per_member {
-            for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
-                *v += (p - m) * (p - m);
-            }
-        }
-        for v in var.iter_mut() {
-            *v /= b;
-        }
-        (mean, var)
     }
+}
+
+/// Member-mean and member-spread variance of a `n_members × n_rows`
+/// prediction table, accumulated in member order (the exact operation
+/// order of the per-member path, so results are bit-identical).
+pub(crate) fn mean_and_spread(per_member: &Matrix) -> (Vec<f64>, Vec<f64>) {
+    let b = per_member.n_rows() as f64;
+    let n_rows = per_member.n_cols();
+    let mut mean = vec![0.0; n_rows];
+    for preds in per_member.rows() {
+        for (m, p) in mean.iter_mut().zip(preds) {
+            *m += p;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= b;
+    }
+    let mut var = vec![0.0; n_rows];
+    for preds in per_member.rows() {
+        for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
+            *v += (p - m) * (p - m);
+        }
+    }
+    for v in var.iter_mut() {
+        *v /= b;
+    }
+    (mean, var)
 }
 
 fn balanced_bootstrap<R: Rng>(positives: &[usize], negatives: &[usize], rng: &mut R) -> Vec<usize> {
@@ -468,6 +560,27 @@ mod tests {
         let (rows, labels) = imbalanced_data(100, 0.3, 8);
         let model = BaggingClassifier::fit(&BaggingConfig::trees(5, 3), rows.view(), &labels);
         assert!(model.intrinsic_variance(rows.view().head(5)).is_none());
+    }
+
+    #[test]
+    fn tree_ensembles_are_arena_backed() {
+        let (rows, labels) = imbalanced_data(200, 0.3, 11);
+        let trees = BaggingClassifier::fit(&BaggingConfig::trees(6, 3), rows.view(), &labels);
+        let forest = trees.forest().expect("tree ensembles build a forest");
+        assert_eq!(forest.n_trees(), 6);
+        assert!(forest.n_nodes() >= 6);
+        // Member predictions come from the batch kernel and agree with the
+        // per-row arena walk exactly.
+        let q = rows.view().head(40);
+        let batch = trees.member_predictions(q);
+        for t in 0..forest.n_trees() {
+            for (r, row) in q.rows().enumerate() {
+                assert_eq!(batch.get(t, r), forest.predict_row(t, row));
+            }
+        }
+
+        let svms = BaggingClassifier::fit(&BaggingConfig::svms(2, 3), rows.view(), &labels);
+        assert!(svms.forest().is_none());
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Arena-backed ensembles of decision trees with level-synchronous batch
+//! traversal.
+//!
+//! The planning loop of Sec. VI evaluates the g_v(c)/ν_v(c) response
+//! surfaces over every park cell × effort level, and after the flat-matrix
+//! migration that cost is pure decision-tree traversal. A bagging ensemble
+//! (and, one level up, the whole iWare-E learner stack) used to keep each
+//! tree's nodes in its own `Vec`, so a park-wide prediction chased pointers
+//! across I×B scattered heap allocations, one row at a time.
+//!
+//! [`Forest`] fixes both halves of that:
+//!
+//! * **Arena layout** — the nodes of every tree live in one contiguous
+//!   `Vec<Node>` slab with per-tree root offsets. Trees are re-laid out in
+//!   breadth-first order when they are spliced in, so the nodes a traversal
+//!   frontier touches at one level sit next to each other in memory. Whole
+//!   forests can be spliced into a larger arena ([`Forest::push_forest`]),
+//!   which is how the iWare-E stack builds its single learner-wide slab.
+//! * **Level-synchronous batch traversal** —
+//!   [`Forest::predict_proba_batch`] advances a block of rows through one
+//!   tree level at a time (a frontier of node indices per row, iterating
+//!   trees × levels instead of rows × nodes). The per-row walk is a serial
+//!   dependency chain — each node load waits on the previous compare — but
+//!   a block of rows gives the CPU many independent chains to overlap, and
+//!   each node cache line is reused across the whole block. Leaves are
+//!   stored self-referencing (`left == right == self`), which makes the
+//!   inner advance branch-free: rows that reach a leaf early simply spin in
+//!   place until the deepest row catches up.
+//!
+//! Traversal performs exactly the same `feature <= threshold` comparisons
+//! as the per-row walk, so predictions are bit-identical to evaluating each
+//! [`DecisionTree`] on its own.
+
+use crate::tree::{DecisionTree, Node};
+use paws_data::matrix::{Matrix, MatrixView};
+use serde::{Deserialize, Serialize};
+
+/// Rows are traversed in blocks of this many: the frontier (one `u32` per
+/// row) stays resident in L1 while every tree level streams over it.
+const ROW_BLOCK: usize = 256;
+
+/// An arena of decision trees: one contiguous node slab, per-tree roots and
+/// depths. Serialized/deserialized as a single unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forest {
+    /// All nodes of all trees, each tree contiguous in BFS (level) order.
+    nodes: Vec<Node>,
+    /// Arena index of each tree's root.
+    roots: Vec<u32>,
+    /// Depth (edges on the longest root-to-leaf path) of each tree; the
+    /// number of level-synchronous steps needed to reach every leaf.
+    depths: Vec<u32>,
+    n_features: usize,
+}
+
+impl Forest {
+    /// Empty arena for trees over `n_features`-wide rows.
+    pub fn new(n_features: usize) -> Self {
+        assert!(n_features > 0, "forest needs at least one feature");
+        Self {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            depths: Vec::new(),
+            n_features,
+        }
+    }
+
+    /// Build an arena from fitted trees (splicing each in BFS order).
+    pub fn from_trees<'a, I>(n_features: usize, trees: I) -> Self
+    where
+        I: IntoIterator<Item = &'a DecisionTree>,
+    {
+        let mut forest = Self::new(n_features);
+        for tree in trees {
+            forest.push_tree(tree);
+        }
+        forest
+    }
+
+    /// Number of trees in the arena.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total number of nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Feature width the trees were fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Depth of tree `t` (edges on its longest root-to-leaf path).
+    pub fn tree_depth(&self, t: usize) -> usize {
+        self.depths[t] as usize
+    }
+
+    /// Splice a fitted tree's nodes into the arena in breadth-first order,
+    /// remapping child indices; leaves become self-referencing so batch
+    /// traversal can advance without a leaf branch.
+    pub fn push_tree(&mut self, tree: &DecisionTree) {
+        assert_eq!(
+            tree.n_features(),
+            self.n_features,
+            "feature width mismatch between tree and forest"
+        );
+        let src = tree.nodes();
+        assert!(!src.is_empty(), "cannot splice an unfitted tree");
+        let base = self.nodes.len() as u32;
+
+        // BFS pass: source index and level of every node in visit order.
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(src.len());
+        let mut new_index: Vec<u32> = vec![0; src.len()];
+        order.push((0, 0));
+        new_index[0] = base;
+        let mut head = 0;
+        let mut depth = 0u32;
+        while head < order.len() {
+            let (si, level) = order[head];
+            head += 1;
+            depth = depth.max(level);
+            let node = &src[si as usize];
+            if !node.is_leaf() {
+                for child in [node.left, node.right] {
+                    new_index[child as usize] = base + order.len() as u32;
+                    order.push((child, level + 1));
+                }
+            }
+        }
+
+        self.nodes.reserve(src.len());
+        for &(si, _) in &order {
+            let node = &src[si as usize];
+            if node.is_leaf() {
+                let own = new_index[si as usize];
+                self.nodes.push(Node {
+                    feature: -1,
+                    left: own,
+                    right: own,
+                    value: node.value,
+                });
+            } else {
+                self.nodes.push(Node {
+                    feature: node.feature,
+                    left: new_index[node.left as usize],
+                    right: new_index[node.right as usize],
+                    value: node.value,
+                });
+            }
+        }
+        self.roots.push(base);
+        self.depths.push(depth);
+    }
+
+    /// Splice every tree of another forest into this arena (the iWare-E
+    /// stack uses this to fuse its learners' forests into one slab).
+    pub fn push_forest(&mut self, other: &Forest) {
+        assert_eq!(
+            other.n_features, self.n_features,
+            "feature width mismatch between forests"
+        );
+        let base = self.nodes.len() as u32;
+        self.nodes.extend(other.nodes.iter().map(|n| Node {
+            feature: n.feature,
+            left: n.left + base,
+            right: n.right + base,
+            value: n.value,
+        }));
+        self.roots.extend(other.roots.iter().map(|&r| r + base));
+        self.depths.extend_from_slice(&other.depths);
+    }
+
+    /// Per-tree predictions for a feature batch as a flat
+    /// `n_trees × n_rows` matrix (row `t` holds tree `t`'s probabilities),
+    /// computed level-synchronously.
+    ///
+    /// # Panics
+    /// Panics on an empty batch (an `n_trees × 0` matrix is not
+    /// representable) or a feature-width mismatch; ensemble entry points
+    /// guard the empty case.
+    pub fn predict_proba_batch(&self, x: MatrixView<'_>) -> Matrix {
+        assert_eq!(x.n_cols(), self.n_features, "feature width mismatch");
+        assert!(!self.roots.is_empty(), "empty forest");
+        assert!(!x.is_empty(), "empty prediction batch");
+        let n_rows = x.n_rows();
+        let mut out = Matrix::zeros(self.roots.len(), n_rows);
+        let mut frontier = [0u32; ROW_BLOCK];
+        for start in (0..n_rows).step_by(ROW_BLOCK) {
+            let len = ROW_BLOCK.min(n_rows - start);
+            let frontier = &mut frontier[..len];
+            for (t, (&root, &depth)) in self.roots.iter().zip(&self.depths).enumerate() {
+                frontier.fill(root);
+                for _ in 0..depth {
+                    for (j, slot) in frontier.iter_mut().enumerate() {
+                        let node = self.nodes[*slot as usize];
+                        // Leaves store feature -1 and point to themselves,
+                        // so clamping to feature 0 keeps the advance
+                        // branch-free: whichever way the compare goes, a
+                        // leaf row stays where it is.
+                        let f = node.feature.max(0) as usize;
+                        *slot = if x.get(start + j, f) <= node.value {
+                            node.left
+                        } else {
+                            node.right
+                        };
+                    }
+                }
+                let out_row = out.row_mut(t);
+                for (j, &slot) in frontier.iter().enumerate() {
+                    out_row[start + j] = self.nodes[slot as usize].value;
+                }
+            }
+        }
+        out
+    }
+
+    /// Prediction of tree `t` for one row (classic root-to-leaf walk); the
+    /// reference the batch kernel must agree with bit-for-bit.
+    pub fn predict_row(&self, t: usize, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut node = self.nodes[self.roots[t] as usize];
+        while !node.is_leaf() {
+            let next = if row[node.feature as usize] <= node.value {
+                node.left
+            } else {
+                node.right
+            };
+            node = self.nodes[next as usize];
+        }
+        node.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Classifier;
+    use crate::tree::TreeConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] + r[1] > 1.0 { 1.0 } else { 0.0 })
+            .collect();
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    fn fitted_trees(n_trees: usize) -> (Matrix, Vec<DecisionTree>) {
+        let (x, labels) = data(300, 3);
+        let trees: Vec<DecisionTree> = (0..n_trees)
+            .map(|s| {
+                DecisionTree::fit(
+                    &TreeConfig {
+                        max_features: Some(2),
+                        ..TreeConfig::default()
+                    },
+                    x.view(),
+                    &labels,
+                    s as u64,
+                )
+            })
+            .collect();
+        (x, trees)
+    }
+
+    #[test]
+    fn arena_holds_every_tree_contiguously() {
+        let (_, trees) = fitted_trees(6);
+        let forest = Forest::from_trees(3, trees.iter());
+        assert_eq!(forest.n_trees(), 6);
+        assert_eq!(
+            forest.n_nodes(),
+            trees.iter().map(|t| t.n_nodes()).sum::<usize>()
+        );
+        for (t, tree) in trees.iter().enumerate() {
+            assert_eq!(forest.tree_depth(t), tree.depth());
+        }
+    }
+
+    #[test]
+    fn batch_traversal_is_bit_identical_to_per_tree_prediction() {
+        let (x, trees) = fitted_trees(5);
+        let forest = Forest::from_trees(3, trees.iter());
+        // A batch spanning several ROW_BLOCK chunks.
+        let batch = forest.predict_proba_batch(x.view());
+        assert_eq!(batch.n_rows(), 5);
+        assert_eq!(batch.n_cols(), x.n_rows());
+        for (t, tree) in trees.iter().enumerate() {
+            let reference = tree.predict_proba(x.view());
+            assert_eq!(batch.row(t), reference.as_slice(), "tree {t}");
+        }
+    }
+
+    #[test]
+    fn per_row_arena_walk_matches_the_source_trees() {
+        let (x, trees) = fitted_trees(4);
+        let forest = Forest::from_trees(3, trees.iter());
+        for (t, tree) in trees.iter().enumerate() {
+            for row in x.view().head(50).rows() {
+                assert_eq!(forest.predict_row(t, row), tree.predict_proba_one(row));
+            }
+        }
+    }
+
+    #[test]
+    fn spliced_forests_predict_like_their_parts() {
+        let (x, trees) = fitted_trees(6);
+        let a = Forest::from_trees(3, trees[..2].iter());
+        let b = Forest::from_trees(3, trees[2..].iter());
+        let mut stacked = Forest::new(3);
+        stacked.push_forest(&a);
+        stacked.push_forest(&b);
+        assert_eq!(stacked.n_trees(), 6);
+        let whole = Forest::from_trees(3, trees.iter());
+        let q = x.view().head(40);
+        assert_eq!(
+            stacked.predict_proba_batch(q).as_slice(),
+            whole.predict_proba_batch(q).as_slice()
+        );
+    }
+
+    #[test]
+    fn serializes_as_one_unit() {
+        let (_, trees) = fitted_trees(3);
+        let forest = Forest::from_trees(3, trees.iter());
+        let json = serde_json::to_string(&forest).expect("forest serializes");
+        // One object, one node slab covering every tree.
+        assert_eq!(json.matches("\"nodes\"").count(), 1);
+        assert_eq!(json.matches("\"roots\"").count(), 1);
+        assert!(json.contains("\"depths\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn rejects_wrong_width_trees() {
+        let (_, trees) = fitted_trees(1);
+        let mut forest = Forest::new(7);
+        forest.push_tree(&trees[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prediction batch")]
+    fn rejects_empty_batches() {
+        let (x, trees) = fitted_trees(1);
+        let forest = Forest::from_trees(3, trees.iter());
+        let empty = x.gather(&[]);
+        let _ = forest.predict_proba_batch(empty.view());
+    }
+}

@@ -220,6 +220,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "features must be finite")]
+    fn non_finite_features_are_rejected_up_front() {
+        let (rows, labels) = blob_data(60, 4);
+        let mut raw = rows.as_slice().to_vec();
+        raw[21] = f64::NAN;
+        let x = Matrix::from_flat(raw, rows.n_cols());
+        let _ = GaussianProcess::fit(&GpConfig::default(), x.view(), &labels, 3);
+    }
+
+    #[test]
     fn probabilities_and_variances_are_valid() {
         let (rows, labels) = blob_data(120, 3);
         let gp = GaussianProcess::fit(&GpConfig::default(), rows.view(), &labels, 3);

@@ -7,6 +7,8 @@
 //! the paper needs:
 //!
 //! * [`tree`] — CART decision trees (DTB weak learners).
+//! * [`forest`] — arena-backed tree ensembles with level-synchronous batch
+//!   traversal (one contiguous node slab per ensemble).
 //! * [`svm`] — linear SVM with Platt scaling (SVB weak learners).
 //! * [`gp`] — Gaussian-process classifier with predictive variance (GPB).
 //! * [`bagging`] — plain and balanced (undersampled) bagging ensembles.
@@ -16,6 +18,7 @@
 //! * [`linalg`] — the small dense Cholesky kernel behind the GP.
 pub mod bagging;
 pub mod cv;
+pub mod forest;
 pub mod gp;
 pub mod jackknife;
 pub mod linalg;
@@ -25,6 +28,7 @@ pub mod traits;
 pub mod tree;
 
 pub use bagging::{BaggingClassifier, BaggingConfig, BaseLearnerConfig, BaseModel};
+pub use forest::Forest;
 pub use gp::{GaussianProcess, GpConfig};
 pub use svm::{LinearSvm, SvmConfig};
 pub use traits::{Classifier, Trainable, UncertainClassifier};

@@ -173,6 +173,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "features must be finite")]
+    fn non_finite_features_are_rejected_up_front() {
+        let (rows, labels) = linearly_separable(50, 4);
+        let mut raw = rows.as_slice().to_vec();
+        raw[9] = f64::NEG_INFINITY;
+        let x = Matrix::from_flat(raw, rows.n_cols());
+        let _ = LinearSvm::fit(&SvmConfig::default(), x.view(), &labels, 3);
+    }
+
+    #[test]
     fn probabilities_are_calibrated_direction() {
         let (rows, labels) = linearly_separable(300, 3);
         let svm = LinearSvm::fit(&SvmConfig::default(), rows.view(), &labels, 3);

@@ -35,11 +35,20 @@ pub trait Trainable: Sized {
 }
 
 /// Validate an (x, labels) training pair, panicking with a clear message
-/// when the shapes are inconsistent. Shared by every learner's `fit`.
+/// when the shapes are inconsistent or the values are not finite. Shared by
+/// every learner's `fit`.
+///
+/// The non-finite check matters: a single NaN feature would otherwise
+/// surface as a `partial_cmp().unwrap()` panic deep inside split search or
+/// kernel evaluation, far from the data that caused it.
 pub fn validate_training_data(x: MatrixView<'_>, labels: &[f64]) {
     assert!(!x.is_empty(), "cannot fit on an empty training set");
     assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
     assert!(x.n_cols() > 0, "training rows need at least one feature");
+    assert!(
+        x.as_slice().iter().all(|v| v.is_finite()),
+        "features must be finite (found NaN or infinity in the training batch)"
+    );
     assert!(
         labels.iter().all(|&y| y == 0.0 || y == 1.0),
         "labels must be 0.0 or 1.0"
@@ -88,5 +97,26 @@ mod tests {
     fn validation_rejects_non_binary_labels() {
         let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
         validate_training_data(m.view(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "features must be finite")]
+    fn validation_rejects_nan_features() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![2.0, 3.0]]);
+        validate_training_data(m.view(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "features must be finite")]
+    fn validation_rejects_infinite_features() {
+        let m = Matrix::from_rows(&[vec![f64::INFINITY], vec![2.0]]);
+        validate_training_data(m.view(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn validation_rejects_nan_labels() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        validate_training_data(m.view(), &[f64::NAN, 1.0]);
     }
 }

@@ -53,13 +53,14 @@ impl Default for TreeConfig {
 /// Compact 24-byte node: `feature < 0` marks a leaf whose probability is
 /// stored in `value`; otherwise `value` is the split threshold and
 /// `left`/`right` index the child nodes. The dense layout keeps batch
-/// traversal cache-friendly.
+/// traversal cache-friendly; [`crate::forest::Forest`] splices these nodes
+/// unchanged into its arena.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct Node {
-    feature: i32,
-    left: u32,
-    right: u32,
-    value: f64,
+pub(crate) struct Node {
+    pub(crate) feature: i32,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) value: f64,
 }
 
 impl Node {
@@ -84,7 +85,7 @@ impl Node {
     }
 
     #[inline]
-    fn is_leaf(&self) -> bool {
+    pub(crate) fn is_leaf(&self) -> bool {
         self.feature < 0
     }
 }
@@ -114,6 +115,16 @@ impl DecisionTree {
     /// Number of nodes in the fitted tree.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Feature width the tree was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The fitted node table (root at index 0), for arena splicing.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Tree depth (longest root-to-leaf path, in edges).
@@ -191,7 +202,13 @@ impl DecisionTree {
                 continue;
             }
             let stride = (uniq.len() / config.max_thresholds.max(1)).max(1);
-            for w in (0..uniq.len() - 1).step_by(stride) {
+            // The stride walk alone would skip the top inter-value
+            // boundaries whenever `uniq.len() - 2` is not a stride
+            // multiple, making high-value splits unreachable at large
+            // nodes; always evaluate the last boundary as well.
+            let last = uniq.len() - 2;
+            let tail = (!last.is_multiple_of(stride)).then_some(last);
+            for w in (0..uniq.len() - 1).step_by(stride).chain(tail) {
                 let threshold = (uniq[w].0 + uniq[w + 1].0) / 2.0;
                 // Items with value <= threshold go left. The midpoint of two
                 // adjacent floats can round up onto the right value, in
@@ -367,6 +384,43 @@ mod tests {
         for (i, &p) in batch.iter().enumerate() {
             assert_eq!(p, tree.predict_proba_one(rows.row(i)));
         }
+    }
+
+    #[test]
+    fn top_boundary_split_is_reachable_at_large_nodes() {
+        // Regression: the quantile stride `(0..uniq-1).step_by(stride)`
+        // never evaluated the last inter-value boundary when `uniq - 2`
+        // was not a stride multiple. Here the only clean split is between
+        // the top two of 65 distinct values (stride 2, boundary 63 — odd):
+        // values 0..=63 appear once with label 0, value 64.0 five times
+        // with label 1.
+        let mut rows: Vec<Vec<f64>> = (0..64).map(|v| vec![v as f64]).collect();
+        let mut labels = vec![0.0; 64];
+        for _ in 0..5 {
+            rows.push(vec![64.0]);
+            labels.push(1.0);
+        }
+        let x = Matrix::from_rows(&rows);
+        let config = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&config, x.view(), &labels, 7);
+        // With the boundary reachable, one split separates the classes
+        // perfectly; without it, the depth-1 tree is stuck at the stride
+        // candidate below (threshold 62.5) and predicts 5/6 for 63.0.
+        assert_eq!(tree.predict_proba_one(&[63.0]), 0.0);
+        assert_eq!(tree.predict_proba_one(&[64.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "features must be finite")]
+    fn non_finite_features_are_rejected_up_front() {
+        let (rows, labels) = xor_like_data(50, 10);
+        let mut raw = rows.as_slice().to_vec();
+        raw[17] = f64::NAN;
+        let x = Matrix::from_flat(raw, rows.n_cols());
+        let _ = DecisionTree::fit(&TreeConfig::default(), x.view(), &labels, 7);
     }
 
     #[test]
