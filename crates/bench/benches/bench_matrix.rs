@@ -5,8 +5,9 @@
 //! clone-based tree/bagging/iWare code so the speedup stays measurable
 //! after the old code path is gone).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paws_core::Scenario;
+use paws_data::simd;
 use paws_data::{build_dataset, split_by_test_year, Discretization, Matrix, StandardScaler};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::traits::Classifier;
@@ -498,6 +499,80 @@ fn bench_iware_legacy_vs_flat(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_simd_kernels(c: &mut Criterion) {
+    // The `f64x4` micro-kernels against their sequential scalar
+    // references, at the GP-solve scale (n ≈ 400, the `L⁻¹k*` prefix dots)
+    // and a longer streaming length.
+    for n in [400usize, 4096] {
+        let a: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.91).cos()).collect();
+        let mut group = c.benchmark_group(format!("simd_kernels_{n}"));
+        group.sample_size(30);
+        group.bench_function("dot_scalar", |bch| {
+            bch.iter(|| black_box(simd::dot_scalar(&a, &b)))
+        });
+        group.bench_function("dot_f64x4", |bch| bch.iter(|| black_box(simd::dot(&a, &b))));
+        group.bench_function("sum_scalar", |bch| {
+            bch.iter(|| black_box(simd::sum_scalar(&a)))
+        });
+        group.bench_function("sum_f64x4", |bch| bch.iter(|| black_box(simd::sum(&a))));
+        group.bench_function("sqdist_scalar", |bch| {
+            bch.iter(|| {
+                black_box(
+                    a.iter()
+                        .zip(&b)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>(),
+                )
+            })
+        });
+        group.bench_function("sqdist_f64x4", |bch| {
+            bch.iter(|| black_box(simd::squared_distance(&a, &b)))
+        });
+        group.bench_function("axpy_autovec", |bch| {
+            let mut y = b.clone();
+            bch.iter(|| {
+                simd::axpy(1.0000001, &a, &mut y);
+                black_box(y[0])
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_effort_response_threads(c: &mut Criterion) {
+    // 1-vs-N-thread scaling of the park-wide response surface over the
+    // work-stealing pool. On a single-core runner N > 1 only measures the
+    // pool's oversubscription overhead; run on a multi-core host to see
+    // real scaling.
+    use paws_iware::{IWareConfig, IWareModel, ThresholdMode, WeightMode};
+    let w = workload();
+    let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let config = IWareConfig {
+        n_learners: 5,
+        base: BaggingConfig::trees(4, 3),
+        threshold_mode: ThresholdMode::Percentile,
+        weight_mode: WeightMode::Uniform,
+        min_subset_size: 20,
+        seed: 3,
+    };
+    let model = IWareModel::fit(&config, w.flat.view(), &w.labels, &w.efforts);
+    let mut group = c.benchmark_group("effort_response_threads");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                rayon::with_num_threads(threads, || {
+                    b.iter(|| black_box(model.effort_response(w.park_flat.view(), &grid)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gather_vs_clone,
@@ -505,6 +580,8 @@ criterion_group!(
     bench_forest_traversal,
     bench_tree_fit_legacy_vs_flat,
     bench_bagging_fit_legacy_vs_flat,
-    bench_iware_legacy_vs_flat
+    bench_iware_legacy_vs_flat,
+    bench_simd_kernels,
+    bench_effort_response_threads
 );
 criterion_main!(benches);

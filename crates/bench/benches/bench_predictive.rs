@@ -2,7 +2,7 @@
 //! building blocks): weak-learner training, iWare-E training and park-wide
 //! prediction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paws_core::{train, ModelConfig, Scenario, WeakLearnerKind};
 use paws_data::{build_dataset, split_by_test_year, Dataset, Discretization, TrainTestSplit};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
@@ -93,10 +93,41 @@ fn bench_park_prediction(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_park_prediction_threads(c: &mut Criterion) {
+    // 1-vs-N-thread park-wide prediction over the work-stealing pool: the
+    // 256-row traversal blocks and the fused reduce/combine fan out per
+    // block. On a single-core runner N > 1 only measures pool overhead.
+    let (scenario, dataset, split) = setup();
+    let model = train(
+        &dataset,
+        &split,
+        &quick_config(WeakLearnerKind::DecisionTree, true),
+    );
+    let prev = dataset.coverage.last().unwrap().clone();
+    let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut group = c.benchmark_group("park_response_threads");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                rayon::with_num_threads(threads, || {
+                    b.iter(|| {
+                        black_box(model.park_response(&scenario.park, &dataset, &prev, &grid))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_weak_learners,
     bench_iware_training,
-    bench_park_prediction
+    bench_park_prediction,
+    bench_park_prediction_threads
 );
 criterion_main!(benches);

@@ -19,11 +19,15 @@
 //! Feature batches are stored and passed as contiguous row-major
 //! [`matrix::Matrix`] / [`matrix::MatrixView`] values; training subsets are
 //! index-gathered ([`matrix::Matrix::gather`]) rather than row-cloned.
+//! Contiguous hot loops across the workspace (scaler transforms, kernel
+//! rows, triangular solves, ensemble reductions) run on the stable-Rust
+//! `f64x4` micro-kernels in [`simd`].
 
 pub mod dataset;
 pub mod discretize;
 pub mod matrix;
 pub mod scaler;
+pub mod simd;
 pub mod split;
 pub mod stats;
 pub mod threshold;

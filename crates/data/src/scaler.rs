@@ -6,9 +6,12 @@
 //! `StandardScaler` inside a pipeline would be.
 //!
 //! All entry points work on flat [`Matrix`] / [`MatrixView`] batches; the
-//! in-place transforms never allocate per row.
+//! in-place transforms never allocate per row, and both fitting and the
+//! z-score transform run on the element-wise `f64x4` kernels of
+//! [`crate::simd`] (bit-identical to the scalar loops they replace).
 
 use crate::matrix::{Matrix, MatrixView};
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// Z-score standardiser fitted per feature column.
@@ -29,18 +32,12 @@ impl StandardScaler {
         let n = x.n_rows() as f64;
         let mut means = vec![0.0; k];
         for r in x.rows() {
-            for (m, v) in means.iter_mut().zip(r) {
-                *m += v;
-            }
+            simd::add_assign(&mut means, r);
         }
-        for m in &mut means {
-            *m /= n;
-        }
+        simd::div_assign(&mut means, n);
         let mut vars = vec![0.0; k];
         for r in x.rows() {
-            for ((v, m), xv) in vars.iter_mut().zip(&means).zip(r) {
-                *v += (xv - m).powi(2);
-            }
+            simd::accumulate_sq_diff(&mut vars, r, &means);
         }
         let stds = vars
             .into_iter()
@@ -64,9 +61,7 @@ impl StandardScaler {
     /// Transform a single row in place.
     pub fn transform_row(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.means.len(), "row width mismatch");
-        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
-            *x = (*x - m) / s;
-        }
+        simd::standardize(row, &self.means, &self.stds);
     }
 
     /// Transform a whole matrix in place — the zero-clone path used by
@@ -75,9 +70,7 @@ impl StandardScaler {
         assert_eq!(x.n_cols(), self.means.len(), "matrix width mismatch");
         let k = self.means.len();
         for row in x.as_mut_slice().chunks_exact_mut(k) {
-            for ((value, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
-                *value = (*value - m) / s;
-            }
+            simd::standardize(row, &self.means, &self.stds);
         }
     }
 

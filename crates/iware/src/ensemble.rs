@@ -34,6 +34,7 @@
 use crate::thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 use crate::weights::{optimize_weights, WeightMode};
 use paws_data::matrix::{Matrix, MatrixView};
+use paws_data::simd;
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::cv::stratified_kfold;
 use paws_ml::forest::Forest;
@@ -73,11 +74,50 @@ impl IWareConfig {
     }
 }
 
+/// Rows are evaluated in blocks of this many across the park-wide
+/// prediction paths (matches the forest traversal's internal block size,
+/// so fused traverse→reduce→combine stays cache-resident).
+const ROW_CHUNK: usize = 256;
+
 /// The whole learner stack's trees fused into one arena: `ranges[i]` is the
 /// tree index range of learner `i` within the combined forest.
 struct LearnerStack {
     forest: Forest,
     ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl LearnerStack {
+    /// Fused traverse-and-reduce for one row block: batch-traverse the
+    /// arena for rows `start..start + len`, then fold each learner's
+    /// member rows into `(means, spreads)` (`n_learners × len`, learner-
+    /// major) while the per-tree block is still cache-resident.
+    fn block_prob_var(&self, x: MatrixView<'_>, start: usize, len: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut per_tree = vec![0.0; self.forest.n_trees() * len];
+        self.forest
+            .predict_proba_block(x, start, len, &mut per_tree);
+        let nl = self.ranges.len();
+        let mut probs = vec![0.0; nl * len];
+        let mut vars = vec![0.0; nl * len];
+        for (li, range) in self.ranges.iter().enumerate() {
+            reduce_members(
+                &per_tree,
+                len,
+                range.clone(),
+                &mut probs[li * len..(li + 1) * len],
+                None,
+            );
+        }
+        for (li, range) in self.ranges.iter().enumerate() {
+            reduce_members(
+                &per_tree,
+                len,
+                range.clone(),
+                &mut vars[li * len..(li + 1) * len],
+                Some(&probs[li * len..(li + 1) * len]),
+            );
+        }
+        (probs, vars)
+    }
 }
 
 /// A fitted iWare-E ensemble.
@@ -168,9 +208,16 @@ impl IWareModel {
     fn learner_probabilities(&self, x: MatrixView<'_>) -> Matrix {
         if let Some(stack) = &self.stack {
             let per_tree = stack.forest.predict_proba_batch(x);
-            let mut probs = Matrix::zeros(self.learners.len(), x.n_rows());
+            let stride = x.n_rows();
+            let mut probs = Matrix::zeros(self.learners.len(), stride);
             for (li, range) in stack.ranges.iter().enumerate() {
-                reduce_members(&per_tree, range.clone(), probs.row_mut(li), None);
+                reduce_members(
+                    per_tree.as_slice(),
+                    stride,
+                    range.clone(),
+                    probs.row_mut(li),
+                    None,
+                );
             }
             return probs;
         }
@@ -194,9 +241,16 @@ impl IWareModel {
             let mut probs = Matrix::zeros(self.learners.len(), n_rows);
             let mut vars = Matrix::zeros(self.learners.len(), n_rows);
             for (li, range) in stack.ranges.iter().enumerate() {
-                reduce_members(&per_tree, range.clone(), probs.row_mut(li), None);
                 reduce_members(
-                    &per_tree,
+                    per_tree.as_slice(),
+                    n_rows,
+                    range.clone(),
+                    probs.row_mut(li),
+                    None,
+                );
+                reduce_members(
+                    per_tree.as_slice(),
+                    n_rows,
                     range.clone(),
                     vars.row_mut(li),
                     Some(probs.row(li)),
@@ -226,6 +280,17 @@ impl IWareModel {
             return Vec::new();
         }
         let per_learner = self.learner_probabilities(x);
+        // A constant effort (the risk-map path) means one qualified set for
+        // every row: combine learner-major with contiguous axpy rows.
+        if efforts.windows(2).all(|w| w[0] == w[1]) {
+            let q = qualified_learners(&self.thresholds, efforts[0]);
+            return combine_rows(
+                LearnerTable::new(per_learner.as_slice(), x.n_rows(), 0),
+                &self.weights,
+                &q,
+                x.n_rows(),
+            );
+        }
         (0..x.n_rows())
             .map(|r| {
                 let q = qualified_learners(&self.thresholds, efforts[r]);
@@ -245,9 +310,52 @@ impl IWareModel {
         if x.n_rows() == 0 {
             return (Vec::new(), Vec::new());
         }
+        let n_rows = x.n_rows();
+        // A constant effort (the risk-map path) means one qualified set for
+        // every row; tree stacks run the fused per-block pipeline, other
+        // learners combine their full tables learner-major.
+        if efforts.windows(2).all(|w| w[0] == w[1]) {
+            let q = qualified_learners(&self.thresholds, efforts[0]);
+            if let Some(stack) = &self.stack {
+                let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+                let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
+                    .into_par_iter()
+                    .map(|start| {
+                        let len = ROW_CHUNK.min(n_rows - start);
+                        let (probs, vars) = stack.block_prob_var(x, start, len);
+                        (
+                            combine_rows(LearnerTable::new(&probs, len, 0), &self.weights, &q, len),
+                            combine_rows(LearnerTable::new(&vars, len, 0), &self.weights, &q, len),
+                        )
+                    })
+                    .collect();
+                let mut p_all = Vec::with_capacity(n_rows);
+                let mut v_all = Vec::with_capacity(n_rows);
+                for (p, v) in parts {
+                    p_all.extend_from_slice(&p);
+                    v_all.extend_from_slice(&v);
+                }
+                return (p_all, v_all);
+            }
+            let (per_learner_p, per_learner_v) = self.learner_prob_var(x);
+            return (
+                combine_rows(
+                    LearnerTable::new(per_learner_p.as_slice(), n_rows, 0),
+                    &self.weights,
+                    &q,
+                    n_rows,
+                ),
+                combine_rows(
+                    LearnerTable::new(per_learner_v.as_slice(), n_rows, 0),
+                    &self.weights,
+                    &q,
+                    n_rows,
+                ),
+            );
+        }
         let (per_learner_p, per_learner_v) = self.learner_prob_var(x);
-        let mut probs = Vec::with_capacity(x.n_rows());
-        let mut vars = Vec::with_capacity(x.n_rows());
+        let mut probs = Vec::with_capacity(n_rows);
+        let mut vars = Vec::with_capacity(n_rows);
         for (r, &effort) in efforts.iter().enumerate() {
             let q = qualified_learners(&self.thresholds, effort);
             probs.push(combine_indexed(&per_learner_p, &self.weights, &q, r));
@@ -259,16 +367,22 @@ impl IWareModel {
     /// Evaluate probability and uncertainty for every row across a grid of
     /// hypothetical patrol efforts. Returns `(probs, vars)` as flat
     /// `n_rows × n_levels` matrices — the g_v(c) and ν_v(c) response
-    /// functions the patrol planner consumes (Sec. VI). Rows are evaluated
-    /// cell-parallel in chunks; the per-row inner loop writes straight into
-    /// the flat output with no per-row allocation.
+    /// functions the patrol planner consumes (Sec. VI).
+    ///
+    /// Rows are evaluated cell-parallel in 256-row blocks. Tree-backed
+    /// stacks run the whole pipeline **fused per block** — batch-traverse
+    /// the arena for the block, reduce the member rows per learner, combine
+    /// the levels — while every intermediate is still cache-resident,
+    /// instead of materialising the full `n_trees × n_rows` table first.
+    /// Reductions and combines use the `f64x4` kernels with the exact
+    /// per-element operation order of the reference path, so the surface
+    /// is bit-identical to per-row evaluation.
     pub fn effort_response(&self, x: MatrixView<'_>, effort_grid: &[f64]) -> (Matrix, Matrix) {
         assert!(!effort_grid.is_empty(), "empty effort grid");
         if x.n_rows() == 0 {
             let empty = || Matrix::from_flat(Vec::new(), effort_grid.len());
             return (empty(), empty());
         }
-        let (per_learner_p, per_learner_v) = self.learner_prob_var(x);
         let qualified_per_level: Vec<Vec<usize>> = effort_grid
             .iter()
             .map(|&e| qualified_learners(&self.thresholds, e))
@@ -293,48 +407,47 @@ impl IWareModel {
             }
         };
 
-        const ROW_CHUNK: usize = 256;
+        // Non-tree stacks keep the per-learner batch kernels: compute the
+        // full learner tables once, combine per block below.
+        let tables = if self.stack.is_none() {
+            Some(self.learner_prob_var(x))
+        } else {
+            None
+        };
+
         let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
         let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
             .into_par_iter()
             .map(|start| {
-                let end = (start + ROW_CHUNK).min(n_rows);
-                let mut p_flat = Vec::with_capacity((end - start) * n_levels);
-                let mut v_flat = Vec::with_capacity((end - start) * n_levels);
-                for r in start..end {
-                    if let Some(lens) = &prefix_lens {
-                        // Incremental prefix combine: O(learners + levels).
-                        let mut wsum = 0.0;
-                        let mut p_acc = 0.0;
-                        let mut v_acc = 0.0;
-                        let mut p_sum = 0.0;
-                        let mut v_sum = 0.0;
-                        let mut taken = 0usize;
-                        for &len in lens {
-                            while taken < len {
-                                let w = self.weights[taken];
-                                wsum += w;
-                                p_acc += w * per_learner_p.get(taken, r);
-                                v_acc += w * per_learner_v.get(taken, r);
-                                p_sum += per_learner_p.get(taken, r);
-                                v_sum += per_learner_v.get(taken, r);
-                                taken += 1;
-                            }
-                            if wsum <= 1e-12 {
-                                let n = taken.max(1) as f64;
-                                p_flat.push(p_sum / n);
-                                v_flat.push(v_sum / n);
-                            } else {
-                                p_flat.push(p_acc / wsum);
-                                v_flat.push(v_acc / wsum);
-                            }
-                        }
-                    } else {
-                        for q in &qualified_per_level {
-                            p_flat.push(combine_indexed(&per_learner_p, &self.weights, q, r));
-                            v_flat.push(combine_indexed(&per_learner_v, &self.weights, q, r));
-                        }
+                let len = ROW_CHUNK.min(n_rows - start);
+                let mut p_flat = vec![0.0; len * n_levels];
+                let mut v_flat = vec![0.0; len * n_levels];
+                match (&self.stack, &tables) {
+                    (Some(stack), _) => {
+                        // Fused: traverse → reduce → combine, one block.
+                        let (probs, vars) = stack.block_prob_var(x, start, len);
+                        self.combine_levels_block(
+                            prefix_lens.as_deref(),
+                            &qualified_per_level,
+                            LearnerTable::new(&probs, len, 0),
+                            LearnerTable::new(&vars, len, 0),
+                            len,
+                            &mut p_flat,
+                            &mut v_flat,
+                        );
                     }
+                    (None, Some((per_learner_p, per_learner_v))) => {
+                        self.combine_levels_block(
+                            prefix_lens.as_deref(),
+                            &qualified_per_level,
+                            LearnerTable::new(per_learner_p.as_slice(), n_rows, start),
+                            LearnerTable::new(per_learner_v.as_slice(), n_rows, start),
+                            len,
+                            &mut p_flat,
+                            &mut v_flat,
+                        );
+                    }
+                    (None, None) => unreachable!("tables computed for non-stack models"),
                 }
                 (p_flat, v_flat)
             })
@@ -350,6 +463,173 @@ impl IWareModel {
             Matrix::from_flat(p_all, n_levels),
             Matrix::from_flat(v_all, n_levels),
         )
+    }
+
+    /// Combine one block of per-learner tables over every effort level,
+    /// writing row-major `len × n_levels` output. `prefix_lens` selects the
+    /// incremental learner-major path (contiguous `f64x4` axpy per new
+    /// learner, packed emission divides); otherwise each row combines its
+    /// qualified set indexed. Per element both paths replay the exact
+    /// operation sequence of [`combine_indexed`].
+    #[allow(clippy::too_many_arguments)]
+    fn combine_levels_block(
+        &self,
+        prefix_lens: Option<&[usize]>,
+        qualified_per_level: &[Vec<usize>],
+        p_table: LearnerTable<'_>,
+        v_table: LearnerTable<'_>,
+        len: usize,
+        p_flat: &mut [f64],
+        v_flat: &mut [f64],
+    ) {
+        let n_levels = qualified_per_level.len();
+        if let Some(lens) = prefix_lens {
+            // Degenerate prefixes (weight mass ≤ 1e-12) fall back to the
+            // unweighted mean; whether any exist depends only on the
+            // weights (same accumulation order as the loop below).
+            let needs_unweighted = {
+                let mut wsum = 0.0;
+                let mut taken = 0usize;
+                lens.iter().any(|&l| {
+                    while taken < l {
+                        wsum += self.weights[taken];
+                        taken += 1;
+                    }
+                    wsum <= 1e-12
+                })
+            };
+            let mut acc_p = vec![0.0; len];
+            let mut acc_v = vec![0.0; len];
+            let mut sum_p = vec![0.0; if needs_unweighted { len } else { 0 }];
+            let mut sum_v = vec![0.0; if needs_unweighted { len } else { 0 }];
+            // Scratch for the emission divide: one packed `f64x4` division
+            // pass per level (the same IEEE divide per element as the
+            // scalar `acc / wsum`).
+            let mut emit = vec![0.0; len];
+            let mut wsum = 0.0;
+            let mut taken = 0usize;
+            for (e, &l) in lens.iter().enumerate() {
+                while taken < l {
+                    let w = self.weights[taken];
+                    wsum += w;
+                    simd::axpy(w, p_table.row(taken, len), &mut acc_p);
+                    simd::axpy(w, v_table.row(taken, len), &mut acc_v);
+                    if needs_unweighted {
+                        simd::add_assign(&mut sum_p, p_table.row(taken, len));
+                        simd::add_assign(&mut sum_v, v_table.row(taken, len));
+                    }
+                    taken += 1;
+                }
+                let (divisor, from_p, from_v) = if wsum <= 1e-12 {
+                    (taken.max(1) as f64, &sum_p, &sum_v)
+                } else {
+                    (wsum, &acc_p, &acc_v)
+                };
+                emit.copy_from_slice(from_p);
+                simd::div_assign(&mut emit, divisor);
+                for (r, &val) in emit.iter().enumerate() {
+                    p_flat[r * n_levels + e] = val;
+                }
+                emit.copy_from_slice(from_v);
+                simd::div_assign(&mut emit, divisor);
+                for (r, &val) in emit.iter().enumerate() {
+                    v_flat[r * n_levels + e] = val;
+                }
+            }
+        } else {
+            for r in 0..len {
+                for (e, q) in qualified_per_level.iter().enumerate() {
+                    p_flat[r * n_levels + e] = combine_table_indexed(&p_table, &self.weights, q, r);
+                    v_flat[r * n_levels + e] = combine_table_indexed(&v_table, &self.weights, q, r);
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed `n_learners × width` prediction table: learner `l`'s block
+/// row is `data[l·stride + offset ..][..len]`. Lets the combine kernels
+/// run unchanged over a fused per-block table (`stride = len`) or a block
+/// window of full-batch learner matrices (`stride = n_rows`).
+#[derive(Clone, Copy)]
+struct LearnerTable<'a> {
+    data: &'a [f64],
+    stride: usize,
+    offset: usize,
+}
+
+impl<'a> LearnerTable<'a> {
+    fn new(data: &'a [f64], stride: usize, offset: usize) -> Self {
+        Self {
+            data,
+            stride,
+            offset,
+        }
+    }
+
+    #[inline]
+    fn row(&self, learner: usize, len: usize) -> &'a [f64] {
+        &self.data[learner * self.stride + self.offset..][..len]
+    }
+
+    #[inline]
+    fn get(&self, learner: usize, r: usize) -> f64 {
+        self.data[learner * self.stride + self.offset + r]
+    }
+}
+
+/// [`combine_indexed`] against a block table: same operation order, same
+/// results.
+fn combine_table_indexed(
+    table: &LearnerTable<'_>,
+    weights: &[f64],
+    qualified: &[usize],
+    r: usize,
+) -> f64 {
+    let mut wsum = 0.0;
+    let mut acc = 0.0;
+    for &i in qualified {
+        wsum += weights[i];
+        acc += weights[i] * table.get(i, r);
+    }
+    if wsum <= 1e-12 {
+        let n = qualified.len().max(1) as f64;
+        qualified.iter().map(|&i| table.get(i, r)).sum::<f64>() / n
+    } else {
+        acc / wsum
+    }
+}
+
+/// Weighted combination of one qualified set across a whole block of rows
+/// at once: each qualified learner streams its contiguous prediction row
+/// into the accumulator with one `f64x4` axpy. Per element this performs
+/// the exact operation sequence of [`combine_indexed`] (same learner
+/// order, same trailing division), so results are bit-identical to the
+/// per-row path.
+fn combine_rows(
+    per_learner: LearnerTable<'_>,
+    weights: &[f64],
+    qualified: &[usize],
+    len: usize,
+) -> Vec<f64> {
+    let mut acc = vec![0.0; len];
+    let mut wsum = 0.0;
+    for &i in qualified {
+        wsum += weights[i];
+        simd::axpy(weights[i], per_learner.row(i, len), &mut acc);
+    }
+    if wsum <= 1e-12 {
+        // Degenerate weights: unweighted mean of the qualified learners.
+        let n = qualified.len().max(1) as f64;
+        let mut sum = vec![0.0; len];
+        for &i in qualified {
+            simd::add_assign(&mut sum, per_learner.row(i, len));
+        }
+        simd::div_assign(&mut sum, n);
+        sum
+    } else {
+        simd::div_assign(&mut acc, wsum);
+        acc
     }
 }
 
@@ -378,13 +658,15 @@ fn combine_indexed(per_learner: &Matrix, weights: &[f64], qualified: &[usize], r
     }
 }
 
-/// Accumulate member (tree) rows `range` of a per-tree prediction table
-/// into `out`: the member mean when `mean` is `None`, otherwise the member
-/// spread around the given mean. Accumulation order and the trailing
-/// division match [`BaggingClassifier`]'s per-learner reduction exactly, so
-/// the fused-arena path is bit-identical to it.
+/// Accumulate member (tree) rows `range` of a tree-major prediction table
+/// (`row t` at `per_tree[t·stride..]`, `out.len()` wide) into `out`: the
+/// member mean when `mean` is `None`, otherwise the member spread around
+/// the given mean. The element-wise `f64x4` kernels keep the accumulation
+/// order and trailing division exactly as in [`BaggingClassifier`]'s
+/// per-learner reduction, so the fused-arena path is bit-identical to it.
 fn reduce_members(
-    per_tree: &Matrix,
+    per_tree: &[f64],
+    stride: usize,
     range: std::ops::Range<usize>,
     out: &mut [f64],
     mean: Option<&[f64]>,
@@ -393,22 +675,16 @@ fn reduce_members(
     match mean {
         None => {
             for t in range {
-                for (o, &p) in out.iter_mut().zip(per_tree.row(t)) {
-                    *o += p;
-                }
+                simd::add_assign(out, &per_tree[t * stride..][..out.len()]);
             }
         }
         Some(mean) => {
             for t in range {
-                for ((o, &p), &m) in out.iter_mut().zip(per_tree.row(t)).zip(mean) {
-                    *o += (p - m) * (p - m);
-                }
+                simd::accumulate_sq_diff(out, &per_tree[t * stride..][..out.len()], mean);
             }
         }
     }
-    for o in out.iter_mut() {
-        *o /= b;
-    }
+    simd::div_assign(out, b);
 }
 
 /// Fuse every learner's tree arena into one stack-wide forest; `None` when

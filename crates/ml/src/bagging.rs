@@ -28,6 +28,7 @@ use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use crate::tree::{DecisionTree, TreeConfig};
 use paws_data::matrix::{Matrix, MatrixView};
+use paws_data::simd;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -337,9 +338,7 @@ impl BaggingClassifier {
         let mut any = false;
         for (_, var) in per_member {
             if let Some(v) = var {
-                for (a, vi) in acc.iter_mut().zip(v) {
-                    *a += vi;
-                }
+                simd::add_assign(&mut acc, v);
                 any = true;
             }
         }
@@ -360,9 +359,7 @@ impl Classifier for BaggingClassifier {
         let per_member = self.member_predictions(x);
         let mut mean = vec![0.0; x.n_rows()];
         for preds in per_member.rows() {
-            for (m, p) in mean.iter_mut().zip(preds) {
-                *m += p;
-            }
+            simd::add_assign(&mut mean, preds);
         }
         mean.into_iter()
             .map(|m| m / self.n_members() as f64)
@@ -392,25 +389,17 @@ impl UncertainClassifier for BaggingClassifier {
                 let n_rows = x.n_rows();
                 let mut mean = vec![0.0; n_rows];
                 for (preds, _) in &per_member {
-                    for (m, p) in mean.iter_mut().zip(preds) {
-                        *m += p;
-                    }
+                    simd::add_assign(&mut mean, preds);
                 }
-                for m in mean.iter_mut() {
-                    *m /= b;
-                }
+                simd::div_assign(&mut mean, b);
                 if let Some(v) = Self::average_intrinsic(&per_member, n_rows) {
                     return (mean, v);
                 }
                 let mut var = vec![0.0; n_rows];
                 for (preds, _) in &per_member {
-                    for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
-                        *v += (p - m) * (p - m);
-                    }
+                    simd::accumulate_sq_diff(&mut var, preds, &mean);
                 }
-                for v in var.iter_mut() {
-                    *v /= b;
-                }
+                simd::div_assign(&mut var, b);
                 (mean, var)
             }
         }
@@ -418,29 +407,22 @@ impl UncertainClassifier for BaggingClassifier {
 }
 
 /// Member-mean and member-spread variance of a `n_members × n_rows`
-/// prediction table, accumulated in member order (the exact operation
-/// order of the per-member path, so results are bit-identical).
+/// prediction table, accumulated in member order with the element-wise
+/// `f64x4` kernels (the exact operation order of the per-member path, so
+/// results are bit-identical).
 pub(crate) fn mean_and_spread(per_member: &Matrix) -> (Vec<f64>, Vec<f64>) {
     let b = per_member.n_rows() as f64;
     let n_rows = per_member.n_cols();
     let mut mean = vec![0.0; n_rows];
     for preds in per_member.rows() {
-        for (m, p) in mean.iter_mut().zip(preds) {
-            *m += p;
-        }
+        simd::add_assign(&mut mean, preds);
     }
-    for m in mean.iter_mut() {
-        *m /= b;
-    }
+    simd::div_assign(&mut mean, b);
     let mut var = vec![0.0; n_rows];
     for preds in per_member.rows() {
-        for ((v, p), m) in var.iter_mut().zip(preds).zip(&mean) {
-            *v += (p - m) * (p - m);
-        }
+        simd::accumulate_sq_diff(&mut var, preds, &mean);
     }
-    for v in var.iter_mut() {
-        *v /= b;
-    }
+    simd::div_assign(&mut var, b);
     (mean, var)
 }
 

@@ -1,4 +1,4 @@
-//! Arena-backed ensembles of decision trees with level-synchronous batch
+//! Arena-backed ensembles of decision trees with interleaved batch
 //! traversal.
 //!
 //! The planning loop of Sec. VI evaluates the g_v(c)/ν_v(c) response
@@ -11,40 +11,119 @@
 //! [`Forest`] fixes both halves of that:
 //!
 //! * **Arena layout** — the nodes of every tree live in one contiguous
-//!   `Vec<Node>` slab with per-tree root offsets. Trees are re-laid out in
-//!   breadth-first order when they are spliced in, so the nodes a traversal
-//!   frontier touches at one level sit next to each other in memory. Whole
-//!   forests can be spliced into a larger arena ([`Forest::push_forest`]),
-//!   which is how the iWare-E stack builds its single learner-wide slab.
-//! * **Level-synchronous batch traversal** —
-//!   [`Forest::predict_proba_batch`] advances a block of rows through one
-//!   tree level at a time (a frontier of node indices per row, iterating
-//!   trees × levels instead of rows × nodes). The per-row walk is a serial
-//!   dependency chain — each node load waits on the previous compare — but
-//!   a block of rows gives the CPU many independent chains to overlap, and
-//!   each node cache line is reused across the whole block. Leaves are
-//!   stored self-referencing (`left == right == self`), which makes the
-//!   inner advance branch-free: rows that reach a leaf early simply spin in
-//!   place until the deepest row catches up.
+//!   slab of packed 16-byte [`ArenaNode`]s with per-tree root offsets.
+//!   Trees are re-laid out in breadth-first order when they are spliced
+//!   in, which places each split's two children adjacently — so only the
+//!   left child index is stored (`right = left + 1`), and a traversal
+//!   step issues exactly two node loads. Whole forests can be spliced
+//!   into a larger arena ([`Forest::push_forest`]), which is how the
+//!   iWare-E stack builds its single learner-wide slab.
+//! * **Interleaved batch traversal** — [`Forest::predict_proba_batch`]
+//!   advances rows through each tree in register-resident groups of
+//!   [`INTERLEAVE`] cursors: every group member is an independent
+//!   root-to-leaf dependency chain, so the CPU overlaps their node loads,
+//!   while the group's feature rows stay hot in L1. The per-level advance
+//!   is branch-free — a leaf stores a `+∞` threshold and self-referencing
+//!   child, so finished rows spin in place with no leaf test in the loop
+//!   (the batch entry points assert the query matrix finite, which both
+//!   guarantees the self-loop and keeps the unchecked arena indexing
+//!   sound). Blocks of [`ROW_BLOCK`] rows are the unit of parallel
+//!   fan-out over the work-stealing pool, and
+//!   [`Forest::predict_proba_block`] exposes single-block traversal so
+//!   consumers (the iWare-E stack) can fuse their per-learner reductions
+//!   while a block is still cache-resident.
 //!
 //! Traversal performs exactly the same `feature <= threshold` comparisons
 //! as the per-row walk, so predictions are bit-identical to evaluating each
 //! [`DecisionTree`] on its own.
 
-use crate::tree::{DecisionTree, Node};
+use crate::tree::DecisionTree;
 use paws_data::matrix::{Matrix, MatrixView};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Rows are traversed in blocks of this many: the frontier (one `u32` per
-/// row) stays resident in L1 while every tree level streams over it.
+/// Compact 16-byte arena node. The BFS splice pushes a split's two
+/// children consecutively, so the right child is always `left + 1` and
+/// only `left` is stored — one fewer load per traversal step and a third
+/// less arena memory than the fitted tree's 24-byte nodes.
+///
+/// Leaves are encoded so the traversal step needs **no leaf test at
+/// all**: a leaf's threshold is `+∞` and its `left` is its own index, so
+/// any finite row value compares `<=` and the row self-loops in place;
+/// its probability lives in the forest's side table (`leaf_values`),
+/// touched once per row at output time rather than once per level.
+/// Feature indices of real splits are always in range, and a leaf's
+/// `feature` is 0, so the per-step feature clamp disappears too.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct ArenaNode {
+    /// Split threshold for interior nodes; `+∞` for leaves.
+    value: f64,
+    /// Packed `left_child | feature << 32` — one 8-byte load yields both
+    /// the topology and the feature index, so a traversal step issues
+    /// exactly two loads (node word + threshold) plus the row value.
+    /// Right child is `left + 1`; a leaf's `left` is its own index and its
+    /// `feature` is 0 (harmlessly compared against the `+∞` threshold).
+    packed: u64,
+}
+
+impl ArenaNode {
+    #[inline]
+    fn new(value: f64, left: u32, feature: u32) -> Self {
+        Self {
+            value,
+            packed: u64::from(left) | (u64::from(feature) << 32),
+        }
+    }
+
+    #[inline(always)]
+    fn left(&self) -> u32 {
+        self.packed as u32
+    }
+
+    #[inline(always)]
+    fn feature(&self) -> u32 {
+        (self.packed >> 32) as u32
+    }
+
+    /// Leaves self-reference; interior BFS children always come after
+    /// their parent, so `left == own index` identifies a leaf.
+    #[inline]
+    fn is_leaf(&self, own: u32) -> bool {
+        self.left() == own
+    }
+
+    /// Index of the node this row moves to: `left` when
+    /// `row-value <= threshold` (always, for a leaf's `+∞` threshold and
+    /// finite rows), `left + 1` otherwise. Exactly the comparison
+    /// `if xv <= threshold { left } else { right }` of the fitted tree.
+    // `!(xv <= v)` (not `xv > v`) is deliberate: a NaN query value must
+    // fall right, matching the fitted tree's `if xv <= v {left} else
+    // {right}` exactly.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline(always)]
+    fn advance(&self, xv: f64) -> u32 {
+        self.left() + u32::from(!(xv <= self.value))
+    }
+}
+
+/// Rows are traversed in blocks of this many: a block's feature rows stay
+/// resident in L1 while every tree streams over them, and blocks are the
+/// unit of parallel fan-out across the work-stealing pool.
 const ROW_BLOCK: usize = 256;
+
+/// Rows advance through a tree in register-resident groups of this many
+/// interleaved root-to-leaf walks (see [`Forest::traverse_block`]).
+const INTERLEAVE: usize = 16;
 
 /// An arena of decision trees: one contiguous node slab, per-tree roots and
 /// depths. Serialized/deserialized as a single unit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Forest {
     /// All nodes of all trees, each tree contiguous in BFS (level) order.
-    nodes: Vec<Node>,
+    nodes: Vec<ArenaNode>,
+    /// Leaf probabilities, parallel to `nodes` (0.0 at interior nodes);
+    /// read once per (row, tree) when a traversal finishes.
+    leaf_values: Vec<f64>,
     /// Arena index of each tree's root.
     roots: Vec<u32>,
     /// Depth (edges on the longest root-to-leaf path) of each tree; the
@@ -59,6 +138,7 @@ impl Forest {
         assert!(n_features > 0, "forest needs at least one feature");
         Self {
             nodes: Vec::new(),
+            leaf_values: Vec::new(),
             roots: Vec::new(),
             depths: Vec::new(),
             n_features,
@@ -131,23 +211,32 @@ impl Forest {
         }
 
         self.nodes.reserve(src.len());
+        self.leaf_values.reserve(src.len());
         for &(si, _) in &order {
             let node = &src[si as usize];
             if node.is_leaf() {
-                let own = new_index[si as usize];
-                self.nodes.push(Node {
-                    feature: -1,
-                    left: own,
-                    right: own,
-                    value: node.value,
-                });
+                self.nodes
+                    .push(ArenaNode::new(f64::INFINITY, new_index[si as usize], 0));
+                self.leaf_values.push(node.value);
             } else {
-                self.nodes.push(Node {
-                    feature: node.feature,
-                    left: new_index[node.left as usize],
-                    right: new_index[node.right as usize],
-                    value: node.value,
-                });
+                // The BFS pass pushed this split's children back to back,
+                // so the right child sits directly after the left one —
+                // the invariant ArenaNode::advance relies on.
+                debug_assert_eq!(
+                    new_index[node.right as usize],
+                    new_index[node.left as usize] + 1,
+                    "BFS splice must place siblings adjacently"
+                );
+                debug_assert!(
+                    node.value.is_finite(),
+                    "split thresholds are finite by training-data validation"
+                );
+                self.nodes.push(ArenaNode::new(
+                    node.value,
+                    new_index[node.left as usize],
+                    node.feature as u32,
+                ));
+                self.leaf_values.push(0.0);
             }
         }
         self.roots.push(base);
@@ -162,12 +251,13 @@ impl Forest {
             "feature width mismatch between forests"
         );
         let base = self.nodes.len() as u32;
-        self.nodes.extend(other.nodes.iter().map(|n| Node {
-            feature: n.feature,
-            left: n.left + base,
-            right: n.right + base,
-            value: n.value,
-        }));
+        self.nodes.extend(
+            other
+                .nodes
+                .iter()
+                .map(|n| ArenaNode::new(n.value, n.left() + base, n.feature())),
+        );
+        self.leaf_values.extend_from_slice(&other.leaf_values);
         self.roots.extend(other.roots.iter().map(|&r| r + base));
         self.depths.extend_from_slice(&other.depths);
     }
@@ -184,52 +274,185 @@ impl Forest {
         assert_eq!(x.n_cols(), self.n_features, "feature width mismatch");
         assert!(!self.roots.is_empty(), "empty forest");
         assert!(!x.is_empty(), "empty prediction batch");
+        // Finite inputs are what lets the branch-free kernel drop the
+        // per-step leaf test (a leaf's `+∞` threshold captures every
+        // finite row), and the guard keeps the unchecked arena indexing
+        // sound for hostile inputs.
+        assert!(
+            paws_data::simd::all_finite(x.as_slice()),
+            "prediction features must be finite"
+        );
         let n_rows = x.n_rows();
-        let mut out = Matrix::zeros(self.roots.len(), n_rows);
-        let mut frontier = [0u32; ROW_BLOCK];
-        for start in (0..n_rows).step_by(ROW_BLOCK) {
+        let n_trees = self.roots.len();
+        let mut out = Matrix::zeros(n_trees, n_rows);
+
+        if n_rows <= ROW_BLOCK || rayon::current_num_threads() <= 1 {
+            // Single-threaded: traverse block by block straight into the
+            // output matrix (stride = n_rows), no intermediate slabs.
+            for start in (0..n_rows).step_by(ROW_BLOCK) {
+                let len = ROW_BLOCK.min(n_rows - start);
+                self.traverse_block(x, start, len, out.as_mut_slice(), n_rows, start);
+            }
+            return out;
+        }
+
+        // Multi-block batches fan the independent ROW_BLOCK chunks over the
+        // work-stealing pool; each block produces its own tree-major slab
+        // which is scattered back in order, so results are identical to the
+        // sequential walk.
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_BLOCK).collect();
+        let blocks: Vec<Vec<f64>> = starts
+            .par_iter()
+            .map(|&start| {
+                let len = ROW_BLOCK.min(n_rows - start);
+                let mut block = vec![0.0; n_trees * len];
+                self.traverse_block(x, start, len, &mut block, len, 0);
+                block
+            })
+            .collect();
+        for (&start, block) in starts.iter().zip(&blocks) {
             let len = ROW_BLOCK.min(n_rows - start);
-            let frontier = &mut frontier[..len];
-            for (t, (&root, &depth)) in self.roots.iter().zip(&self.depths).enumerate() {
-                frontier.fill(root);
-                for _ in 0..depth {
-                    for (j, slot) in frontier.iter_mut().enumerate() {
-                        let node = self.nodes[*slot as usize];
-                        // Leaves store feature -1 and point to themselves,
-                        // so clamping to feature 0 keeps the advance
-                        // branch-free: whichever way the compare goes, a
-                        // leaf row stays where it is.
-                        let f = node.feature.max(0) as usize;
-                        *slot = if x.get(start + j, f) <= node.value {
-                            node.left
-                        } else {
-                            node.right
-                        };
-                    }
-                }
-                let out_row = out.row_mut(t);
-                for (j, &slot) in frontier.iter().enumerate() {
-                    out_row[start + j] = self.nodes[slot as usize].value;
-                }
+            for (t, seg) in block.chunks_exact(len).enumerate() {
+                out.row_mut(t)[start..start + len].copy_from_slice(seg);
             }
         }
         out
+    }
+
+    /// Advance rows `start..start + len` of `x` through every tree,
+    /// level-synchronously, writing tree-major results into `out_block`
+    /// (`n_trees × len`). The inner advance performs exactly the same
+    /// `feature <= threshold` comparisons as [`Forest::predict_row`].
+    ///
+    /// Rows advance in register-resident groups of [`INTERLEAVE`]: the
+    /// group's node cursors live in a fixed-size array (no frontier
+    /// load/store per step, unlike a block-wide frontier in memory), while
+    /// the group still gives the CPU [`INTERLEAVE`] independent root-to-leaf chains
+    /// to overlap. Leaves self-reference, so the per-level advance stays
+    /// branch-free: a row that finishes early spins in its register until
+    /// the group completes the tree's depth.
+    /// Results for tree `t`, row `j` land at
+    /// `out[t * out_stride + out_offset + j]`, so callers can aim either at
+    /// a per-block slab (`stride = len`) or straight at the strided rows of
+    /// the full output matrix (`stride = n_rows`).
+    fn traverse_block(
+        &self,
+        x: MatrixView<'_>,
+        start: usize,
+        len: usize,
+        out: &mut [f64],
+        out_stride: usize,
+        out_offset: usize,
+    ) {
+        debug_assert!(out.len() >= (self.roots.len() - 1) * out_stride + out_offset + len);
+        let n_cols = x.n_cols();
+        // The block's feature rows as one contiguous window.
+        let rows = &x.as_slice()[start * n_cols..(start + len) * n_cols];
+        let nodes = self.nodes.as_slice();
+        let leaf_values = self.leaf_values.as_slice();
+        for (t, (&root, &depth)) in self.roots.iter().zip(&self.depths).enumerate() {
+            let out_t = &mut out[t * out_stride + out_offset..t * out_stride + out_offset + len];
+            let mut j = 0usize;
+            // Full groups: the lane loop has a constant bound so the
+            // INTERLEAVE cursors unroll into registers.
+            while j + INTERLEAVE <= len {
+                let base = j * n_cols;
+                let mut slots = [root; INTERLEAVE];
+                for _ in 0..depth {
+                    for (lane, slot) in slots.iter_mut().enumerate() {
+                        // SAFETY: every cursor starts at a tree root and is
+                        // only ever replaced by `node.advance(finite xv)`;
+                        // a split's `left`/`left + 1` are its two children
+                        // (remapped to valid arena indices at splice time)
+                        // and a leaf's `+∞` threshold sends every finite
+                        // row back to the leaf itself — the batch entry
+                        // point asserts the whole query matrix finite.
+                        // Split features are `< n_features` (leaves use 0),
+                        // so `base + lane·n_cols + f < len·n_cols` because
+                        // `j + lane ≤ len − 1`.
+                        let node = unsafe { *nodes.get_unchecked(*slot as usize) };
+                        let f = node.feature() as usize;
+                        let xv = unsafe { *rows.get_unchecked(base + lane * n_cols + f) };
+                        *slot = node.advance(xv);
+                    }
+                }
+                for (o, &slot) in out_t[j..j + INTERLEAVE].iter_mut().zip(&slots) {
+                    // SAFETY: as above — `slot` is a valid arena index.
+                    *o = unsafe { *leaf_values.get_unchecked(slot as usize) };
+                }
+                j += INTERLEAVE;
+            }
+            // Remainder rows (< INTERLEAVE): plain per-row walks.
+            for (o, jr) in out_t[j..].iter_mut().zip(j..len) {
+                let row = &rows[jr * n_cols..(jr + 1) * n_cols];
+                let mut idx = root;
+                let mut node = nodes[idx as usize];
+                while !node.is_leaf(idx) {
+                    idx = node.advance(row[node.feature() as usize]);
+                    node = nodes[idx as usize];
+                }
+                *o = leaf_values[idx as usize];
+            }
+        }
+    }
+
+    /// Per-tree predictions for rows `start..start + len` of `x`, written
+    /// tree-major into `out_block` (`n_trees × len`, tree `t` at
+    /// `out_block[t·len..(t+1)·len]`). This is the cache-blocked building
+    /// block behind [`Forest::predict_proba_batch`]: consumers that reduce
+    /// per-tree predictions (the iWare-E learner stack) call it per block
+    /// and fold the reduction while the block is still cache-resident,
+    /// instead of materialising the full `n_trees × n_rows` table.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or a non-finite feature window.
+    pub fn predict_proba_block(
+        &self,
+        x: MatrixView<'_>,
+        start: usize,
+        len: usize,
+        out_block: &mut [f64],
+    ) {
+        assert_eq!(x.n_cols(), self.n_features, "feature width mismatch");
+        assert!(!self.roots.is_empty(), "empty forest");
+        assert!(len > 0 && start + len <= x.n_rows(), "block out of range");
+        assert_eq!(
+            out_block.len(),
+            self.roots.len() * len,
+            "output block shape mismatch"
+        );
+        let window = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+        assert!(
+            paws_data::simd::all_finite(window),
+            "prediction features must be finite"
+        );
+        self.traverse_block(x, start, len, out_block, len, 0);
+    }
+
+    /// Number of edges tree `t` traverses for one row (diagnostics).
+    pub fn row_depth(&self, t: usize, row: &[f64]) -> usize {
+        let mut idx = self.roots[t];
+        let mut node = self.nodes[idx as usize];
+        let mut d = 0;
+        while !node.is_leaf(idx) {
+            idx = node.advance(row[node.feature() as usize]);
+            node = self.nodes[idx as usize];
+            d += 1;
+        }
+        d
     }
 
     /// Prediction of tree `t` for one row (classic root-to-leaf walk); the
     /// reference the batch kernel must agree with bit-for-bit.
     pub fn predict_row(&self, t: usize, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.n_features, "feature width mismatch");
-        let mut node = self.nodes[self.roots[t] as usize];
-        while !node.is_leaf() {
-            let next = if row[node.feature as usize] <= node.value {
-                node.left
-            } else {
-                node.right
-            };
-            node = self.nodes[next as usize];
+        let mut idx = self.roots[t];
+        let mut node = self.nodes[idx as usize];
+        while !node.is_leaf(idx) {
+            idx = node.advance(row[node.feature() as usize]);
+            node = self.nodes[idx as usize];
         }
-        node.value
+        self.leaf_values[idx as usize]
     }
 }
 

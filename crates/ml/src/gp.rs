@@ -19,10 +19,13 @@
 //! matrix and Cholesky factor are flat as well, so the per-query `k*`
 //! construction and triangular solves stream contiguous memory, and batch
 //! prediction reuses one scratch buffer instead of allocating per row.
+//! The RBF row products, the `k*·α` mean dot and the `vᵀv` variance
+//! reduction all run on the `f64x4` kernels of [`paws_data::simd`].
 
 use crate::linalg::{squared_distance, Cholesky};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use paws_data::matrix::{Matrix, MatrixView};
+use paws_data::simd;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -150,17 +153,12 @@ impl GaussianProcess {
             for (slot, xi) in kstar.iter_mut().zip(self.train_rows.rows()) {
                 *slot = rbf(q, xi, self.config.length_scale, self.config.signal_variance);
             }
-            let mean = self.mean_label
-                + kstar
-                    .iter()
-                    .zip(&self.alpha)
-                    .map(|(k, a)| k * a)
-                    .sum::<f64>();
+            let mean = self.mean_label + simd::dot(&kstar, &self.alpha);
             // v = L⁻¹ k*, predictive variance = k(x,x) − vᵀv.
             self.chol
                 .solve_lower_into(&kstar, &mut v)
                 .expect("dimensions match by construction");
-            let var = (kxx - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+            let var = (kxx - simd::sum_squares(&v)).max(1e-12);
             means.push(mean);
             vars.push(var);
         }

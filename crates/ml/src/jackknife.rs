@@ -105,9 +105,7 @@ fn jackknife_components(model: &BaggingClassifier, x: MatrixView<'_>) -> (Vec<f6
         for m in 0..b {
             let d = per_member.get(m, r) - mean_pred;
             spread += d * d;
-            for (c, &ci) in cov.iter_mut().zip(centred.row(m)) {
-                *c += ci * d;
-            }
+            paws_data::simd::axpy(d, centred.row(m), &mut cov);
         }
         let total: f64 = cov
             .iter()

@@ -6,9 +6,15 @@
 //! and fast enough; no external BLAS is required. The factor is stored as
 //! one flat row-major buffer so the forward/backward substitution loops and
 //! the per-query `L⁻¹ k*` solves in the GP predictive-variance path stream
-//! contiguous memory.
+//! contiguous memory — and run on the `f64x4` reduction kernels of
+//! [`paws_data::simd`]. The backward substitution is written in the
+//! outer-product (row-oriented) form so it too streams contiguous rows of
+//! `L` instead of strided columns; lane regrouping keeps results within a
+//! few ulps of the sequential scalar loops (pinned ≤ 1e-12 end-to-end by
+//! `tests/matrix_parity.rs`).
 
 use paws_data::matrix::Matrix;
+use paws_data::simd;
 
 /// Errors from linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,12 +59,9 @@ impl Cholesky {
         let mut l = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a.get(i, j);
                 // sum -= l[i][..j] · l[j][..j]: two contiguous row prefixes.
                 let (ri, rj) = (&l[i * n..i * n + j], &l[j * n..j * n + j]);
-                for k in 0..j {
-                    sum -= ri[k] * rj[k];
-                }
+                let sum = a.get(i, j) - simd::dot(ri, rj);
                 if i == j {
                     if sum <= 0.0 {
                         return Err(LinalgError::NotPositiveDefinite { pivot: i });
@@ -107,10 +110,7 @@ impl Cholesky {
         }
         for i in 0..n {
             let row = &self.l[i * n..i * n + i];
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= row[k] * x[k];
-            }
+            let sum = b[i] - simd::dot(row, &x[..i]);
             x[i] = sum / self.l[i * n + i];
         }
         Ok(())
@@ -122,13 +122,14 @@ impl Cholesky {
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch);
         }
-        let mut x = vec![0.0; n];
+        // Outer-product form: once x[i] is known, subtract x[i]·L[i][..i]
+        // from the running residual — every access is a contiguous row
+        // prefix of L instead of a strided column walk.
+        let mut x = b.to_vec();
         for i in (0..n).rev() {
-            let mut sum = b[i];
-            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
-                sum -= self.l[k * n + i] * xk;
-            }
-            x[i] = sum / self.l[i * n + i];
+            let xi = x[i] / self.l[i * n + i];
+            x[i] = xi;
+            simd::axpy(-xi, &self.l[i * n..i * n + i], &mut x[..i]);
         }
         Ok(x)
     }
@@ -147,16 +148,15 @@ impl Cholesky {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices (`f64x4` lanes, scalar tail).
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(a, b)
 }
 
-/// Squared Euclidean distance between two equal-length slices.
+/// Squared Euclidean distance between two equal-length slices (`f64x4`
+/// lanes, scalar tail).
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    simd::squared_distance(a, b)
 }
 
 #[cfg(test)]

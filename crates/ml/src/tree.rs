@@ -17,6 +17,7 @@
 
 use crate::traits::{validate_training_data, Classifier};
 use paws_data::matrix::MatrixView;
+use paws_data::simd;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -154,7 +155,13 @@ impl DecisionTree {
         rng: &mut ChaCha8Rng,
     ) -> usize {
         let n = indices.len();
-        let positives: f64 = indices.iter().map(|&i| labels[i]).sum();
+        // Gather the node's labels once into a contiguous scratch: the node
+        // purity sum and the per-run prefix sums below run on the `f64x4`
+        // sum kernel. Labels are 0/1, so these sums are exact integers in
+        // f64 regardless of lane regrouping — the fitted tree is
+        // bit-identical to the scalar accumulation.
+        let node_labels: Vec<f64> = indices.iter().map(|&i| labels[i]).collect();
+        let positives = simd::sum(&node_labels);
         let proba = positives / n as f64;
 
         let is_pure = positives == 0.0 || positives == n as f64;
@@ -176,12 +183,20 @@ impl DecisionTree {
         let parent_impurity = gini(proba);
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let mut sorted_labels: Vec<f64> = Vec::with_capacity(n);
         // (value, cumulative count, cumulative positives) per unique value.
         let mut uniq: Vec<(f64, usize, f64)> = Vec::with_capacity(n);
         for &f in &candidate_features {
             pairs.clear();
-            pairs.extend(indices.iter().map(|&i| (x.get(i, f), labels[i])));
+            pairs.extend(
+                indices
+                    .iter()
+                    .zip(&node_labels)
+                    .map(|(&i, &y)| (x.get(i, f), y)),
+            );
             pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            sorted_labels.clear();
+            sorted_labels.extend(pairs.iter().map(|p| p.1));
 
             uniq.clear();
             let mut cum_n = 0usize;
@@ -189,12 +204,13 @@ impl DecisionTree {
             let mut start = 0usize;
             while start < pairs.len() {
                 let value = pairs[start].0;
-                let mut end = start;
+                let mut end = start + 1;
                 while end < pairs.len() && pairs[end].0 == value {
-                    cum_n += 1;
-                    cum_p += pairs[end].1;
                     end += 1;
                 }
+                cum_n += end - start;
+                // Exact: 0/1 labels sum to an integer in any lane order.
+                cum_p += simd::sum(&sorted_labels[start..end]);
                 uniq.push((value, cum_n, cum_p));
                 start = end;
             }

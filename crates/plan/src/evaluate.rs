@@ -7,7 +7,8 @@
 //! at a given β to the baseline of β = 0, Uβ(Cβ)/Uβ(Cβ=0)."
 
 use crate::game::PlanningProblem;
-use crate::planner::{plan, PlannerConfig};
+use crate::planner::{plan, try_plan, PlannerConfig};
+use crate::pwl::PwlError;
 use serde::{Deserialize, Serialize};
 
 /// Result of comparing a robust plan against the non-robust baseline.
@@ -30,26 +31,41 @@ pub struct RobustComparison {
 
 /// Compute the Fig. 8 ratio for one planning problem: plan with β = 0 and
 /// with `problem.beta`, evaluate both under the β-weighted objective.
+///
+/// # Panics
+/// Panics when either plan's utility PWLs cannot be built; use
+/// [`try_compare_robust_vs_baseline`] to handle that as an error.
 pub fn compare_robust_vs_baseline(
     problem: &PlanningProblem,
     config: &PlannerConfig,
 ) -> RobustComparison {
+    try_compare_robust_vs_baseline(problem, config)
+        .unwrap_or_else(|e| panic!("robust-vs-baseline comparison failed: {e}"))
+}
+
+/// Checked Fig. 8 comparison: a degenerate piecewise-linear utility
+/// surfaces as the [`PwlError`] the planner hit (e.g. [`PwlError::Empty`]
+/// for an empty curve) instead of a panic mid-evaluation.
+pub fn try_compare_robust_vs_baseline(
+    problem: &PlanningProblem,
+    config: &PlannerConfig,
+) -> Result<RobustComparison, PwlError> {
     let beta = problem.beta;
     let mut baseline_problem = problem.clone();
     baseline_problem.beta = 0.0;
-    let baseline = plan(&baseline_problem, config);
-    let robust = plan(problem, config);
+    let baseline = try_plan(&baseline_problem, config)?;
+    let robust = try_plan(problem, config)?;
 
     let baseline_utility = problem.coverage_utility(&baseline.coverage, beta).max(1e-9);
     let robust_utility = problem.coverage_utility(&robust.coverage, beta);
-    RobustComparison {
+    Ok(RobustComparison {
         beta,
         robust_utility,
         baseline_utility,
         improvement_ratio: robust_utility / baseline_utility,
         robust_detections: 0.0,
         baseline_detections: 0.0,
-    }
+    })
 }
 
 /// Expected number of snare detections of a coverage vector under a ground
@@ -165,6 +181,27 @@ mod tests {
         let low = compare_robust_vs_baseline(&uncertain_problem(0.3), &PlannerConfig::default());
         let high = compare_robust_vs_baseline(&uncertain_problem(1.0), &PlannerConfig::default());
         assert!(high.improvement_ratio >= low.improvement_ratio - 1e-6);
+    }
+
+    #[test]
+    fn try_comparison_propagates_pwl_errors_and_matches_panicking_path() {
+        use crate::pwl::PwlError;
+        let problem = uncertain_problem(0.5);
+        // A degenerate PWL request (zero segments) propagates as an error
+        // through the planner and the evaluation instead of panicking.
+        let bad = PlannerConfig {
+            segments: 0,
+            ..PlannerConfig::default()
+        };
+        assert_eq!(
+            try_compare_robust_vs_baseline(&problem, &bad).err(),
+            Some(PwlError::Empty)
+        );
+        // On a well-posed problem the checked path returns exactly what the
+        // panicking wrapper returns.
+        let ok = try_compare_robust_vs_baseline(&problem, &PlannerConfig::default()).unwrap();
+        let reference = compare_robust_vs_baseline(&problem, &PlannerConfig::default());
+        assert_eq!(ok.improvement_ratio, reference.improvement_ratio);
     }
 
     #[test]

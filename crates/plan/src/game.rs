@@ -151,6 +151,11 @@ impl PlanningProblem {
         self.patrol_length_km * self.n_patrols as f64
     }
 
+    /// Number of discrete steps in one patrol (see [`steps_for`]).
+    pub fn patrol_steps(&self) -> usize {
+        steps_for(self.patrol_length_km)
+    }
+
     /// Number of candidate cells.
     pub fn n_cells(&self) -> usize {
         self.cells.len()
@@ -189,24 +194,39 @@ impl PlanningProblem {
     }
 }
 
+/// The number of discrete patrol steps implied by a patrol length in km
+/// (one step ≈ one km, nearest-integer, never zero).
+///
+/// Route extraction and the time-unrolled flow MILP used to duplicate this
+/// conversion — and a third site truncated with `as usize` instead of
+/// rounding, so a 8.5 km patrol was 9 steps in one layer and 8 in another.
+/// Every step-budget consumer now goes through this single helper.
+pub fn steps_for(patrol_length_km: f64) -> usize {
+    patrol_length_km.round().max(1.0) as usize
+}
+
+/// Min-heap entry for [`park_travel_distances`]: ordered by distance with
+/// [`f64::total_cmp`], so a NaN distance has a consistent (greatest) rank
+/// instead of silently comparing `Equal` to everything — which would let
+/// it float around the heap and corrupt the pop order.
+#[derive(PartialEq)]
+struct MinDistEntry(f64, usize);
+impl Eq for MinDistEntry {}
+impl Ord for MinDistEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest distance.
+        other.0.total_cmp(&self.0)
+    }
+}
+impl PartialOrd for MinDistEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Shortest octile travel distance (km) from `post` to every in-park cell.
 pub fn park_travel_distances(park: &Park, post: CellId) -> Vec<f64> {
-    use std::cmp::Ordering;
     use std::collections::BinaryHeap;
-
-    #[derive(PartialEq)]
-    struct Entry(f64, usize);
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
 
     let mut dist = vec![f64::INFINITY; park.n_cells()];
     let start = park
@@ -214,17 +234,24 @@ pub fn park_travel_distances(park: &Park, post: CellId) -> Vec<f64> {
         .expect("post must be inside the park");
     dist[start] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(Entry(0.0, start));
-    while let Some(Entry(d, i)) = heap.pop() {
+    heap.push(MinDistEntry(0.0, start));
+    while let Some(MinDistEntry(d, i)) = heap.pop() {
         if d > dist[i] {
             continue;
         }
         for (n, step) in park.park_neighbours(park.cells[i]) {
             let ni = park.cell_position(n).expect("neighbour is in park");
             let nd = d + step;
+            // A degenerate grid (NaN/infinite step weight) must not enter
+            // the frontier: a non-finite key would outrank real paths under
+            // any ordering and poison every distance downstream of it.
+            debug_assert!(step.is_finite(), "non-finite neighbour step weight");
+            if !nd.is_finite() {
+                continue;
+            }
             if nd < dist[ni] {
                 dist[ni] = nd;
-                heap.push(Entry(nd, ni));
+                heap.push(MinDistEntry(nd, ni));
             }
         }
     }
@@ -365,6 +392,49 @@ mod tests {
                 assert!(d[i] + 1e-9 >= park.grid.distance_km(p.post, cell) - 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn steps_for_rounds_at_half_km_boundaries() {
+        // The single step-budget helper: nearest-integer with ties away
+        // from zero, clamped to at least one step. Pinning the x.5 cases
+        // guards against a regression to the truncating `as usize` math
+        // that used to live in the route-length test.
+        assert_eq!(steps_for(8.5), 9);
+        assert_eq!(steps_for(7.5), 8);
+        assert_eq!(steps_for(8.49), 8);
+        assert_eq!(steps_for(0.5), 1);
+        assert_eq!(steps_for(0.2), 1);
+        // And the truncating math it replaces would have said 8 here:
+        assert_ne!(steps_for(8.5), 8.5f64 as usize);
+    }
+
+    #[test]
+    fn patrol_steps_uses_the_shared_helper() {
+        let (_, p) = toy_problem();
+        assert_eq!(p.patrol_steps(), steps_for(p.patrol_length_km));
+    }
+
+    #[test]
+    fn heap_entries_rank_nan_last_not_equal() {
+        // Regression: the Dijkstra heap used `partial_cmp(..).unwrap_or(Equal)`,
+        // so a NaN key compared Equal to *everything* and could surface
+        // ahead of genuinely shorter paths. Under total_cmp a NaN key has a
+        // consistent, worst possible rank.
+        use std::collections::BinaryHeap;
+        let mut heap = BinaryHeap::new();
+        for (d, i) in [(2.0, 0), (f64::NAN, 1), (0.5, 2), (1.0, 3)] {
+            heap.push(MinDistEntry(d, i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|e| e.1)).collect();
+        assert_eq!(order, vec![2, 3, 0, 1], "NaN pops last, finite ascending");
+        // And the ordering is total: NaN vs NaN is consistent, not Equal to
+        // finite keys.
+        assert_eq!(
+            MinDistEntry(f64::NAN, 0).cmp(&MinDistEntry(1.0, 1)),
+            std::cmp::Ordering::Less,
+            "reversed min-heap order ranks NaN below (popped after) finite"
+        );
     }
 
     #[test]

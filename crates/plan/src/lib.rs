@@ -22,10 +22,11 @@ pub mod robust;
 pub mod routes;
 
 pub use evaluate::{
-    compare_robust_vs_baseline, compare_with_ground_truth, expected_detections, RobustComparison,
+    compare_robust_vs_baseline, compare_with_ground_truth, expected_detections,
+    try_compare_robust_vs_baseline, RobustComparison,
 };
-pub use game::{park_travel_distances, PlanningCell, PlanningProblem};
-pub use planner::{plan, PatrolPlan, PlannerConfig, PlannerMethod};
-pub use pwl::PwlFunction;
+pub use game::{park_travel_distances, steps_for, PlanningCell, PlanningProblem};
+pub use planner::{plan, try_plan, PatrolPlan, PlannerConfig, PlannerMethod};
+pub use pwl::{PwlError, PwlFunction};
 pub use robust::{squash_matrix, VarianceSquash};
 pub use routes::{extract_routes, route_coverage, Route};

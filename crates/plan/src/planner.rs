@@ -15,8 +15,8 @@
 //!   and the same PWL objective. Exact but much larger; intended for small
 //!   regions and for validating the allocation formulation.
 
-use crate::game::PlanningProblem;
-use crate::pwl::PwlFunction;
+use crate::game::{steps_for, PlanningProblem};
+use crate::pwl::{PwlError, PwlFunction};
 use paws_solver::{solve_milp, ConstraintOp, MilpOptions, Model, Sense, SolveStatus, Variable};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -76,26 +76,43 @@ pub struct PatrolPlan {
 }
 
 /// Compute a patrol plan for a planning problem.
+///
+/// # Panics
+/// Panics when the utility PWL construction fails (degenerate cell
+/// domains); use [`try_plan`] to handle that as an error.
 pub fn plan(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
-    assert!(config.segments >= 1, "need at least one PWL segment");
+    try_plan(problem, config).unwrap_or_else(|e| panic!("patrol planning failed: {e}"))
+}
+
+/// Checked planning entry point: degenerate piecewise-linear utilities
+/// (e.g. an empty sampling domain from a NaN-poisoned response surface)
+/// surface as a [`PwlError`] instead of a panic mid-optimisation.
+pub fn try_plan(problem: &PlanningProblem, config: &PlannerConfig) -> Result<PatrolPlan, PwlError> {
+    if config.segments < 1 {
+        return Err(PwlError::Empty);
+    }
     let start = Instant::now();
+    let utilities = cell_utilities(problem, config.segments)?;
     let result = match config.method {
-        PlannerMethod::Allocation => solve_allocation(problem, config),
-        PlannerMethod::Flow => solve_flow(problem, config),
+        PlannerMethod::Allocation => solve_allocation(problem, &utilities, config),
+        PlannerMethod::Flow => solve_flow(problem, &utilities, config),
     };
-    PatrolPlan {
+    Ok(PatrolPlan {
         solve_time: start.elapsed(),
         ..result
-    }
+    })
 }
 
 /// Per-cell utility PWL resampled to the configured number of segments.
-fn cell_utilities(problem: &PlanningProblem, segments: usize) -> Vec<PwlFunction> {
+fn cell_utilities(
+    problem: &PlanningProblem,
+    segments: usize,
+) -> Result<Vec<PwlFunction>, PwlError> {
     (0..problem.n_cells())
         .map(|i| {
             let u = problem.utility(i, problem.beta);
             let hi = problem.max_effort(i).max(1e-3);
-            PwlFunction::from_samples(0.0, hi, segments, |c| u.eval(c))
+            PwlFunction::try_from_samples(0.0, hi, segments, |c| u.eval(c))
         })
         .collect()
 }
@@ -151,8 +168,11 @@ fn add_pwl_block(
     (lambdas, xs)
 }
 
-fn solve_allocation(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
-    let utilities = cell_utilities(problem, config.segments);
+fn solve_allocation(
+    problem: &PlanningProblem,
+    utilities: &[PwlFunction],
+    config: &PlannerConfig,
+) -> PatrolPlan {
     let mut model = Model::new(Sense::Maximize);
     let mut blocks = Vec::with_capacity(problem.n_cells());
     for (i, u) in utilities.iter().enumerate() {
@@ -182,9 +202,12 @@ fn solve_allocation(problem: &PlanningProblem, config: &PlannerConfig) -> Patrol
 }
 
 #[allow(clippy::needless_range_loop)]
-fn solve_flow(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
-    let utilities = cell_utilities(problem, config.segments);
-    let t_steps = problem.patrol_length_km.round().max(1.0) as usize;
+fn solve_flow(
+    problem: &PlanningProblem,
+    utilities: &[PwlFunction],
+    config: &PlannerConfig,
+) -> PatrolPlan {
+    let t_steps = steps_for(problem.patrol_length_km);
     let k = problem.n_patrols as f64;
     let n = problem.n_cells();
     let mut model = Model::new(Sense::Maximize);

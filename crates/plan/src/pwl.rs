@@ -7,6 +7,33 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Errors from the checked PWL constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwlError {
+    /// No curve: fewer than two breakpoints (including the fully empty
+    /// case, where `eval`/`domain` would have hit `xs.last().unwrap()`),
+    /// or an empty sampling interval.
+    Empty,
+    /// Breakpoint coordinate vectors differ in length.
+    LengthMismatch,
+    /// Breakpoint x values are not strictly ascending.
+    NotAscending,
+}
+
+impl std::fmt::Display for PwlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PwlError::Empty => write!(f, "piecewise-linear curve needs at least two breakpoints"),
+            PwlError::LengthMismatch => write!(f, "breakpoint coordinate length mismatch"),
+            PwlError::NotAscending => {
+                write!(f, "breakpoint x values must be strictly ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PwlError {}
+
 /// A piecewise-linear function defined by ascending breakpoints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PwlFunction {
@@ -17,34 +44,70 @@ pub struct PwlFunction {
 }
 
 impl PwlFunction {
+    /// Checked construction from breakpoints: an empty (or single-point)
+    /// curve is a [`PwlError::Empty`] instead of a later
+    /// `xs.last().unwrap()` panic inside `eval`/`domain`.
+    pub fn try_new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, PwlError> {
+        if xs.len() < 2 {
+            return Err(PwlError::Empty);
+        }
+        if xs.len() != ys.len() {
+            return Err(PwlError::LengthMismatch);
+        }
+        if !xs.windows(2).all(|w| w[1] > w[0]) {
+            return Err(PwlError::NotAscending);
+        }
+        Ok(Self { xs, ys })
+    }
+
     /// Build from breakpoints.
     ///
     /// # Panics
     /// Panics when fewer than two breakpoints are given or the x values are
-    /// not strictly ascending.
+    /// not strictly ascending; use [`PwlFunction::try_new`] to handle these
+    /// as errors.
     pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Self {
-        assert!(
-            xs.len() >= 2,
-            "a PWL function needs at least two breakpoints"
-        );
-        assert_eq!(xs.len(), ys.len(), "breakpoint coordinate length mismatch");
-        assert!(
-            xs.windows(2).all(|w| w[1] > w[0]),
-            "breakpoint x values must be strictly ascending"
-        );
-        Self { xs, ys }
+        match Self::try_new(xs, ys) {
+            Ok(f) => f,
+            Err(PwlError::Empty) => panic!("a PWL function needs at least two breakpoints"),
+            Err(PwlError::LengthMismatch) => panic!("breakpoint coordinate length mismatch"),
+            Err(PwlError::NotAscending) => {
+                panic!("breakpoint x values must be strictly ascending")
+            }
+        }
     }
 
-    /// Sample a black-box function at `segments + 1` evenly spaced points on
-    /// `[lo, hi]` and return its PWL approximation.
-    pub fn from_samples(lo: f64, hi: f64, segments: usize, f: impl Fn(f64) -> f64) -> Self {
-        assert!(segments >= 1, "need at least one segment");
-        assert!(hi > lo, "empty sampling interval");
+    /// Checked sampling construction: a degenerate request (zero segments
+    /// or an empty interval) is a [`PwlError::Empty`].
+    pub fn try_from_samples(
+        lo: f64,
+        hi: f64,
+        segments: usize,
+        f: impl Fn(f64) -> f64,
+    ) -> Result<Self, PwlError> {
+        // `hi > lo` must hold; the negation (rather than `hi <= lo`) also
+        // rejects NaN bounds, which are incomparable.
+        let interval_ok = hi > lo;
+        if segments < 1 || !interval_ok {
+            return Err(PwlError::Empty);
+        }
         let xs: Vec<f64> = (0..=segments)
             .map(|i| lo + (hi - lo) * i as f64 / segments as f64)
             .collect();
         let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
-        Self::new(xs, ys)
+        Self::try_new(xs, ys)
+    }
+
+    /// Sample a black-box function at `segments + 1` evenly spaced points on
+    /// `[lo, hi]` and return its PWL approximation.
+    ///
+    /// # Panics
+    /// Panics on a degenerate request; use
+    /// [`PwlFunction::try_from_samples`] to handle it as an error.
+    pub fn from_samples(lo: f64, hi: f64, segments: usize, f: impl Fn(f64) -> f64) -> Self {
+        assert!(segments >= 1, "need at least one segment");
+        assert!(hi > lo, "empty sampling interval");
+        Self::try_from_samples(lo, hi, segments, f).expect("checked above")
     }
 
     /// Breakpoint x-coordinates.
@@ -208,6 +271,46 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn rejects_non_monotone_breakpoints() {
         PwlFunction::new(vec![0.0, 0.0, 1.0], vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_new_reports_empty_curves_instead_of_panicking() {
+        // Regression: an empty curve used to surface as an
+        // `xs.last().unwrap()` panic inside eval/domain; the checked
+        // constructor catches it at the boundary.
+        assert_eq!(PwlFunction::try_new(vec![], vec![]), Err(PwlError::Empty));
+        assert_eq!(
+            PwlFunction::try_new(vec![1.0], vec![2.0]),
+            Err(PwlError::Empty)
+        );
+        assert_eq!(
+            PwlFunction::try_new(vec![0.0, 1.0], vec![0.0]),
+            Err(PwlError::LengthMismatch)
+        );
+        assert_eq!(
+            PwlFunction::try_new(vec![1.0, 1.0], vec![0.0, 0.0]),
+            Err(PwlError::NotAscending)
+        );
+        let f = PwlFunction::try_new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        assert_eq!(f.eval(0.5), 1.0);
+    }
+
+    #[test]
+    fn try_from_samples_rejects_degenerate_requests() {
+        assert_eq!(
+            PwlFunction::try_from_samples(0.0, 0.0, 4, |x| x).err(),
+            Some(PwlError::Empty)
+        );
+        assert_eq!(
+            PwlFunction::try_from_samples(2.0, 1.0, 4, |x| x).err(),
+            Some(PwlError::Empty)
+        );
+        assert_eq!(
+            PwlFunction::try_from_samples(0.0, 1.0, 0, |x| x).err(),
+            Some(PwlError::Empty)
+        );
+        assert!(PwlFunction::try_from_samples(0.0, 1.0, 4, |x| x).is_ok());
+        assert!(PwlError::Empty.to_string().contains("two breakpoints"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! candidate cell with the largest remaining effort demand (discounted by
 //! distance), returning to the post in time.
 
-use crate::game::PlanningProblem;
+use crate::game::{steps_for, PlanningProblem};
 use paws_geo::CellId;
 
 /// One extracted patrol route (sequence of visited cells, starting and
@@ -33,7 +33,7 @@ pub fn extract_routes(problem: &PlanningProblem, coverage: &[f64]) -> Vec<Route>
         problem.n_cells(),
         "coverage length mismatch"
     );
-    let t_steps = problem.patrol_length_km.round().max(1.0) as usize;
+    let t_steps = steps_for(problem.patrol_length_km);
     let mut demand: Vec<f64> = coverage.to_vec();
     // Pre-compute hop distance to the post within the candidate sub-graph so
     // routes can always return in time.
@@ -54,13 +54,17 @@ pub fn extract_routes(problem: &PlanningProblem, coverage: &[f64]) -> Vec<Route>
                     break;
                 }
                 // Greedy: follow the largest remaining demand, preferring to
-                // keep moving over idling on an exhausted cell.
+                // keep moving over idling on an exhausted cell. total_cmp
+                // keeps the selection well-defined even when a degenerate
+                // problem (empty park, NaN response surface) puts NaN into
+                // the demand vector — partial_cmp().unwrap() panicked
+                // mid-planning here.
                 let next = *options
                     .iter()
                     .max_by(|&&a, &&b| {
                         let da = demand[a] - if a == current { 1e-6 } else { 0.0 };
                         let db = demand[b] - if b == current { 1e-6 } else { 0.0 };
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .expect("options is non-empty");
                 demand[next] = (demand[next] - 1.0).max(0.0);
@@ -165,12 +169,14 @@ mod tests {
         let p = problem();
         let coverage = plan(&p, &PlannerConfig::default()).coverage;
         let routes = extract_routes(&p, &coverage);
+        // The same rounding helper the extractor itself uses — this bound
+        // used a truncating `as usize` before, disagreeing with the
+        // extractor at x.5 patrol lengths.
+        let t_steps = steps_for(p.patrol_length_km);
         for r in &routes {
             // Greedy may add a short tail to return home but never more than
             // the reach radius.
-            assert!(
-                r.n_steps() <= (p.patrol_length_km as usize) + (p.patrol_length_km / 2.0) as usize
-            );
+            assert!(r.n_steps() <= t_steps + steps_for(p.patrol_length_km / 2.0));
             assert!(r.n_steps() >= 2);
         }
     }
@@ -196,6 +202,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn nan_demand_does_not_panic_route_extraction() {
+        // Regression: the greedy sort compared demands with
+        // `partial_cmp(..).unwrap()`, so one NaN in the coverage vector (a
+        // degenerate response surface / empty-park plan) panicked
+        // mid-planning. With total_cmp the walk stays defined and every
+        // route still closes at the post.
+        let p = problem();
+        let mut coverage = plan(&p, &PlannerConfig::default()).coverage;
+        for (i, c) in coverage.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *c = f64::NAN;
+            }
+        }
+        let routes = extract_routes(&p, &coverage);
+        assert_eq!(routes.len(), 3);
+        for r in &routes {
+            assert_eq!(*r.cells.first().unwrap(), p.post);
+            assert_eq!(*r.cells.last().unwrap(), p.post);
+        }
+
+        // All-NaN demand is the worst case and must not panic either.
+        let all_nan = vec![f64::NAN; p.n_cells()];
+        let routes = extract_routes(&p, &all_nan);
+        assert_eq!(routes.len(), 3);
     }
 
     #[test]

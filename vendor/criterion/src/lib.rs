@@ -7,11 +7,42 @@
 //! Measurement is deliberately simple: a warm-up pass sizes the batch so one
 //! sample takes ≈10 ms, then `sample_size` samples are taken and the
 //! median/min/max per-iteration times are printed in a criterion-like
-//! format. Good enough to compare implementations on one machine; not a
-//! statistics suite.
+//! format — after rejecting outliers by trimming the top and bottom 5 % of
+//! samples (scheduler preemption on shared runners routinely produces a
+//! few 2–3× samples that would otherwise poison min/max and, with few
+//! samples, even the median). Good enough to compare implementations on
+//! one machine; not a statistics suite.
+//!
+//! Passing `--test` (as real criterion does, e.g.
+//! `cargo bench --bench bench_matrix -- --test`) switches to smoke mode:
+//! every benchmark body runs exactly once with no timing loop, so CI can
+//! catch panicking or mis-wired benches in seconds.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Smoke-mode flag set by `criterion_main!` when `--test` is passed.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable `--test` smoke mode (used by `criterion_main!`).
+pub fn set_smoke_mode(on: bool) {
+    SMOKE.store(on, Ordering::Relaxed);
+}
+
+/// Sort a sample set and trim the top and bottom 5 % (rounded up, but
+/// never so much that nothing remains) — the outlier rejection applied
+/// before the reported min/median/max.
+fn trimmed(mut samples: Vec<f64>) -> Vec<f64> {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let trim = (n as f64 * 0.05).ceil() as usize;
+    if n > 2 * trim {
+        samples.drain(n - trim..);
+        samples.drain(..trim);
+    }
+    samples
+}
 
 /// Re-export matching `criterion::black_box` (benches here use
 /// `std::hint::black_box` directly, but the symbol is part of the API).
@@ -74,6 +105,16 @@ fn format_time(t: f64) -> String {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    if SMOKE.load(Ordering::Relaxed) {
+        // Smoke mode: execute the body once, no timing.
+        let mut b = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("{name:<40} (smoke ok)");
+        return;
+    }
     // Warm-up: find a batch size that takes roughly 10 ms per sample.
     let mut batch = 1u64;
     let mut warmup_ns;
@@ -105,12 +146,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
     for _ in 0..sample_size.max(3) {
         f(&mut b);
     }
-    let mut per_iter: Vec<f64> = b
-        .samples
-        .iter()
-        .map(|d| d.as_nanos() as f64 / batch as f64)
-        .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let per_iter = trimmed(
+        b.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / batch as f64)
+            .collect(),
+    );
     let min = per_iter.first().copied().unwrap_or(0.0);
     let max = per_iter.last().copied().unwrap_or(0.0);
     let median = per_iter[per_iter.len() / 2];
@@ -207,12 +248,44 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running every listed group.
+/// Entry point running every listed group. `--test` on the command line
+/// (criterion's smoke flag) runs every benchmark body once without timing.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::set_smoke_mode(std::env::args().any(|a| a == "--test"));
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_drops_five_percent_from_each_end() {
+        let samples: Vec<f64> = (1..=40).map(f64::from).collect();
+        let t = trimmed(samples);
+        // 5 % of 40 = 2 from each end.
+        assert_eq!(t.len(), 36);
+        assert_eq!(t.first(), Some(&3.0));
+        assert_eq!(t.last(), Some(&38.0));
+    }
+
+    #[test]
+    fn trim_keeps_tiny_sample_sets_intact() {
+        assert_eq!(trimmed(vec![2.0, 1.0]), vec![1.0, 2.0]);
+        assert_eq!(trimmed(vec![1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn trim_rejects_a_single_scheduler_spike() {
+        // One 10× outlier among 20 honest samples must not reach max.
+        let mut samples = vec![100.0; 20];
+        samples[7] = 1000.0;
+        let t = trimmed(samples);
+        assert_eq!(t.last(), Some(&100.0));
+    }
 }

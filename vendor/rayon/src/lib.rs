@@ -1,10 +1,31 @@
-//! Vendored minimal stand-in for `rayon`.
+//! Vendored minimal stand-in for `rayon`, built on a small work-stealing
+//! deque pool.
 //!
-//! Implements the tiny slice of the rayon API the PAWS crates use —
+//! Implements the slice of the rayon API the PAWS crates use —
 //! `par_iter()` / `into_par_iter()` followed by `enumerate` / `map` /
-//! `collect` — on top of `std::thread::scope`. Work is distributed over the
-//! available cores with an atomic work-stealing index; results are written
-//! back by index, so ordering semantics match rayon's indexed collect.
+//! `collect` / `for_each` — plus `current_num_threads` and a scoped
+//! [`with_num_threads`] override used by the 1-vs-N-thread benchmark
+//! groups.
+//!
+//! # Scheduling
+//!
+//! Earlier revisions handed out items one at a time from a single atomic
+//! counter behind per-item mutexes; fine for a handful of coarse tasks,
+//! but the counter (and its cache line) became the rendezvous point of
+//! every worker once the batch-traversal blocks got small. This version
+//! schedules the index space `0..n` the way rayon does:
+//!
+//! * the range is pre-split into one contiguous span per worker;
+//! * each worker owns a chunked deque and pops small chunks from the
+//!   **front** of its own span (good locality, one lock acquisition per
+//!   chunk rather than per item);
+//! * a worker whose deque runs dry **steals the back half** of another
+//!   worker's remaining span and continues — classic steal-half-from-the-
+//!   back, which keeps thieves and owners on opposite ends of the span.
+//!
+//! Results are written back by index, so ordering semantics match rayon's
+//! indexed collect and the output is deterministic regardless of which
+//! worker processed which item.
 //!
 //! Nested parallel regions run sequentially (a thread-local flag marks pool
 //! workers), which mirrors rayon's behaviour of not oversubscribing and
@@ -17,12 +38,165 @@ use std::sync::Mutex;
 
 thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Scoped thread-count override installed by [`with_num_threads`]
+    /// (0 = no override).
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Global thread-count override (0 = use the hardware parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 fn worker_count() -> usize {
+    let local = LOCAL_THREADS.with(|t| t.get());
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Number of worker threads the next parallel region will use.
+pub fn current_num_threads() -> usize {
+    worker_count()
+}
+
+/// Set a process-wide thread-count override (`0` restores the hardware
+/// default). Scoped [`with_num_threads`] overrides take precedence.
+pub fn set_num_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with every parallel region on this thread using exactly `n`
+/// workers (`n` may exceed the core count — benchmark groups use this to
+/// compare 1-vs-N-thread scaling on any machine). Restores the previous
+/// override on exit, including on panic.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_THREADS.with(|t| t.replace(n)));
+    f()
+}
+
+/// One worker's remaining span of the index space, behind a mutex. The
+/// owner pops small chunks from the front; thieves split off the back
+/// half. Contention is one short critical section per *chunk*, not per
+/// item.
+struct ChunkDeque {
+    span: Mutex<Range<usize>>,
+}
+
+impl ChunkDeque {
+    fn new(span: Range<usize>) -> Self {
+        Self {
+            span: Mutex::new(span),
+        }
+    }
+
+    /// Owner side: take up to `chunk` indices off the front.
+    fn pop_front(&self, chunk: usize) -> Option<Range<usize>> {
+        let mut g = self.span.lock().unwrap();
+        if g.start >= g.end {
+            return None;
+        }
+        let end = (g.start + chunk.max(1)).min(g.end);
+        let out = g.start..end;
+        g.start = end;
+        Some(out)
+    }
+
+    /// Thief side: split off the back half of the remaining span (the
+    /// owner keeps the front half, so both ends stay disjoint). Returns
+    /// `None` when nothing is left to share (a single remaining index is
+    /// left to its owner).
+    fn steal_back(&self) -> Option<Range<usize>> {
+        let mut g = self.span.lock().unwrap();
+        let len = g.end - g.start;
+        if len < 2 {
+            return None;
+        }
+        let mid = g.start + (len - len / 2);
+        let out = mid..g.end;
+        g.end = mid;
+        Some(out)
+    }
+
+    /// Install a stolen span into an empty deque.
+    fn install(&self, span: Range<usize>) {
+        let mut g = self.span.lock().unwrap();
+        debug_assert!(g.start >= g.end, "install onto a non-empty deque");
+        *g = span;
+    }
+}
+
+/// Raw shared pointer into a pre-sized `Vec`; each index is accessed by
+/// exactly one worker (the one that claimed it through the deques), so the
+/// aliasing is disjoint by construction.
+struct SharedVec<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Send for SharedVec<T> {}
+unsafe impl<T: Send> Sync for SharedVec<T> {}
+
+impl<T> SharedVec<T> {
+    /// Pointer to element `i` (closures call this through a `&SharedVec`
+    /// so they capture the `Sync` wrapper, not the raw pointer field).
+    fn at(&self, i: usize) -> *mut T {
+        // SAFETY: callers only pass indices within the backing Vec.
+        unsafe { self.ptr.add(i) }
+    }
+}
+
+/// Run `process` over every index in `0..n` using `workers` threads and
+/// work-stealing chunked deques. `process` must tolerate being called for
+/// each index exactly once, from any thread.
+fn run_pool(n: usize, workers: usize, process: &(impl Fn(usize) + Sync)) {
+    let deques: Vec<ChunkDeque> = (0..workers)
+        .map(|w| {
+            // Contiguous pre-split: worker w owns [w·n/W, (w+1)·n/W).
+            ChunkDeque::new(w * n / workers..(w + 1) * n / workers)
+        })
+        .collect();
+    // Small chunks so steals stay meaningful; one lock round-trip amortised
+    // over the whole chunk.
+    let chunk = (n / (workers * 8)).max(1);
+
+    std::thread::scope(|scope| {
+        for id in 0..workers {
+            let deques = &deques;
+            scope.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                'work: loop {
+                    while let Some(range) = deques[id].pop_front(chunk) {
+                        for i in range {
+                            process(i);
+                        }
+                    }
+                    // Own deque dry: sweep the victims (starting after
+                    // ourselves, so thieves spread out) and adopt the back
+                    // half of the first non-empty span found.
+                    for k in 1..deques.len() {
+                        let victim = (id + k) % deques.len();
+                        if let Some(stolen) = deques[victim].steal_back() {
+                            deques[id].install(stolen);
+                            continue 'work;
+                        }
+                    }
+                    break;
+                }
+                IN_POOL.with(|p| p.set(false));
+            });
+        }
+    });
 }
 
 /// Run `f` over `items` in parallel, preserving input order in the output.
@@ -38,32 +212,34 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // Hand out items by index; slots collect results out of order.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // Items are taken (and result slots filled) by raw index; `Option`
+    // wrappers keep partially-processed state safe to drop if a worker
+    // panics and the scope unwinds.
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let item_ptr = SharedVec {
+        ptr: items.as_mut_ptr(),
+    };
+    let slot_ptr = SharedVec {
+        ptr: slots.as_mut_ptr(),
+    };
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                IN_POOL.with(|p| p.set(true));
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = work[i].lock().unwrap().take().expect("item taken once");
-                    let out = f(item);
-                    *slots[i].lock().unwrap() = Some(out);
-                }
-                IN_POOL.with(|p| p.set(false));
-            });
+    let (item_ptr, slot_ptr) = (&item_ptr, &slot_ptr);
+    run_pool(n, workers, &|i| {
+        // SAFETY: the deque protocol hands each index to exactly one
+        // worker, so these element accesses are disjoint across threads;
+        // `i < n` holds because every deque span is a sub-range of `0..n`.
+        let item = unsafe { (*item_ptr.at(i)).take().expect("item taken once") };
+        let out = f(item);
+        unsafe {
+            *slot_ptr.at(i) = Some(out);
         }
     });
 
+    drop(items);
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+        .map(|slot| slot.expect("every slot filled"))
         .collect()
 }
 
@@ -184,6 +360,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -219,5 +396,73 @@ mod tests {
             })
             .collect();
         assert!(out.iter().all(|&n| n == 100));
+    }
+
+    #[test]
+    fn forced_multi_thread_preserves_order_on_uneven_work() {
+        // Heavily skewed work (the last items are ~1000× the first) forces
+        // the early-finishing workers to steal; the indexed collect must
+        // still come back in order.
+        with_num_threads(4, || {
+            let out: Vec<u64> = (0..500u64)
+                .into_par_iter()
+                .map(|i| {
+                    let spins = if i > 400 { 20_000 } else { 20 };
+                    let mut acc = i;
+                    for _ in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(acc);
+                    i * 3
+                })
+                .collect();
+            assert_eq!(out, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn with_num_threads_is_scoped_and_panic_safe() {
+        assert_eq!(
+            with_num_threads(3, || with_num_threads(5, current_num_threads)),
+            5
+        );
+        let caught = std::panic::catch_unwind(|| with_num_threads(7, || panic!("boom")));
+        assert!(caught.is_err());
+        // The override from the panicking scope must not leak.
+        assert_ne!(current_num_threads(), 7);
+    }
+
+    #[test]
+    fn deque_owner_pops_front_thief_steals_back_half() {
+        let d = ChunkDeque::new(0..10);
+        assert_eq!(d.pop_front(3), Some(0..3));
+        // 7 remaining: the thief takes the back 3, the owner keeps 4.
+        assert_eq!(d.steal_back(), Some(7..10));
+        assert_eq!(d.pop_front(100), Some(3..7));
+        assert_eq!(d.pop_front(1), None);
+        assert_eq!(d.steal_back(), None);
+    }
+
+    #[test]
+    fn single_leftover_index_is_not_stealable() {
+        let d = ChunkDeque::new(4..5);
+        assert_eq!(d.steal_back(), None, "owner keeps the last index");
+        assert_eq!(d.pop_front(1), Some(4..5));
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once_across_thread_counts() {
+        for threads in [1, 2, 3, 8] {
+            with_num_threads(threads, || {
+                let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+                (0..hits.len()).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads}"
+                );
+            });
+        }
     }
 }
