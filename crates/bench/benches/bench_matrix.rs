@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paws_core::Scenario;
-use paws_data::simd;
 use paws_data::{build_dataset, split_by_test_year, Discretization, Matrix, StandardScaler};
+use paws_data::{simd, simd32};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::traits::Classifier;
 use paws_ml::tree::{DecisionTree, TreeConfig};
@@ -76,7 +76,7 @@ mod legacy {
             let mut best: Option<(f64, usize, f64)> = None;
             for f in 0..self.n_features {
                 let mut values: Vec<f64> = indices.iter().map(|&i| rows[i][f]).collect();
-                values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                values.sort_by(|a, b| a.total_cmp(b));
                 values.dedup();
                 if values.len() < 2 {
                     continue;
@@ -223,7 +223,7 @@ mod legacy {
             efforts: &[f64],
         ) -> Self {
             let mut sorted = efforts.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             let thresholds: Vec<f64> = (0..n_learners)
                 .map(|i| {
                     if i == 0 {
@@ -414,6 +414,14 @@ fn bench_forest_traversal(c: &mut Criterion) {
     group.bench_function("level_sync_batch", |b| {
         b.iter(|| black_box(forest.predict_proba_batch(w.park_flat.view())))
     });
+    // The f32 plane's 8-byte-node arena over a pre-narrowed park batch:
+    // isolates the traversal bandwidth win from the per-call narrowing
+    // cost (which the end-to-end park_prediction benches include).
+    let forest32 = paws_ml::Forest32::from_forest(forest);
+    let park32 = paws_data::Matrix32::from_f64(w.park_flat.view());
+    group.bench_function("level_sync_batch_f32", |b| {
+        b.iter(|| black_box(forest32.predict_proba_batch(park32.view())))
+    });
     group.finish();
 }
 
@@ -496,6 +504,11 @@ fn bench_iware_legacy_vs_flat(c: &mut Criterion) {
     group.bench_function("flat_cell_parallel", |b| {
         b.iter(|| black_box(flat_model.effort_response(w.park_flat.view(), &grid)))
     });
+    let mut f32_model = IWareModel::fit(&config, w.flat.view(), &w.labels, &w.efforts);
+    f32_model.set_precision(paws_iware::Precision::F32);
+    group.bench_function("flat_cell_parallel_f32", |b| {
+        b.iter(|| black_box(f32_model.effort_response(w.park_flat.view(), &grid)))
+    });
     group.finish();
 }
 
@@ -533,6 +546,24 @@ fn bench_simd_kernels(c: &mut Criterion) {
             let mut y = b.clone();
             bch.iter(|| {
                 simd::axpy(1.0000001, &a, &mut y);
+                black_box(y[0])
+            })
+        });
+        // f32x8 counterparts on the same (narrowed) contents: the
+        // per-kernel half of the f32 plane's bandwidth story.
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        group.bench_function("dot_f32x8", |bch| {
+            bch.iter(|| black_box(simd32::dot(&a32, &b32)))
+        });
+        group.bench_function("sum_f32x8", |bch| bch.iter(|| black_box(simd32::sum(&a32))));
+        group.bench_function("sqdist_f32x8", |bch| {
+            bch.iter(|| black_box(simd32::squared_distance(&a32, &b32)))
+        });
+        group.bench_function("axpy_f32_autovec", |bch| {
+            let mut y = b32.clone();
+            bch.iter(|| {
+                simd32::axpy(1.0000001, &a32, &mut y);
                 black_box(y[0])
             })
         });

@@ -80,15 +80,26 @@ fn bench_park_prediction(c: &mut Criterion) {
         &split,
         &quick_config(WeakLearnerKind::DecisionTree, true),
     );
+    // The same variant with the f32 prediction plane selected (training is
+    // f64 either way; only the serving arena differs).
+    let mut cfg32 = quick_config(WeakLearnerKind::DecisionTree, true);
+    cfg32.precision = paws_core::Precision::F32;
+    let model32 = train(&dataset, &split, &cfg32);
     let prev = dataset.coverage.last().unwrap().clone();
     let mut group = c.benchmark_group("park_prediction");
     group.sample_size(20);
     group.bench_function("risk_map_500_cells", |b| {
         b.iter(|| black_box(model.risk_map(&scenario.park, &dataset, &prev, 1.0)))
     });
+    group.bench_function("risk_map_500_cells_f32", |b| {
+        b.iter(|| black_box(model32.risk_map(&scenario.park, &dataset, &prev, 1.0)))
+    });
     let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
     group.bench_function("park_response_500_cells_6_levels", |b| {
         b.iter(|| black_box(model.park_response(&scenario.park, &dataset, &prev, &grid)))
+    });
+    group.bench_function("park_response_500_cells_6_levels_f32", |b| {
+        b.iter(|| black_box(model32.park_response(&scenario.park, &dataset, &prev, &grid)))
     });
     group.finish();
 }

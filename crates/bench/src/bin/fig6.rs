@@ -53,7 +53,7 @@ fn main() {
 
     // Quartiles of historical effort, used to summarise the uncertainty maps.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| hist_effort[a].partial_cmp(&hist_effort[b]).unwrap());
+    order.sort_by(|&a, &b| hist_effort[a].total_cmp(&hist_effort[b]));
     let q = n / 4;
     let least_patrolled = &order[..q];
     let most_patrolled = &order[n - q..];

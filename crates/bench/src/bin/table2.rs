@@ -144,7 +144,7 @@ fn main() {
                     .find(|r| &r.dataset == ds && r.test_year == *year && r.model == *m)
                     .map(|r| (m, r.auc))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         if let Some((name, _)) = best {
             if *name == "GPB-iW" {
                 gpb_best += 1;

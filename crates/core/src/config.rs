@@ -9,6 +9,7 @@
 use paws_iware::{IWareConfig, ThresholdMode, WeightMode};
 use paws_ml::bagging::{BaggingConfig, BaseLearnerConfig};
 use paws_ml::gp::GpConfig;
+use paws_ml::precision::Precision;
 use paws_ml::svm::SvmConfig;
 use paws_ml::tree::TreeConfig;
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,13 @@ pub struct ModelConfig {
     /// Cap on GP training points per bagged member (keeps the O(n³) solve
     /// tractable); ignored for other learners.
     pub gp_max_points: usize,
+    /// Which numeric plane serves park-wide predictions after training
+    /// (training itself is always f64). [`Precision::F32`] narrows the
+    /// tree arenas to 8-byte nodes for ~half the traversal bandwidth;
+    /// divergence from the f64 surfaces is ≤ 1e-5 max abs on the golden
+    /// parity scenarios and bounded by rare half-ulp leaf flips at park
+    /// scale (see `paws_ml::forest32`); a no-op for SVM/GP learners.
+    pub precision: Precision,
     /// Random seed.
     pub seed: u64,
 }
@@ -83,6 +91,7 @@ impl ModelConfig {
                 iterations: 80,
             },
             gp_max_points: 250,
+            precision: Precision::F64,
             seed,
         }
     }

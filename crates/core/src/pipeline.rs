@@ -16,6 +16,7 @@ use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
 use paws_ml::bagging::BaggingClassifier;
 use paws_ml::metrics::roc_auc;
+use paws_ml::precision::Precision;
 use paws_ml::traits::{Classifier, UncertainClassifier};
 use paws_plan::{squash_matrix, PlanningProblem};
 
@@ -61,14 +62,36 @@ pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) ->
         ))
     };
 
-    TrainedModel {
+    let mut model = TrainedModel {
         config: config.clone(),
         scaler,
         fitted,
-    }
+    };
+    // Training always runs in f64; the configured plane only selects which
+    // arena serves predictions from here on.
+    model.set_precision(config.precision);
+    model
 }
 
 impl TrainedModel {
+    /// Select the numeric plane serving this model's predictions (risk
+    /// maps, response surfaces). Dispatches to the fitted ensemble; see
+    /// [`paws_ml::precision::Precision`] for the contract.
+    pub fn set_precision(&mut self, precision: Precision) {
+        match &mut self.fitted {
+            FittedModel::IWare(m) => m.set_precision(precision),
+            FittedModel::Plain(m) => m.set_precision(precision),
+        }
+    }
+
+    /// The plane currently serving predictions.
+    pub fn precision(&self) -> Precision {
+        match &self.fitted {
+            FittedModel::IWare(m) => m.precision(),
+            FittedModel::Plain(m) => m.precision(),
+        }
+    }
+
     /// Predict detection probabilities for raw (unscaled) feature rows,
     /// given the patrol effort associated with each row.
     pub fn predict(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
@@ -127,6 +150,18 @@ impl TrainedModel {
         effort_grid: &[f64],
     ) -> (Matrix, Matrix) {
         let mut rows = dataset.full_feature_matrix(park, prev_coverage);
+        // The f32-plane iWare path fuses standardisation and narrowing into
+        // one pass (`StandardScaler::transform_f32` computes the z-score in
+        // f64 and narrows once — bit-identical to transforming in place and
+        // narrowing afterwards) and serves the fused arena natively.
+        if let FittedModel::IWare(m) = &self.fitted {
+            if m.precision() == Precision::F32 {
+                let rows32 = self.scaler.transform_f32(rows.view());
+                if let Some(response) = m.effort_response32(rows32.view(), effort_grid) {
+                    return response;
+                }
+            }
+        }
         self.scaler.transform_in_place(&mut rows);
         match &self.fitted {
             FittedModel::IWare(m) => m.effort_response(rows.view(), effort_grid),
@@ -276,6 +311,56 @@ mod tests {
         for row in p.rows() {
             assert!(row.iter().all(|&x| x == row[0]));
         }
+    }
+
+    #[test]
+    fn f32_plane_serves_park_surfaces_within_the_documented_bound() {
+        let (scenario, dataset, split) = small_setup();
+        let mut model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        assert_eq!(model.precision(), crate::Precision::F64);
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        let (p64, v64) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        let (r64, u64_) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+
+        model.set_precision(crate::Precision::F32);
+        assert_eq!(model.precision(), crate::Precision::F32);
+        let (p32, v32) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        let (r32, u32_) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+        // Park-scale bound: the golden scenarios pin ≤ 1e-5 everywhere
+        // (tests/matrix_parity.rs); on the full park feature stack a fitted
+        // tree can additionally split a noise-level gap (adjacent training
+        // values closer than an f32 ulp), and a cell landing inside that
+        // half-ulp window takes the other branch when its query value is
+        // narrowed — so here the 1e-5 bound must hold for (at least) 99.5 %
+        // of cells, and the rare flipped cell stays bounded by the leaf gap
+        // over the ensemble fan-in (≤ 0.5 is generous).
+        let check = |a: &[f64], b: &[f64], what: &str| {
+            let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect();
+            let over = diffs.iter().filter(|&&d| d > 1e-5).count();
+            let max = diffs.iter().copied().fold(0.0f64, f64::max);
+            assert!(
+                (over as f64) <= 0.005 * diffs.len() as f64,
+                "{what}: {over}/{} cells beyond 1e-5",
+                diffs.len()
+            );
+            assert!(max <= 0.5, "{what}: max abs divergence {max}");
+        };
+        check(p64.as_slice(), p32.as_slice(), "park_response probs");
+        check(v64.as_slice(), v32.as_slice(), "park_response vars");
+        check(&r64, &r32, "risk map");
+        check(&u64_, &u32_, "uncertainty map");
+        assert!(r32.iter().all(|&p| (0.0..=1.0).contains(&p)));
+
+        // And a config-selected plane applies straight out of train().
+        let mut cfg = quick_config(WeakLearnerKind::DecisionTree, true);
+        cfg.precision = crate::Precision::F32;
+        let configured = train(&dataset, &split, &cfg);
+        assert_eq!(configured.precision(), crate::Precision::F32);
     }
 
     #[test]

@@ -21,13 +21,18 @@
 //! index-gathered ([`matrix::Matrix::gather`]) rather than row-cloned.
 //! Contiguous hot loops across the workspace (scaler transforms, kernel
 //! rows, triangular solves, ensemble reductions) run on the stable-Rust
-//! `f64x4` micro-kernels in [`simd`].
+//! `f64x4` micro-kernels in [`simd`]. The opt-in f32 prediction plane
+//! narrows feature batches into [`matrix32::Matrix32`] and runs its
+//! reductions on the `f32x8` kernels in [`simd32`]; training always stays
+//! in f64.
 
 pub mod dataset;
 pub mod discretize;
 pub mod matrix;
+pub mod matrix32;
 pub mod scaler;
 pub mod simd;
+pub mod simd32;
 pub mod split;
 pub mod stats;
 pub mod threshold;
@@ -36,6 +41,7 @@ pub mod trajectory;
 pub use dataset::{build_dataset, DataPoint, Dataset};
 pub use discretize::{Discretization, SeasonFilter, StepInfo};
 pub use matrix::{Matrix, MatrixView};
+pub use matrix32::{Matrix32, MatrixView32};
 pub use scaler::StandardScaler;
 pub use split::{split_by_test_year, TrainTestSplit};
 pub use stats::DatasetStats;

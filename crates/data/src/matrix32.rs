@@ -1,0 +1,227 @@
+//! Contiguous row-major `f32` feature matrices: the single-precision
+//! counterpart of [`crate::matrix`], and the feature-batch type of the f32
+//! prediction plane.
+//!
+//! Training stays entirely in `f64` ([`crate::matrix::Matrix`]); a
+//! [`Matrix32`] only ever exists as a **narrowed copy** of an f64 batch
+//! ([`Matrix32::from_f64`], round-to-nearest per element) produced at
+//! prediction time. Halving the element width halves the feature-row
+//! bandwidth of park-wide tree traversal — the bound the ROADMAP's
+//! 16-byte-node analysis identified — and pairs with `paws_ml`'s 8-byte
+//! `Forest32` arena nodes.
+
+use crate::matrix::MatrixView;
+use crate::simd32;
+
+/// Owned, contiguous, row-major matrix of `f32` features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix32 {
+    data: Vec<f32>,
+    n_cols: usize,
+}
+
+impl Matrix32 {
+    /// Zero-filled `n_rows × n_cols` matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_cols > 0, "matrix needs at least one column");
+        Self {
+            data: vec![0.0; n_rows * n_cols],
+            n_cols,
+        }
+    }
+
+    /// Take ownership of a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when the buffer length is not a multiple of `n_cols`.
+    pub fn from_flat(data: Vec<f32>, n_cols: usize) -> Self {
+        assert!(n_cols > 0, "matrix needs at least one column");
+        assert!(
+            data.len().is_multiple_of(n_cols),
+            "flat buffer length {} is not a multiple of the column count {}",
+            data.len(),
+            n_cols
+        );
+        Self { data, n_cols }
+    }
+
+    /// Narrow an f64 batch into the prediction plane (round-to-nearest per
+    /// element; one pass, one allocation).
+    pub fn from_f64(x: MatrixView<'_>) -> Self {
+        let mut data = vec![0.0f32; x.as_slice().len()];
+        simd32::narrow(x.as_slice(), &mut data);
+        Self {
+            data,
+            n_cols: x.n_cols(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_cols
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// True when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Element at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.n_cols)
+    }
+
+    /// Borrowed view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatrixView32<'_> {
+        MatrixView32 {
+            data: &self.data,
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Borrowed row-major `f32` matrix view.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView32<'a> {
+    data: &'a [f32],
+    n_cols: usize,
+}
+
+impl<'a> MatrixView32<'a> {
+    /// View over a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when the buffer length is not a multiple of `n_cols`.
+    pub fn from_flat(data: &'a [f32], n_cols: usize) -> Self {
+        assert!(n_cols > 0, "matrix needs at least one column");
+        assert!(
+            data.len().is_multiple_of(n_cols),
+            "flat buffer length {} is not a multiple of the column count {}",
+            data.len(),
+            n_cols
+        );
+        Self { data, n_cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_cols
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &'a [f32]> {
+        self.data.chunks_exact(self.n_cols)
+    }
+
+    /// First `n` rows as a sub-view (no copy).
+    pub fn head(&self, n: usize) -> MatrixView32<'a> {
+        MatrixView32 {
+            data: &self.data[..n * self.n_cols],
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+}
+
+impl<'a> From<&'a Matrix32> for MatrixView32<'a> {
+    fn from(m: &'a Matrix32) -> Self {
+        m.view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn narrowing_rounds_each_element_to_nearest() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.1], vec![-2.5, 1e-9]]);
+        let m32 = Matrix32::from_f64(m.view());
+        assert_eq!(m32.n_rows(), 2);
+        assert_eq!(m32.n_cols(), 2);
+        for (r32, r64) in m32.rows().zip(m.rows()) {
+            for (v32, v64) in r32.iter().zip(r64) {
+                assert_eq!(*v32, *v64 as f32);
+            }
+        }
+        // 0.1 is inexact in both widths but the narrowing is the nearest f32.
+        assert_eq!(m32.get(0, 1), 0.1f32);
+    }
+
+    #[test]
+    fn shape_row_and_view_access() {
+        let mut m = Matrix32::zeros(3, 2);
+        m.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(1, 1), 4.0);
+        let v = m.view().head(2);
+        assert_eq!(v.n_rows(), 2);
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        assert_eq!(v.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the column count")]
+    fn from_flat_rejects_partial_rows() {
+        let _ = Matrix32::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+}

@@ -11,7 +11,8 @@
 //! [`crate::simd`] (bit-identical to the scalar loops they replace).
 
 use crate::matrix::{Matrix, MatrixView};
-use crate::simd;
+use crate::matrix32::Matrix32;
+use crate::{simd, simd32};
 use serde::{Deserialize, Serialize};
 
 /// Z-score standardiser fitted per feature column.
@@ -88,6 +89,24 @@ impl StandardScaler {
         scaler.transform_in_place(&mut x);
         (scaler, x)
     }
+
+    /// Transform a borrowed f64 batch straight into the f32 prediction
+    /// plane: the z-score is computed at full f64 precision with the fitted
+    /// statistics, then narrowed once (round-to-nearest). Equivalent to
+    /// `Matrix32::from_f64(&self.transform(x))` without the intermediate
+    /// f64 matrix.
+    pub fn transform_f32(&self, x: MatrixView<'_>) -> Matrix32 {
+        assert_eq!(x.n_cols(), self.means.len(), "matrix width mismatch");
+        let k = self.means.len();
+        let mut out = Matrix32::zeros(x.n_rows(), k);
+        let mut scratch = vec![0.0f64; k];
+        for (row, out_row) in x.rows().zip(out.as_mut_slice().chunks_exact_mut(k)) {
+            scratch.copy_from_slice(row);
+            simd::standardize(&mut scratch, &self.means, &self.stds);
+            simd32::narrow(&scratch, out_row);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +157,24 @@ mod tests {
             let mut row = r.clone();
             scaler.transform_row(&mut row);
             assert_eq!(in_place.row(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn f32_transform_is_the_narrowed_f64_transform() {
+        let rows = vec![vec![1.0, -4.0], vec![3.5, 2.0], vec![-2.0, 7.0]];
+        let m = Matrix::from_rows(&rows);
+        let scaler = StandardScaler::fit(m.view());
+        let wide = scaler.transform(m.view());
+        let narrow = scaler.transform_f32(m.view());
+        assert_eq!(narrow.n_rows(), 3);
+        assert_eq!(narrow.n_cols(), 2);
+        for (r32, r64) in narrow.rows().zip(wide.rows()) {
+            for (v32, v64) in r32.iter().zip(r64) {
+                // The f64 z-score, narrowed once — not a z-score computed
+                // in f32 (which would round the mean/std subtraction too).
+                assert_eq!(*v32, *v64 as f32);
+            }
         }
     }
 

@@ -1,0 +1,463 @@
+//! `f32x8` micro-kernels: the single-precision counterparts of [`crate::simd`].
+//!
+//! The f32 prediction plane (an [`crate::matrix32::Matrix32`] feature batch
+//! traversed by `paws_ml`'s 8-byte-node `Forest32` arena) halves the memory
+//! bandwidth of every park-wide prediction pass, which is what the 16-byte
+//! f64 node format was bound on. Its reductions and element-wise combines
+//! run on the kernels in this module, written in exactly the style of the
+//! `f64x4` layer: [`F32x8`] is a plain `[f32; 8]` wrapper whose lane-wise
+//! operations compile to packed SIMD under LLVM's auto-vectoriser, with an
+//! explicit scalar tail for lengths that are not lane multiples. One AVX
+//! register holds eight `f32` lanes, so the lane count doubles relative to
+//! `F64x4` at the same register width.
+//!
+//! # Numerical contract
+//!
+//! The same two-tier contract as [`crate::simd`], at f32 precision:
+//!
+//! * **Element-wise kernels** (`add_assign`, `accumulate_sq_diff`,
+//!   `div_assign`, `scale`, `axpy`, `standardize`) perform exactly the same
+//!   operations per element as their scalar f32 loops — results are
+//!   **bit-identical** to those loops.
+//! * **Reduction kernels** (`dot`, `sum`, `sum_squares`,
+//!   `squared_distance`) split the accumulation across eight lanes (lane
+//!   `k` accumulates elements `k, k+8, …`), combine pairwise, then fold the
+//!   scalar tail sequentially. No FMA contraction is used.
+//!
+//! Against the **f64 reference path** every f32 kernel carries the
+//! inherent single-precision rounding (~1.2e-7 relative per operation);
+//! the proptest suite (`tests/simd32_proptest.rs`) pins f32-vs-f64
+//! kernel agreement and the golden parity suite pins the end-to-end
+//! prediction-plane divergence (see `tests/matrix_parity.rs`).
+
+/// Number of lanes per vector.
+pub const LANES: usize = 8;
+
+/// Eight `f32` lanes, operated on element-wise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct F32x8(pub [f32; 8]);
+
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; 8])
+    }
+
+    /// Load eight consecutive values from the head of `s` (single unaligned
+    /// packed load; see `F64x4::load` on why the array conversion matters).
+    ///
+    /// # Panics
+    /// Panics when `s` holds fewer than eight elements.
+    #[inline(always)]
+    pub fn load(s: &[f32]) -> Self {
+        let lanes: &[f32; 8] = s[..8].try_into().expect("lane load needs 8 values");
+        Self(*lanes)
+    }
+
+    /// Store the lanes into the head of `out` (single packed store).
+    ///
+    /// # Panics
+    /// Panics when `out` holds fewer than eight elements.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f32]) {
+        let lanes: &mut [f32; 8] = (&mut out[..8])
+            .try_into()
+            .expect("lane store needs 8 slots");
+        *lanes = self.0;
+    }
+
+    /// Pairwise horizontal sum `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f32 {
+        let [a, b, c, d, e, f, g, h] = self.0;
+        ((a + b) + (c + d)) + ((e + f) + (g + h))
+    }
+}
+
+macro_rules! impl_lane_op {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for F32x8 {
+            type Output = F32x8;
+            #[inline(always)]
+            fn $method(self, o: F32x8) -> F32x8 {
+                F32x8([
+                    self.0[0] $op o.0[0],
+                    self.0[1] $op o.0[1],
+                    self.0[2] $op o.0[2],
+                    self.0[3] $op o.0[3],
+                    self.0[4] $op o.0[4],
+                    self.0[5] $op o.0[5],
+                    self.0[6] $op o.0[6],
+                    self.0[7] $op o.0[7],
+                ])
+            }
+        }
+    };
+}
+
+impl_lane_op!(Add, add, +);
+impl_lane_op!(Sub, sub, -);
+impl_lane_op!(Mul, mul, *);
+impl_lane_op!(Div, div, /);
+
+/// Dot product `Σ aᵢ·bᵢ` with eight-lane accumulation.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = F32x8::splat(0.0);
+    let (a8, a_tail) = a.split_at(a.len() - a.len() % LANES);
+    let (b8, b_tail) = b.split_at(a8.len());
+    for (ca, cb) in a8.chunks_exact(LANES).zip(b8.chunks_exact(LANES)) {
+        acc = acc + F32x8::load(ca) * F32x8::load(cb);
+    }
+    let mut out = acc.horizontal_sum();
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        out += x * y;
+    }
+    out
+}
+
+/// Sequential scalar dot product (parity reference).
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum `Σ aᵢ` with eight-lane accumulation.
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    let mut acc = F32x8::splat(0.0);
+    let (a8, tail) = a.split_at(a.len() - a.len() % LANES);
+    for c in a8.chunks_exact(LANES) {
+        acc = acc + F32x8::load(c);
+    }
+    let mut out = acc.horizontal_sum();
+    for x in tail {
+        out += x;
+    }
+    out
+}
+
+/// Sequential scalar sum (parity reference).
+#[inline]
+pub fn sum_scalar(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+/// Sum of squares `Σ aᵢ²` with eight-lane accumulation.
+#[inline]
+pub fn sum_squares(a: &[f32]) -> f32 {
+    let mut acc = F32x8::splat(0.0);
+    let (a8, tail) = a.split_at(a.len() - a.len() % LANES);
+    for c in a8.chunks_exact(LANES) {
+        let v = F32x8::load(c);
+        acc = acc + v * v;
+    }
+    let mut out = acc.horizontal_sum();
+    for x in tail {
+        out += x * x;
+    }
+    out
+}
+
+/// Squared Euclidean distance `Σ (aᵢ−bᵢ)²` with eight-lane accumulation.
+#[inline]
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = F32x8::splat(0.0);
+    let (a8, a_tail) = a.split_at(a.len() - a.len() % LANES);
+    let (b8, b_tail) = b.split_at(a8.len());
+    for (ca, cb) in a8.chunks_exact(LANES).zip(b8.chunks_exact(LANES)) {
+        let d = F32x8::load(ca) - F32x8::load(cb);
+        acc = acc + d * d;
+    }
+    let mut out = acc.horizontal_sum();
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        out += (x - y) * (x - y);
+    }
+    out
+}
+
+/// True when every element is finite. Same vectorised `Σ v·0` probe as the
+/// f64 kernel: the product is `+0` for finite `v` and NaN for `±∞`/NaN.
+#[inline]
+pub fn all_finite(xs: &[f32]) -> bool {
+    let mut acc = F32x8::splat(0.0);
+    let zero = F32x8::splat(0.0);
+    let (x8, tail) = xs.split_at(xs.len() - xs.len() % LANES);
+    for c in x8.chunks_exact(LANES) {
+        acc = acc + F32x8::load(c) * zero;
+    }
+    let mut probe = acc.horizontal_sum();
+    for v in tail {
+        probe += v * 0.0;
+    }
+    probe == 0.0
+}
+
+/// `y ← y + α·x`, element-wise (bit-identical to the scalar f32 loop;
+/// plain zip on purpose — see `simd::axpy` on why element-wise kernels are
+/// left to the auto-vectoriser).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Sequential scalar axpy (parity reference; indexed loop on purpose so the
+/// bit-identity property keeps meaning if [`axpy`] is ever hand-laned).
+#[inline]
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..y.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `y ← y · α`, element-wise.
+#[inline]
+pub fn scale(y: &mut [f32], alpha: f32) {
+    for yv in y.iter_mut() {
+        *yv *= alpha;
+    }
+}
+
+/// `y ← y / α`, element-wise division (keeps the exact scalar rounding,
+/// unlike multiplying by a pre-rounded `1/α`).
+#[inline]
+pub fn div_assign(y: &mut [f32], alpha: f32) {
+    for yv in y.iter_mut() {
+        *yv /= alpha;
+    }
+}
+
+/// `acc ← acc + x`, element-wise.
+#[inline]
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (av, xv) in acc.iter_mut().zip(x) {
+        *av += xv;
+    }
+}
+
+/// `acc ← acc + (x − m)²`, element-wise: the member-spread accumulation of
+/// the f32 prediction plane.
+#[inline]
+pub fn accumulate_sq_diff(acc: &mut [f32], x: &[f32], m: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    debug_assert_eq!(acc.len(), m.len());
+    for ((av, xv), mv) in acc.iter_mut().zip(x).zip(m) {
+        *av += (xv - mv) * (xv - mv);
+    }
+}
+
+/// `row ← (row − m) / s`, element-wise z-score transform.
+#[inline]
+pub fn standardize(row: &mut [f32], m: &[f32], s: &[f32]) {
+    debug_assert_eq!(row.len(), m.len());
+    debug_assert_eq!(row.len(), s.len());
+    for ((rv, mv), sv) in row.iter_mut().zip(m).zip(s) {
+        *rv = (*rv - mv) / sv;
+    }
+}
+
+/// Narrow an `f64` slice into `out` (round-to-nearest per element,
+/// **saturating** at ±`f32::MAX`). The boundary between the f64 training
+/// world and the f32 prediction plane.
+///
+/// Saturation is what keeps the plane's finiteness contract aligned with
+/// the f64 plane's: a finite f64 value beyond f32 range (a raw, unscaled
+/// feature like 1e40) must stay finite — rounding it to `±inf` would trip
+/// the traversal's `all_finite` guard on input the f64 plane accepts. A
+/// saturated value still compares correctly against every in-range split
+/// threshold, so predictions are unaffected.
+#[inline]
+pub fn narrow(src: &[f64], out: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(src) {
+        let x = v as f32;
+        *o = if x.is_infinite() && v.is_finite() {
+            f32::MAX.copysign(x)
+        } else {
+            x
+        };
+    }
+}
+
+/// Widen an `f32` slice into `out` (exact per element — every f32 is
+/// representable in f64). The boundary back out of the prediction plane.
+#[inline]
+pub fn widen(src: &[f32], out: &mut [f64]) {
+    debug_assert_eq!(src.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = f64::from(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn ramp(n: usize, phase: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 0.37 + phase).sin() * 2.5) - 0.3)
+            .collect()
+    }
+
+    #[test]
+    fn reduction_kernels_match_scalar_over_all_tails() {
+        // Lengths straddling every tail residue 0..15 and a long buffer.
+        for n in (0..24).chain([31, 64, 100, 257]) {
+            let a = ramp(n, 0.1);
+            let b = ramp(n, 1.7);
+            assert!(close(dot(&a, &b), dot_scalar(&a, &b)), "dot len {n}");
+            assert!(close(sum(&a), sum_scalar(&a)), "sum len {n}");
+            assert!(
+                close(sum_squares(&a), a.iter().map(|x| x * x).sum()),
+                "sum_squares len {n}"
+            );
+            let sq: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!(close(squared_distance(&a, &b), sq), "sqdist len {n}");
+        }
+    }
+
+    #[test]
+    fn sum_of_binary_labels_is_exact_in_any_order() {
+        // 0/1 sums stay exact integers under lane regrouping in f32 too
+        // (counts ≪ 2²⁴, the f32 integer-exactness limit).
+        for n in [0, 1, 5, 33, 250] {
+            let labels: Vec<f32> = (0..n).map(|i| f32::from(u8::from(i % 3 == 0))).collect();
+            assert_eq!(sum(&labels), sum_scalar(&labels));
+            assert_eq!(
+                sum(&labels),
+                labels.iter().filter(|&&l| l == 1.0).count() as f32
+            );
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bit_identical_to_scalar() {
+        for n in 0..21 {
+            let x = ramp(n, 0.4);
+            let m = ramp(n, 2.2);
+            let s: Vec<f32> = ramp(n, 3.0).iter().map(|v| v.abs() + 0.5).collect();
+
+            let mut y_simd = ramp(n, 5.0);
+            let mut y_ref = y_simd.clone();
+            axpy(0.77, &x, &mut y_simd);
+            axpy_scalar(0.77, &x, &mut y_ref);
+            assert_eq!(y_simd, y_ref, "axpy len {n}");
+
+            scale(&mut y_simd, 1.3);
+            for v in y_ref.iter_mut() {
+                *v *= 1.3;
+            }
+            assert_eq!(y_simd, y_ref, "scale len {n}");
+
+            div_assign(&mut y_simd, 3.0);
+            for v in y_ref.iter_mut() {
+                *v /= 3.0;
+            }
+            assert_eq!(y_simd, y_ref, "div_assign len {n}");
+
+            add_assign(&mut y_simd, &x);
+            for (v, xv) in y_ref.iter_mut().zip(&x) {
+                *v += xv;
+            }
+            assert_eq!(y_simd, y_ref, "add_assign len {n}");
+
+            accumulate_sq_diff(&mut y_simd, &x, &m);
+            for ((v, xv), mv) in y_ref.iter_mut().zip(&x).zip(&m) {
+                *v += (xv - mv) * (xv - mv);
+            }
+            assert_eq!(y_simd, y_ref, "accumulate_sq_diff len {n}");
+
+            let mut r_simd = ramp(n, 6.0);
+            let mut r_ref = r_simd.clone();
+            standardize(&mut r_simd, &m, &s);
+            for ((rv, mv), sv) in r_ref.iter_mut().zip(&m).zip(&s) {
+                *rv = (*rv - mv) / sv;
+            }
+            assert_eq!(r_simd, r_ref, "standardize len {n}");
+        }
+    }
+
+    #[test]
+    fn all_finite_detects_every_non_finite_lane_and_tail_position() {
+        for n in 1..19 {
+            let base = ramp(n, 0.9);
+            assert!(all_finite(&base), "finite len {n}");
+            for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+                for pos in 0..n {
+                    let mut xs = base.clone();
+                    xs[pos] = bad;
+                    assert!(!all_finite(&xs), "len {n} pos {pos} {bad}");
+                }
+            }
+        }
+        assert!(all_finite(&[]));
+    }
+
+    #[test]
+    fn narrow_then_widen_round_trips_within_half_ulp() {
+        let src: Vec<f64> = (0..37).map(|i| (i as f64 * 0.731).sin() * 4.0).collect();
+        let mut narrow_buf = vec![0.0f32; src.len()];
+        narrow(&src, &mut narrow_buf);
+        let mut wide_buf = vec![0.0f64; src.len()];
+        widen(&narrow_buf, &mut wide_buf);
+        for ((w, n), s) in wide_buf.iter().zip(&narrow_buf).zip(&src) {
+            // One round-to-nearest narrowing: |w − s| ≤ ulp₃₂(s).
+            assert!((w - s).abs() <= s.abs().max(1.0) * f64::from(f32::EPSILON));
+            // Widening is exact: the f32 value survives bit-for-bit.
+            assert_eq!(*w as f32, *n);
+        }
+    }
+
+    #[test]
+    fn narrow_saturates_out_of_range_finite_values() {
+        let src = [
+            1e40,
+            -1e40,
+            f64::MAX,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        let mut out = vec![0.0f32; src.len()];
+        narrow(&src, &mut out);
+        // Finite-but-huge values clamp to the representable edge…
+        assert_eq!(out[0], f32::MAX);
+        assert_eq!(out[1], f32::MIN);
+        assert_eq!(out[2], f32::MAX);
+        assert_eq!(out[3], 1.5);
+        // …while genuinely non-finite inputs stay non-finite, so the
+        // traversal guard still rejects exactly what the f64 plane rejects.
+        assert_eq!(out[4], f32::INFINITY);
+        assert_eq!(out[5], f32::NEG_INFINITY);
+        assert!(out[6].is_nan());
+    }
+
+    #[test]
+    fn lane_ops_behave() {
+        let a = F32x8::load(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(2.0);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        assert_eq!((a / b).0, [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]);
+        assert_eq!(a.horizontal_sum(), 36.0);
+        let mut out = [0.0; 8];
+        a.store(&mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+}

@@ -31,7 +31,7 @@ pub fn percentile(values: &[f64], pct: f64) -> f64 {
         "percentile must be in [0, 100]"
     );
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let rank = pct / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -1,0 +1,167 @@
+//! Property tests for the `f32x8` kernel layer, mirroring
+//! `simd_proptest.rs` and adding the cross-plane check the f32 prediction
+//! plane rests on: every f32 kernel agrees with the **f64 reference
+//! kernel** evaluated on the same (widened) inputs within the documented
+//! single-precision envelope.
+//!
+//! * f32 reduction kernels vs their sequential f32 scalar references —
+//!   lane-regrouping parity, every tail residue `0..16` exercised.
+//! * f32 element-wise `axpy` vs its scalar loop — **bit-identical**.
+//! * f32 kernels vs f64 kernels on widened inputs — relative error within
+//!   `n · ε₃₂`-scaled bounds (the narrowing contract of the plane).
+
+use paws_data::{simd, simd32};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random f32 vector derived from the sampled phase.
+fn wave32(n: usize, freq: f32, phase: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as f32 * freq + phase).sin() * 3.0) - 0.7)
+        .collect()
+}
+
+fn widen(xs: &[f32]) -> Vec<f64> {
+    xs.iter().map(|&v| f64::from(v)).collect()
+}
+
+fn close32(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// f32 result vs f64 reference: an f32 kernel over `n` elements carries at
+/// most ~n rounding steps of 2⁻²⁴ each on the accumulator.
+fn close_cross(a32: f32, a64: f64, n: usize) -> bool {
+    let scale = a64.abs().max(1.0);
+    (f64::from(a32) - a64).abs() <= (n as f64 + 8.0) * f64::from(f32::EPSILON) * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduction_kernels_match_scalar_over_all_tail_residues(
+        base in 0.0..96.0f64,
+        phase in 0.0..6.2f64,
+    ) {
+        // Cover every tail residue 0..16 around the sampled base length.
+        for tail in 0..16usize {
+            let n = base as usize + tail;
+            let a = wave32(n, 0.731, phase as f32);
+            let b = wave32(n, 1.137, phase as f32 + 1.3);
+
+            prop_assert!(
+                close32(simd32::dot(&a, &b), simd32::dot_scalar(&a, &b)),
+                "dot len {n}"
+            );
+            prop_assert!(
+                close32(simd32::sum(&a), simd32::sum_scalar(&a)),
+                "sum len {n}"
+            );
+            let sq_ref: f32 = a.iter().map(|x| x * x).sum();
+            prop_assert!(close32(simd32::sum_squares(&a), sq_ref), "sum_squares len {n}");
+            let dist_ref: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            prop_assert!(
+                close32(simd32::squared_distance(&a, &b), dist_ref),
+                "squared_distance len {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_kernels_track_the_f64_kernels_on_widened_inputs(
+        base in 0.0..96.0f64,
+        phase in 0.0..6.2f64,
+    ) {
+        // The cross-plane contract: each f32 kernel is the f64 kernel plus
+        // bounded single-precision rounding — the property that lets the
+        // prediction plane document a divergence bound at all.
+        for tail in [0usize, 3, 7, 11, 15] {
+            let n = base as usize + tail;
+            let a = wave32(n, 0.919, phase as f32);
+            let b = wave32(n, 1.373, phase as f32 + 0.4);
+            let (wa, wb) = (widen(&a), widen(&b));
+
+            prop_assert!(
+                close_cross(simd32::dot(&a, &b), simd::dot(&wa, &wb), n),
+                "dot len {n}"
+            );
+            prop_assert!(
+                close_cross(simd32::sum(&a), simd::sum(&wa), n),
+                "sum len {n}"
+            );
+            prop_assert!(
+                close_cross(simd32::sum_squares(&a), simd::sum_squares(&wa), n),
+                "sum_squares len {n}"
+            );
+            prop_assert!(
+                close_cross(
+                    simd32::squared_distance(&a, &b),
+                    simd::squared_distance(&wa, &wb),
+                    n
+                ),
+                "squared_distance len {n}"
+            );
+
+            // Element-wise: axpy in f32 vs f64, element by element.
+            let mut y32 = wave32(n, 0.611, phase as f32 + 2.0);
+            let mut y64 = widen(&y32);
+            simd32::axpy(0.77, &a, &mut y32);
+            simd::axpy(f64::from(0.77f32), &wa, &mut y64);
+            for (v32, v64) in y32.iter().zip(&y64) {
+                prop_assert!(
+                    (f64::from(*v32) - v64).abs()
+                        <= 4.0 * f64::from(f32::EPSILON) * v64.abs().max(1.0),
+                    "axpy element diverged: {v32} vs {v64}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_scalar_over_all_tail_residues(
+        base in 0.0..96.0f64,
+        phase in 0.0..6.2f64,
+        alpha in -2.5..2.5f64,
+    ) {
+        for tail in 0..16usize {
+            let n = base as usize + tail;
+            let x = wave32(n, 0.919, phase as f32);
+            let mut y_simd = wave32(n, 1.373, phase as f32 + 0.4);
+            let mut y_ref = y_simd.clone();
+            simd32::axpy(alpha as f32, &x, &mut y_simd);
+            simd32::axpy_scalar(alpha as f32, &x, &mut y_ref);
+            prop_assert!(y_simd == y_ref, "axpy len {n} diverged");
+        }
+    }
+
+    #[test]
+    fn binary_label_sums_are_exact_for_any_length(base in 0.0..512.0f64, phase in 0.0..6.2f64) {
+        // 0/1 sums stay exact integers under f32 lane regrouping (counts
+        // ≪ 2²⁴, the f32 integer-exactness limit).
+        let n = base as usize;
+        let labels: Vec<f32> = (0..n)
+            .map(|i| f32::from(u8::from(((i as f32 * 0.37 + phase as f32).sin()) > 0.2)))
+            .collect();
+        let expected = labels.iter().filter(|&&l| l == 1.0).count() as f32;
+        prop_assert!(simd32::sum(&labels) == expected);
+        prop_assert!(simd32::sum(&labels) == simd32::sum_scalar(&labels));
+    }
+
+    #[test]
+    fn narrow_widen_round_trip_preserves_f32_values(
+        base in 0.0..64.0f64,
+        phase in 0.0..6.2f64,
+    ) {
+        let n = base as usize + 5;
+        let src: Vec<f64> = (0..n).map(|i| ((i as f64 * 0.547 + phase).sin()) * 40.0).collect();
+        let mut narrowed = vec![0.0f32; n];
+        simd32::narrow(&src, &mut narrowed);
+        let mut widened = vec![0.0f64; n];
+        simd32::widen(&narrowed, &mut widened);
+        for ((s, nv), w) in src.iter().zip(&narrowed).zip(&widened) {
+            prop_assert!((*s as f32) == *nv, "narrow is round-to-nearest");
+            prop_assert!(f64::from(*nv) == *w, "widen is exact");
+            prop_assert!((w - s).abs() <= s.abs().max(1.0) * f64::from(f32::EPSILON));
+        }
+    }
+}

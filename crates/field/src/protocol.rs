@@ -154,13 +154,22 @@ pub fn design_field_test<R: Rng>(
             // Require the block to lie (almost) entirely inside the park.
             if cells.len() as u32 >= bs * bs {
                 let n = cells.len() as f64;
-                let centre_cell = park.grid.cell(row + bs / 2, col + bs / 2);
-                candidates.push(Candidate {
-                    centre: centre_cell,
-                    cells,
-                    mean_risk: risk_sum / n,
-                    mean_effort: effort_sum / n,
-                });
+                let mean_risk = risk_sum / n;
+                let mean_effort = effort_sum / n;
+                // Reject blocks touching a non-finite risk or effort cell up
+                // front: a single NaN prediction used to panic the
+                // percentile sort below, and under a NaN-tolerant sort it
+                // would land in an arbitrary risk band. Such a block cannot
+                // be ranked, so it cannot be a candidate.
+                if mean_risk.is_finite() && mean_effort.is_finite() {
+                    let centre_cell = park.grid.cell(row + bs / 2, col + bs / 2);
+                    candidates.push(Candidate {
+                        centre: centre_cell,
+                        cells,
+                        mean_risk,
+                        mean_effort,
+                    });
+                }
             }
             col += bs;
         }
@@ -185,8 +194,10 @@ pub fn design_field_test<R: Rng>(
         "not enough rarely-patrolled blocks for the field-test design"
     );
 
-    // Rank by risk and pick from the configured percentile bands.
-    valid.sort_by(|a, b| a.mean_risk.partial_cmp(&b.mean_risk).unwrap());
+    // Rank by risk and pick from the configured percentile bands. The
+    // candidates are all-finite by construction, so total_cmp agrees with
+    // the naive float order; it just cannot panic.
+    valid.sort_by(|a, b| a.mean_risk.total_cmp(&b.mean_risk));
     let n = valid.len();
     let band_indices = |range: (f64, f64)| -> Vec<usize> {
         let lo = ((range.0 / 100.0) * n as f64).floor() as usize;
@@ -221,7 +232,7 @@ pub fn design_field_test<R: Rng>(
 fn percentile(values: &[f64], pct: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty sample");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -335,6 +346,33 @@ mod tests {
                 assert!(seen.insert(*c), "cell {c:?} appears in two blocks");
             }
         }
+    }
+
+    #[test]
+    fn nan_risk_cells_are_rejected_not_ranked() {
+        // Regression: one NaN risk prediction used to panic the
+        // `partial_cmp().unwrap()` ranking sort; now the affected block is
+        // dropped at candidate collection and the design still succeeds.
+        let (park, mut risk, effort) = setup();
+        let mid = risk.len() / 2;
+        let poisoned = park.cells[mid];
+        risk[mid] = f64::NAN;
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let plan = design_field_test(&park, &risk, &effort, &config(), &mut rng);
+        assert_eq!(plan.blocks.len(), 9);
+        for b in &plan.blocks {
+            assert!(b.mean_risk.is_finite(), "selected block risk is finite");
+            assert!(
+                !b.cells.contains(&poisoned),
+                "the NaN-risk cell's block must not be selected"
+            );
+        }
+        // An infinite effort cell is equally unrankable.
+        let (park, risk, mut effort) = setup();
+        effort[3] = f64::INFINITY;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let plan = design_field_test(&park, &risk, &effort, &config(), &mut rng);
+        assert_eq!(plan.blocks.len(), 9);
     }
 
     #[test]

@@ -124,8 +124,7 @@ pub fn run_trial(
                 .min_by(|a, b| {
                     park.grid
                         .distance_km(**a, block.centre)
-                        .partial_cmp(&park.grid.distance_km(**b, block.centre))
-                        .unwrap()
+                        .total_cmp(&park.grid.distance_km(**b, block.centre))
                 })
                 .expect("park has patrol posts");
             for _ in 0..config.patrols_per_block_month {

@@ -21,11 +21,14 @@ impl Eq for Frontier {}
 
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap becomes a min-heap on distance.
+        // Reverse so the BinaryHeap becomes a min-heap on distance. Ordered
+        // with `total_cmp`: the old `partial_cmp().unwrap_or(Equal)` made a
+        // NaN key compare Equal to *every* distance, letting it float
+        // through the heap and corrupt the pop order; under total order a
+        // NaN key has a consistent, worst (popped-last) rank.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.cell.0.cmp(&self.cell.0))
     }
 }
@@ -55,7 +58,15 @@ pub fn distance_to_nearest(grid: &Grid, sources: &[CellId]) -> Vec<f64> {
             continue;
         }
         for (n, step) in grid.neighbours8(cell) {
+            // Step costs are 1/√2 km by construction; a non-finite cost
+            // (a future weighted-grid bug) must not enter the frontier,
+            // where it would outrank real paths and poison every distance
+            // downstream of it.
+            debug_assert!(step.is_finite(), "non-finite neighbour step cost");
             let nd = d + step;
+            if !nd.is_finite() {
+                continue;
+            }
             if nd < dist[n.index()] {
                 dist[n.index()] = nd;
                 heap.push(Frontier { dist: nd, cell: n });
@@ -157,6 +168,38 @@ mod tests {
         // A cell on the source line has strictly higher density than one far
         // away from it.
         assert!(dens[g.cell(7, 7).index()] > dens[g.cell(0, 0).index()]);
+    }
+
+    #[test]
+    fn frontier_heap_ranks_nan_last_not_equal() {
+        // Regression: the frontier ordering used
+        // `partial_cmp(..).unwrap_or(Equal)` — the exact heap bug fixed in
+        // paws-plan's Dijkstra — so a NaN key compared Equal to everything
+        // and could pop ahead of genuinely nearer cells. Under total_cmp a
+        // NaN key has a consistent, worst possible rank.
+        let g = Grid::new(2, 2);
+        let mut heap = BinaryHeap::new();
+        for (d, c) in [(2.0, 0), (f64::NAN, 1), (0.5, 2), (1.0, 3)] {
+            heap.push(Frontier {
+                dist: d,
+                cell: g.cells().nth(c).unwrap(),
+            });
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|f| f.dist)).collect();
+        assert_eq!(&order[..3], &[0.5, 1.0, 2.0], "finite keys pop ascending");
+        assert!(order[3].is_nan(), "NaN pops last");
+        // The ordering is total: NaN vs finite is consistently Less under
+        // the reversed (min-heap) comparison, never Equal.
+        let nan = Frontier {
+            dist: f64::NAN,
+            cell: g.cell(0, 0),
+        };
+        let one = Frontier {
+            dist: 1.0,
+            cell: g.cell(0, 1),
+        };
+        assert_eq!(nan.cmp(&one), Ordering::Less);
+        assert_eq!(one.cmp(&nan), Ordering::Greater);
     }
 
     #[test]

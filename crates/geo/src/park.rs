@@ -399,7 +399,7 @@ impl<'a> ParkBuilder<'a> {
                 (radial + w, cell)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut mask = vec![false; self.grid.len()];
         for (_, cell) in scored.iter().take(self.spec.target_cells) {
             mask[cell.index()] = true;
@@ -451,7 +451,7 @@ impl<'a> ParkBuilder<'a> {
                 let next = neigh
                     .iter()
                     .map(|(n, _)| (elevation[n.index()] + self.rng.gen_range(-0.03..0.03), *n))
-                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
                     .map(|(_, n)| n);
                 match next {
                     Some(n) if !rivers.contains(&n) => {
@@ -472,11 +472,7 @@ impl<'a> ParkBuilder<'a> {
 
     fn place_water_holes(&mut self, cells: &[CellId], elevation: &[f64]) -> Vec<CellId> {
         let mut sorted: Vec<CellId> = cells.to_vec();
-        sorted.sort_by(|a, b| {
-            elevation[a.index()]
-                .partial_cmp(&elevation[b.index()])
-                .unwrap()
-        });
+        sorted.sort_by(|a, b| elevation[a.index()].total_cmp(&elevation[b.index()]));
         let low = &sorted[..(sorted.len() / 3).max(1)];
         let mut out = Vec::new();
         for _ in 0..self.spec.n_water_holes {
@@ -502,7 +498,7 @@ impl<'a> ParkBuilder<'a> {
                 .max_by(|x, y| {
                     let da = self.grid.distance_km(a, **x) + self.rng.gen_range(0.0..6.0);
                     let db = self.grid.distance_km(a, **y) + self.rng.gen_range(0.0..6.0);
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 })
                 .expect("non-empty boundary");
             roads.extend(self.line_cells(a, b));
@@ -591,11 +587,7 @@ impl<'a> ParkBuilder<'a> {
             candidates = cells.to_vec();
         }
         // Score candidates by proximity to roads so posts sit on access routes.
-        candidates.sort_by(|a, b| {
-            dist_road[a.index()]
-                .partial_cmp(&dist_road[b.index()])
-                .unwrap()
-        });
+        candidates.sort_by(|a, b| dist_road[a.index()].total_cmp(&dist_road[b.index()]));
         let pool = &candidates[..candidates.len().min(candidates.len() / 2 + 1).max(1)];
 
         let mut posts: Vec<CellId> = Vec::with_capacity(self.spec.n_patrol_posts);
@@ -615,7 +607,7 @@ impl<'a> ParkBuilder<'a> {
                         .iter()
                         .map(|p| self.grid.distance_km(*b, *p))
                         .fold(f64::INFINITY, f64::min);
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 })
                 .expect("non-empty candidate pool");
             if posts.contains(&next) {

@@ -34,10 +34,13 @@
 use crate::thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 use crate::weights::{optimize_weights, WeightMode};
 use paws_data::matrix::{Matrix, MatrixView};
-use paws_data::simd;
+use paws_data::matrix32::{Matrix32, MatrixView32};
+use paws_data::{simd, simd32};
 use paws_ml::bagging::{BaggingClassifier, BaggingConfig};
 use paws_ml::cv::stratified_kfold;
 use paws_ml::forest::Forest;
+use paws_ml::forest32::Forest32;
+use paws_ml::precision::Precision;
 use paws_ml::traits::{Classifier, UncertainClassifier};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -120,6 +123,76 @@ impl LearnerStack {
     }
 }
 
+/// The f32 image of [`LearnerStack`]: the fused arena narrowed to 8-byte
+/// nodes, plus the classifier weights narrowed once — everything the fused
+/// f32 traverse→reduce→combine pipeline touches per block.
+struct LearnerStack32 {
+    forest: Forest32,
+    ranges: Vec<std::ops::Range<usize>>,
+    weights: Vec<f32>,
+}
+
+impl LearnerStack32 {
+    /// Fused traverse-and-reduce for one row block on the f32 plane —
+    /// [`LearnerStack::block_prob_var`] with `f32x8` kernels in the same
+    /// member order.
+    fn block_prob_var(
+        &self,
+        x: MatrixView32<'_>,
+        start: usize,
+        len: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let per_tree = self.block_per_tree(x, start, len);
+        let nl = self.ranges.len();
+        let mut probs = vec![0.0f32; nl * len];
+        let mut vars = vec![0.0f32; nl * len];
+        for (li, range) in self.ranges.iter().enumerate() {
+            reduce_members32(
+                &per_tree,
+                len,
+                range.clone(),
+                &mut probs[li * len..(li + 1) * len],
+                None,
+            );
+        }
+        for (li, range) in self.ranges.iter().enumerate() {
+            reduce_members32(
+                &per_tree,
+                len,
+                range.clone(),
+                &mut vars[li * len..(li + 1) * len],
+                Some(&probs[li * len..(li + 1) * len]),
+            );
+        }
+        (probs, vars)
+    }
+
+    /// Fused traverse-and-reduce for one row block, member means only (the
+    /// probability-only prediction path skips the spread pass).
+    fn block_probs(&self, x: MatrixView32<'_>, start: usize, len: usize) -> Vec<f32> {
+        let per_tree = self.block_per_tree(x, start, len);
+        let nl = self.ranges.len();
+        let mut probs = vec![0.0f32; nl * len];
+        for (li, range) in self.ranges.iter().enumerate() {
+            reduce_members32(
+                &per_tree,
+                len,
+                range.clone(),
+                &mut probs[li * len..(li + 1) * len],
+                None,
+            );
+        }
+        probs
+    }
+
+    fn block_per_tree(&self, x: MatrixView32<'_>, start: usize, len: usize) -> Vec<f32> {
+        let mut per_tree = vec![0.0f32; self.forest.n_trees() * len];
+        self.forest
+            .predict_proba_block(x, start, len, &mut per_tree);
+        per_tree
+    }
+}
+
 /// A fitted iWare-E ensemble.
 pub struct IWareModel {
     thresholds: Vec<f64>,
@@ -127,6 +200,13 @@ pub struct IWareModel {
     weights: Vec<f64>,
     /// Present when every learner is a tree ensemble (the DTB variants).
     stack: Option<LearnerStack>,
+    /// Which plane serves the park-wide prediction paths; fitting and the
+    /// f64 stack are untouched by the switch.
+    precision: Precision,
+    /// Narrowed stack, present only while `precision` is
+    /// [`Precision::F32`] and the learners are tree ensembles (a derived
+    /// cache of `stack`, rebuilt on demand, never serialized).
+    stack32: Option<LearnerStack32>,
     config: IWareConfig,
 }
 
@@ -170,8 +250,51 @@ impl IWareModel {
             learners,
             weights,
             stack,
+            precision: Precision::F64,
+            stack32: None,
             config: config.clone(),
         }
+    }
+
+    /// Select the plane that serves the park-wide prediction paths
+    /// ([`IWareModel::effort_response`] and the constant-effort
+    /// `predict_*_at_effort` entry points, i.e. response surfaces and risk
+    /// maps). Switching to [`Precision::F32`] narrows the fused learner
+    /// stack once — an 8-byte-node [`Forest32`] plus f32 weights — and the
+    /// fused traverse→reduce→combine pipeline then runs end-to-end in f32,
+    /// widening only the emitted surface. Per-row *varying*-effort
+    /// prediction and non-tree learner stacks keep the f64 path regardless
+    /// (they are not park-wide hot paths). Training is never affected.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        match precision {
+            Precision::F32 => {
+                if self.stack32.is_none() {
+                    if let Some(stack) = &self.stack {
+                        self.stack32 = Some(LearnerStack32 {
+                            forest: Forest32::from_forest(&stack.forest),
+                            ranges: stack.ranges.clone(),
+                            weights: self.weights.iter().map(|&w| w as f32).collect(),
+                        });
+                    }
+                }
+            }
+            Precision::F64 => self.stack32 = None,
+        }
+    }
+
+    /// The plane currently serving park-wide predictions.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Size of the narrowed f32 arena as `(n_trees, n_nodes)`; `None`
+    /// unless the model is switched to [`Precision::F32`] with a tree
+    /// learner stack.
+    pub fn arena32_stats(&self) -> Option<(usize, usize)> {
+        self.stack32
+            .as_ref()
+            .map(|s| (s.forest.n_trees(), s.forest.n_nodes()))
     }
 
     /// The fitted thresholds θᵢ, ascending.
@@ -279,6 +402,34 @@ impl IWareModel {
         if x.n_rows() == 0 {
             return Vec::new();
         }
+        // Constant-effort batches on the f32 plane (the risk-map shape):
+        // narrow the batch once, then run the fused per-block pipeline in
+        // f32 end-to-end, widening only the combined output.
+        if let Some(stack32) = &self.stack32 {
+            if efforts.windows(2).all(|w| w[0] == w[1]) {
+                let q = qualified_learners(&self.thresholds, efforts[0]);
+                let n_rows = x.n_rows();
+                let x32 = Matrix32::from_f64(x);
+                let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+                let parts: Vec<Vec<f64>> = starts
+                    .into_par_iter()
+                    .map(|start| {
+                        let len = ROW_CHUNK.min(n_rows - start);
+                        let probs = stack32.block_probs(x32.view(), start, len);
+                        let p32 = combine_rows32(
+                            LearnerTable::new(&probs, len, 0),
+                            &stack32.weights,
+                            &q,
+                            len,
+                        );
+                        let mut out = vec![0.0f64; len];
+                        simd32::widen(&p32, &mut out);
+                        out
+                    })
+                    .collect();
+                return parts.concat();
+            }
+        }
         let per_learner = self.learner_probabilities(x);
         // A constant effort (the risk-map path) means one qualified set for
         // every row: combine learner-major with contiguous axpy rows.
@@ -316,6 +467,42 @@ impl IWareModel {
         // learners combine their full tables learner-major.
         if efforts.windows(2).all(|w| w[0] == w[1]) {
             let q = qualified_learners(&self.thresholds, efforts[0]);
+            if let Some(stack32) = &self.stack32 {
+                // The f32 plane's fused pipeline; widen per block.
+                let x32 = Matrix32::from_f64(x);
+                let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+                let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
+                    .into_par_iter()
+                    .map(|start| {
+                        let len = ROW_CHUNK.min(n_rows - start);
+                        let (probs, vars) = stack32.block_prob_var(x32.view(), start, len);
+                        let p32 = combine_rows32(
+                            LearnerTable::new(&probs, len, 0),
+                            &stack32.weights,
+                            &q,
+                            len,
+                        );
+                        let v32 = combine_rows32(
+                            LearnerTable::new(&vars, len, 0),
+                            &stack32.weights,
+                            &q,
+                            len,
+                        );
+                        let mut p = vec![0.0f64; len];
+                        let mut v = vec![0.0f64; len];
+                        simd32::widen(&p32, &mut p);
+                        simd32::widen(&v32, &mut v);
+                        (p, v)
+                    })
+                    .collect();
+                let mut p_all = Vec::with_capacity(n_rows);
+                let mut v_all = Vec::with_capacity(n_rows);
+                for (p, v) in parts {
+                    p_all.extend_from_slice(&p);
+                    v_all.extend_from_slice(&v);
+                }
+                return (p_all, v_all);
+            }
             if let Some(stack) = &self.stack {
                 let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
                 let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
@@ -383,29 +570,17 @@ impl IWareModel {
             let empty = || Matrix::from_flat(Vec::new(), effort_grid.len());
             return (empty(), empty());
         }
-        let qualified_per_level: Vec<Vec<usize>> = effort_grid
-            .iter()
-            .map(|&e| qualified_learners(&self.thresholds, e))
-            .collect();
+        // The f32 plane narrows the feature batch once and serves the
+        // whole surface from the narrowed stack.
+        if self.stack32.is_some() {
+            let x32 = Matrix32::from_f64(x);
+            return self
+                .effort_response32(x32.view(), effort_grid)
+                .expect("stack32 is present");
+        }
+        let (qualified_per_level, prefix_lens) = self.level_plan(effort_grid);
         let n_rows = x.n_rows();
         let n_levels = effort_grid.len();
-
-        // Thresholds are ascending, so each level's qualified set is a
-        // prefix of the learner list; when the requested grid is ascending
-        // too, one incremental pass over the learners serves every level
-        // (same accumulation order as `combine`, hence bit-identical).
-        let prefix_lens: Option<Vec<usize>> = {
-            let lens: Vec<usize> = qualified_per_level.iter().map(|q| q.len()).collect();
-            let is_prefix = qualified_per_level
-                .iter()
-                .all(|q| q.iter().copied().eq(0..q.len()));
-            let ascending = lens.windows(2).all(|w| w[0] <= w[1]);
-            if is_prefix && ascending {
-                Some(lens)
-            } else {
-                None
-            }
-        };
 
         // Non-tree stacks keep the per-learner batch kernels: compute the
         // full learner tables once, combine per block below.
@@ -453,16 +628,82 @@ impl IWareModel {
             })
             .collect();
 
-        let mut p_all = Vec::with_capacity(n_rows * n_levels);
-        let mut v_all = Vec::with_capacity(n_rows * n_levels);
-        for (p, v) in parts {
-            p_all.extend_from_slice(&p);
-            v_all.extend_from_slice(&v);
+        assemble_response(parts, n_rows, n_levels)
+    }
+
+    /// [`IWareModel::effort_response`] served natively from the f32 plane:
+    /// the caller supplies an already-narrowed feature batch (e.g.
+    /// `StandardScaler::transform_f32`, which fuses the z-score and the
+    /// narrowing into one pass), and the fused traverse→reduce→combine
+    /// pipeline runs per block on `f32x8` kernels, widening only the
+    /// emitted surface. Returns `None` unless the model is switched to
+    /// [`Precision::F32`] with a tree learner stack — callers fall back to
+    /// the f64 [`IWareModel::effort_response`] then.
+    pub fn effort_response32(
+        &self,
+        x32: MatrixView32<'_>,
+        effort_grid: &[f64],
+    ) -> Option<(Matrix, Matrix)> {
+        let stack32 = self.stack32.as_ref()?;
+        assert!(!effort_grid.is_empty(), "empty effort grid");
+        if x32.n_rows() == 0 {
+            let empty = || Matrix::from_flat(Vec::new(), effort_grid.len());
+            return Some((empty(), empty()));
         }
-        (
-            Matrix::from_flat(p_all, n_levels),
-            Matrix::from_flat(v_all, n_levels),
-        )
+        let (qualified_per_level, prefix_lens) = self.level_plan(effort_grid);
+        let n_rows = x32.n_rows();
+        let n_levels = effort_grid.len();
+
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+        let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
+            .into_par_iter()
+            .map(|start| {
+                let len = ROW_CHUNK.min(n_rows - start);
+                let mut p_flat = vec![0.0; len * n_levels];
+                let mut v_flat = vec![0.0; len * n_levels];
+                let (probs, vars) = stack32.block_prob_var(x32, start, len);
+                combine_levels_block32(
+                    &stack32.weights,
+                    prefix_lens.as_deref(),
+                    &qualified_per_level,
+                    LearnerTable::new(&probs, len, 0),
+                    LearnerTable::new(&vars, len, 0),
+                    len,
+                    &mut p_flat,
+                    &mut v_flat,
+                );
+                (p_flat, v_flat)
+            })
+            .collect();
+
+        Some(assemble_response(parts, n_rows, n_levels))
+    }
+
+    /// Qualified learner sets per effort level, plus the ascending-prefix
+    /// fast-path lengths when they apply (shared by both planes).
+    ///
+    /// Thresholds are ascending, so each level's qualified set is a prefix
+    /// of the learner list; when the requested grid is ascending too, one
+    /// incremental pass over the learners serves every level (same
+    /// accumulation order as `combine`, hence bit-identical).
+    fn level_plan(&self, effort_grid: &[f64]) -> (Vec<Vec<usize>>, Option<Vec<usize>>) {
+        let qualified_per_level: Vec<Vec<usize>> = effort_grid
+            .iter()
+            .map(|&e| qualified_learners(&self.thresholds, e))
+            .collect();
+        let prefix_lens: Option<Vec<usize>> = {
+            let lens: Vec<usize> = qualified_per_level.iter().map(|q| q.len()).collect();
+            let is_prefix = qualified_per_level
+                .iter()
+                .all(|q| q.iter().copied().eq(0..q.len()));
+            let ascending = lens.windows(2).all(|w| w[0] <= w[1]);
+            if is_prefix && ascending {
+                Some(lens)
+            } else {
+                None
+            }
+        };
+        (qualified_per_level, prefix_lens)
     }
 
     /// Combine one block of per-learner tables over every effort level,
@@ -476,8 +717,8 @@ impl IWareModel {
         &self,
         prefix_lens: Option<&[usize]>,
         qualified_per_level: &[Vec<usize>],
-        p_table: LearnerTable<'_>,
-        v_table: LearnerTable<'_>,
+        p_table: LearnerTable<'_, f64>,
+        v_table: LearnerTable<'_, f64>,
         len: usize,
         p_flat: &mut [f64],
         v_flat: &mut [f64],
@@ -550,16 +791,17 @@ impl IWareModel {
 /// A borrowed `n_learners × width` prediction table: learner `l`'s block
 /// row is `data[l·stride + offset ..][..len]`. Lets the combine kernels
 /// run unchanged over a fused per-block table (`stride = len`) or a block
-/// window of full-batch learner matrices (`stride = n_rows`).
+/// window of full-batch learner matrices (`stride = n_rows`). Generic over
+/// the scalar so the f64 and f32 planes share the layout logic.
 #[derive(Clone, Copy)]
-struct LearnerTable<'a> {
-    data: &'a [f64],
+struct LearnerTable<'a, T> {
+    data: &'a [T],
     stride: usize,
     offset: usize,
 }
 
-impl<'a> LearnerTable<'a> {
-    fn new(data: &'a [f64], stride: usize, offset: usize) -> Self {
+impl<'a, T: Copy> LearnerTable<'a, T> {
+    fn new(data: &'a [T], stride: usize, offset: usize) -> Self {
         Self {
             data,
             stride,
@@ -568,12 +810,12 @@ impl<'a> LearnerTable<'a> {
     }
 
     #[inline]
-    fn row(&self, learner: usize, len: usize) -> &'a [f64] {
+    fn row(&self, learner: usize, len: usize) -> &'a [T] {
         &self.data[learner * self.stride + self.offset..][..len]
     }
 
     #[inline]
-    fn get(&self, learner: usize, r: usize) -> f64 {
+    fn get(&self, learner: usize, r: usize) -> T {
         self.data[learner * self.stride + self.offset + r]
     }
 }
@@ -581,7 +823,7 @@ impl<'a> LearnerTable<'a> {
 /// [`combine_indexed`] against a block table: same operation order, same
 /// results.
 fn combine_table_indexed(
-    table: &LearnerTable<'_>,
+    table: &LearnerTable<'_, f64>,
     weights: &[f64],
     qualified: &[usize],
     r: usize,
@@ -607,7 +849,7 @@ fn combine_table_indexed(
 /// order, same trailing division), so results are bit-identical to the
 /// per-row path.
 fn combine_rows(
-    per_learner: LearnerTable<'_>,
+    per_learner: LearnerTable<'_, f64>,
     weights: &[f64],
     qualified: &[usize],
     len: usize,
@@ -631,6 +873,180 @@ fn combine_rows(
         simd::div_assign(&mut acc, wsum);
         acc
     }
+}
+
+/// Stitch per-block `(probs, vars)` strips back into the flat
+/// `n_rows × n_levels` response matrices (blocks arrive in row order).
+fn assemble_response(
+    parts: Vec<(Vec<f64>, Vec<f64>)>,
+    n_rows: usize,
+    n_levels: usize,
+) -> (Matrix, Matrix) {
+    let mut p_all = Vec::with_capacity(n_rows * n_levels);
+    let mut v_all = Vec::with_capacity(n_rows * n_levels);
+    for (p, v) in parts {
+        p_all.extend_from_slice(&p);
+        v_all.extend_from_slice(&v);
+    }
+    (
+        Matrix::from_flat(p_all, n_levels),
+        Matrix::from_flat(v_all, n_levels),
+    )
+}
+
+/// [`IWareModel::combine_levels_block`] on the f32 plane: identical level /
+/// learner traversal with `f32x8` kernels and f32 weights, widening each
+/// combined value to f64 only at emission into the output surface.
+#[allow(clippy::too_many_arguments)]
+fn combine_levels_block32(
+    weights: &[f32],
+    prefix_lens: Option<&[usize]>,
+    qualified_per_level: &[Vec<usize>],
+    p_table: LearnerTable<'_, f32>,
+    v_table: LearnerTable<'_, f32>,
+    len: usize,
+    p_flat: &mut [f64],
+    v_flat: &mut [f64],
+) {
+    let n_levels = qualified_per_level.len();
+    if let Some(lens) = prefix_lens {
+        let needs_unweighted = {
+            let mut wsum = 0.0f32;
+            let mut taken = 0usize;
+            lens.iter().any(|&l| {
+                while taken < l {
+                    wsum += weights[taken];
+                    taken += 1;
+                }
+                wsum <= DEGENERATE_WEIGHT_SUM_32
+            })
+        };
+        let mut acc_p = vec![0.0f32; len];
+        let mut acc_v = vec![0.0f32; len];
+        let mut sum_p = vec![0.0f32; if needs_unweighted { len } else { 0 }];
+        let mut sum_v = vec![0.0f32; if needs_unweighted { len } else { 0 }];
+        let mut emit = vec![0.0f32; len];
+        let mut wsum = 0.0f32;
+        let mut taken = 0usize;
+        for (e, &l) in lens.iter().enumerate() {
+            while taken < l {
+                let w = weights[taken];
+                wsum += w;
+                simd32::axpy(w, p_table.row(taken, len), &mut acc_p);
+                simd32::axpy(w, v_table.row(taken, len), &mut acc_v);
+                if needs_unweighted {
+                    simd32::add_assign(&mut sum_p, p_table.row(taken, len));
+                    simd32::add_assign(&mut sum_v, v_table.row(taken, len));
+                }
+                taken += 1;
+            }
+            let (divisor, from_p, from_v) = if wsum <= DEGENERATE_WEIGHT_SUM_32 {
+                (taken.max(1) as f32, &sum_p, &sum_v)
+            } else {
+                (wsum, &acc_p, &acc_v)
+            };
+            emit.copy_from_slice(from_p);
+            simd32::div_assign(&mut emit, divisor);
+            for (r, &val) in emit.iter().enumerate() {
+                p_flat[r * n_levels + e] = f64::from(val);
+            }
+            emit.copy_from_slice(from_v);
+            simd32::div_assign(&mut emit, divisor);
+            for (r, &val) in emit.iter().enumerate() {
+                v_flat[r * n_levels + e] = f64::from(val);
+            }
+        }
+    } else {
+        for r in 0..len {
+            for (e, q) in qualified_per_level.iter().enumerate() {
+                p_flat[r * n_levels + e] =
+                    f64::from(combine_table_indexed32(&p_table, weights, q, r));
+                v_flat[r * n_levels + e] =
+                    f64::from(combine_table_indexed32(&v_table, weights, q, r));
+            }
+        }
+    }
+}
+
+/// The degenerate-weight cutoff of the f32 combine paths. The f64 paths use
+/// `1e-12`; real weight prefixes are either exactly 0.0 (every weight in
+/// the prefix optimised to zero) or ≥ the smallest representable simplex
+/// mass, far above either cutoff, so the two planes agree on which prefixes
+/// fall back to the unweighted mean.
+const DEGENERATE_WEIGHT_SUM_32: f32 = 1e-12;
+
+/// [`combine_table_indexed`] on the f32 plane (same learner order).
+fn combine_table_indexed32(
+    table: &LearnerTable<'_, f32>,
+    weights: &[f32],
+    qualified: &[usize],
+    r: usize,
+) -> f32 {
+    let mut wsum = 0.0f32;
+    let mut acc = 0.0f32;
+    for &i in qualified {
+        wsum += weights[i];
+        acc += weights[i] * table.get(i, r);
+    }
+    if wsum <= DEGENERATE_WEIGHT_SUM_32 {
+        let n = qualified.len().max(1) as f32;
+        qualified.iter().map(|&i| table.get(i, r)).sum::<f32>() / n
+    } else {
+        acc / wsum
+    }
+}
+
+/// [`combine_rows`] on the f32 plane: one `f32x8` axpy per qualified
+/// learner, same learner order and trailing division.
+fn combine_rows32(
+    per_learner: LearnerTable<'_, f32>,
+    weights: &[f32],
+    qualified: &[usize],
+    len: usize,
+) -> Vec<f32> {
+    let mut acc = vec![0.0f32; len];
+    let mut wsum = 0.0f32;
+    for &i in qualified {
+        wsum += weights[i];
+        simd32::axpy(weights[i], per_learner.row(i, len), &mut acc);
+    }
+    if wsum <= DEGENERATE_WEIGHT_SUM_32 {
+        let n = qualified.len().max(1) as f32;
+        let mut sum = vec![0.0f32; len];
+        for &i in qualified {
+            simd32::add_assign(&mut sum, per_learner.row(i, len));
+        }
+        simd32::div_assign(&mut sum, n);
+        sum
+    } else {
+        simd32::div_assign(&mut acc, wsum);
+        acc
+    }
+}
+
+/// [`reduce_members`] on the f32 plane: member mean / spread of a tree-major
+/// f32 prediction table, in the same member order.
+fn reduce_members32(
+    per_tree: &[f32],
+    stride: usize,
+    range: std::ops::Range<usize>,
+    out: &mut [f32],
+    mean: Option<&[f32]>,
+) {
+    let b = range.len() as f32;
+    match mean {
+        None => {
+            for t in range {
+                simd32::add_assign(out, &per_tree[t * stride..][..out.len()]);
+            }
+        }
+        Some(mean) => {
+            for t in range {
+                simd32::accumulate_sq_diff(out, &per_tree[t * stride..][..out.len()], mean);
+            }
+        }
+    }
+    simd32::div_assign(out, b);
 }
 
 /// Weighted combination of one row's per-learner outputs, indexing straight
@@ -974,6 +1390,72 @@ mod tests {
         svm_cfg.base = BaggingConfig::svms(2, 3);
         let svm_model = IWareModel::fit(&svm_cfg, rows.view(), &labels, &efforts);
         assert!(svm_model.arena_stats().is_none());
+    }
+
+    #[test]
+    fn f32_plane_tracks_the_f64_surfaces() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(400, 17);
+        let mut model = IWareModel::fit(&quick_config(5), rows.view(), &labels, &efforts);
+        assert_eq!(model.precision(), Precision::F64);
+        assert!(model.arena32_stats().is_none());
+        let q = rows.view().head(300);
+        let grid = vec![0.5, 1.0, 2.0, 3.5];
+        let (p64, v64) = model.effort_response(q, &grid);
+        let level = vec![1.0; 300];
+        let (rp64, rv64) = model.predict_with_variance_at_effort(q, &level);
+        let pp64 = model.predict_proba_at_effort(q, &level);
+
+        model.set_precision(Precision::F32);
+        let (n_trees, n_nodes) = model.arena32_stats().expect("tree stack narrows");
+        assert_eq!((n_trees, n_nodes), model.arena_stats().unwrap());
+        let (p32, v32) = model.effort_response(q, &grid);
+        let (rp32, rv32) = model.predict_with_variance_at_effort(q, &level);
+        let pp32 = model.predict_proba_at_effort(q, &level);
+
+        let max_abs = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_abs(p64.as_slice(), p32.as_slice()) <= 1e-5);
+        assert!(max_abs(v64.as_slice(), v32.as_slice()) <= 1e-5);
+        assert!(max_abs(&rp64, &rp32) <= 1e-5);
+        assert!(max_abs(&rv64, &rv32) <= 1e-5);
+        assert!(max_abs(&pp64, &pp32) <= 1e-5);
+
+        // The f32-native entry point serves the same surface from a
+        // pre-narrowed batch (the fused scaler path hands it one), and is
+        // simply absent while the model is on the f64 plane.
+        let q32 = Matrix32::from_f64(q);
+        let (p32n, v32n) = model
+            .effort_response32(q32.view(), &grid)
+            .expect("f32 plane active");
+        assert_eq!(p32n.as_slice(), p32.as_slice());
+        assert_eq!(v32n.as_slice(), v32.as_slice());
+
+        // Switching back restores the bit-exact f64 plane.
+        model.set_precision(Precision::F64);
+        assert!(model.arena32_stats().is_none());
+        assert!(model.effort_response32(q32.view(), &grid).is_none());
+        let (p_back, _) = model.effort_response(q, &grid);
+        assert_eq!(p_back.as_slice(), p64.as_slice());
+    }
+
+    #[test]
+    fn f32_plane_varying_efforts_fall_back_to_f64() {
+        // Per-row varying efforts are not a park-wide hot path; they keep
+        // the f64 path bit-exactly even when the f32 plane is selected.
+        let (rows, labels, efforts, _) = noisy_poaching_data(250, 18);
+        let mut model = IWareModel::fit(&quick_config(4), rows.view(), &labels, &efforts);
+        let q = rows.view().head(30);
+        let p64 = model.predict_proba_at_effort(q, &efforts[..30]);
+        let (vp64, vv64) = model.predict_with_variance_at_effort(q, &efforts[..30]);
+        model.set_precision(Precision::F32);
+        assert_eq!(model.predict_proba_at_effort(q, &efforts[..30]), p64);
+        let (vp32, vv32) = model.predict_with_variance_at_effort(q, &efforts[..30]);
+        assert_eq!(vp32, vp64);
+        assert_eq!(vv32, vv64);
     }
 
     #[test]

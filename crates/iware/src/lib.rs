@@ -12,5 +12,6 @@ pub mod thresholds;
 pub mod weights;
 
 pub use ensemble::{IWareConfig, IWareModel};
+pub use paws_ml::precision::Precision;
 pub use thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 pub use weights::{combine, optimize_weights, WeightMode};

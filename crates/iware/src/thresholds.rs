@@ -44,7 +44,7 @@ pub fn select_thresholds(mode: ThresholdMode, efforts: &[f64], n: usize) -> Vec<
     match mode {
         ThresholdMode::Percentile => {
             let mut sorted = efforts.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let mut thresholds = Vec::with_capacity(n);
             thresholds.push(0.0);
             for i in 1..n {

@@ -23,12 +23,15 @@
 //! (see [`crate::jackknife`]).
 
 use crate::forest::Forest;
+use crate::forest32::Forest32;
 use crate::gp::{GaussianProcess, GpConfig};
+use crate::precision::Precision;
 use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use crate::tree::{DecisionTree, TreeConfig};
 use paws_data::matrix::{Matrix, MatrixView};
-use paws_data::simd;
+use paws_data::matrix32::Matrix32;
+use paws_data::{simd, simd32};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -167,6 +170,12 @@ pub struct BaggingClassifier {
     in_bag_counts: Vec<Vec<u32>>,
     n_train: usize,
     config: BaggingConfig,
+    /// Which plane serves predictions; training is always f64.
+    precision: Precision,
+    /// The narrowed 8-byte-node arena, present only while `precision` is
+    /// [`Precision::F32`] and the members are trees (a derived cache of
+    /// `members`, never serialized).
+    forest32: Option<Forest32>,
 }
 
 impl BaggingClassifier {
@@ -248,7 +257,39 @@ impl BaggingClassifier {
             in_bag_counts,
             n_train: n,
             config: config.clone(),
+            precision: Precision::F64,
+            forest32: None,
         }
+    }
+
+    /// Select the plane that serves predictions. Switching to
+    /// [`Precision::F32`] narrows the tree arena once (a cached 8-byte-node
+    /// [`Forest32`]); switching back drops the cache. A no-op for SVM/GP
+    /// members, whose kernels have no f32 plane — they keep predicting in
+    /// f64 regardless.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        match precision {
+            Precision::F32 => {
+                if self.forest32.is_none() {
+                    if let Members::Forest(f) = &self.members {
+                        self.forest32 = Some(Forest32::from_forest(f));
+                    }
+                }
+            }
+            Precision::F64 => self.forest32 = None,
+        }
+    }
+
+    /// The plane currently serving predictions.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The narrowed f32 arena, when the ensemble is tree-based and switched
+    /// to [`Precision::F32`].
+    pub fn forest32(&self) -> Option<&Forest32> {
+        self.forest32.as_ref()
     }
 
     /// Number of ensemble members.
@@ -356,6 +397,20 @@ impl Classifier for BaggingClassifier {
         if x.n_rows() == 0 {
             return Vec::new();
         }
+        // The f32 plane: narrow the batch once, traverse the 8-byte-node
+        // arena, reduce with the f32x8 kernels, widen the final mean.
+        if let Some(f32forest) = &self.forest32 {
+            let q = Matrix32::from_f64(x);
+            let per_member = f32forest.predict_proba_batch(q.view());
+            let mut mean = vec![0.0f32; x.n_rows()];
+            for preds in per_member.rows() {
+                simd32::add_assign(&mut mean, preds);
+            }
+            simd32::div_assign(&mut mean, self.n_members() as f32);
+            let mut out = vec![0.0f64; mean.len()];
+            simd32::widen(&mean, &mut out);
+            return out;
+        }
         let per_member = self.member_predictions(x);
         let mut mean = vec![0.0; x.n_rows()];
         for preds in per_member.rows() {
@@ -380,6 +435,11 @@ impl UncertainClassifier for BaggingClassifier {
         }
         match &self.members {
             Members::Forest(forest) => {
+                if let Some(f32forest) = &self.forest32 {
+                    let q = Matrix32::from_f64(x);
+                    let per_member = f32forest.predict_proba_batch(q.view());
+                    return mean_and_spread32(&per_member);
+                }
                 let per_member = forest.predict_proba_batch(x);
                 mean_and_spread(&per_member)
             }
@@ -424,6 +484,28 @@ pub(crate) fn mean_and_spread(per_member: &Matrix) -> (Vec<f64>, Vec<f64>) {
     }
     simd::div_assign(&mut var, b);
     (mean, var)
+}
+
+/// [`mean_and_spread`] on the f32 plane: same member order and operation
+/// sequence on `f32x8` kernels, widened to f64 at the boundary.
+pub(crate) fn mean_and_spread32(per_member: &Matrix32) -> (Vec<f64>, Vec<f64>) {
+    let b = per_member.n_rows() as f32;
+    let n_rows = per_member.n_cols();
+    let mut mean = vec![0.0f32; n_rows];
+    for preds in per_member.rows() {
+        simd32::add_assign(&mut mean, preds);
+    }
+    simd32::div_assign(&mut mean, b);
+    let mut var = vec![0.0f32; n_rows];
+    for preds in per_member.rows() {
+        simd32::accumulate_sq_diff(&mut var, preds, &mean);
+    }
+    simd32::div_assign(&mut var, b);
+    let mut mean64 = vec![0.0f64; n_rows];
+    let mut var64 = vec![0.0f64; n_rows];
+    simd32::widen(&mean, &mut mean64);
+    simd32::widen(&var, &mut var64);
+    (mean64, var64)
 }
 
 fn balanced_bootstrap<R: Rng>(positives: &[usize], negatives: &[usize], rng: &mut R) -> Vec<usize> {
@@ -590,6 +672,64 @@ mod tests {
         let tree_model = BaggingClassifier::fit(&BaggingConfig::trees(9, 5), rows.view(), &labels);
         let (p, _) = tree_model.predict_with_variance(q);
         assert_eq!(p, tree_model.predict_proba(q));
+    }
+
+    #[test]
+    fn f32_plane_tracks_the_f64_predictions() {
+        let (rows, labels) = imbalanced_data(300, 0.3, 21);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::trees(8, 3), rows.view(), &labels);
+        assert_eq!(model.precision(), Precision::F64);
+        let q = rows.view().head(64);
+        let p64 = model.predict_proba(q);
+        let (pv64, v64) = model.predict_with_variance(q);
+
+        model.set_precision(Precision::F32);
+        assert_eq!(model.precision(), Precision::F32);
+        let f = model.forest32().expect("tree ensemble narrows an arena");
+        assert_eq!(f.n_trees(), 8);
+        let p32 = model.predict_proba(q);
+        let (pv32, v32) = model.predict_with_variance(q);
+        for ((a, b), (c, d)) in p64.iter().zip(&p32).zip(pv64.iter().zip(&pv32)) {
+            assert!((a - b).abs() <= 1e-5, "proba diverged: {a} vs {b}");
+            assert!((c - d).abs() <= 1e-5, "pv proba diverged: {c} vs {d}");
+        }
+        for (a, b) in v64.iter().zip(&v32) {
+            assert!((a - b).abs() <= 1e-5, "variance diverged: {a} vs {b}");
+        }
+
+        // Switching back drops the cache and restores exact f64 output.
+        model.set_precision(Precision::F64);
+        assert!(model.forest32().is_none());
+        assert_eq!(model.predict_proba(q), p64);
+    }
+
+    #[test]
+    fn f32_plane_accepts_finite_features_beyond_f32_range() {
+        // A finite raw-scale feature like 1e40 must not panic the f32
+        // plane's finiteness guard (it saturates to ±f32::MAX and compares
+        // correctly against every in-range threshold — same branch as f64).
+        let (rows, labels) = imbalanced_data(200, 0.3, 23);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::trees(5, 3), rows.view(), &labels);
+        let mut q = rows.gather(&[0, 1, 2, 3]);
+        q.row_mut(0)[1] = 1e40;
+        q.row_mut(2)[0] = -1e40;
+        let p64 = model.predict_proba(q.view());
+        model.set_precision(Precision::F32);
+        let p32 = model.predict_proba(q.view());
+        for (a, b) in p64.iter().zip(&p32) {
+            assert!((a - b).abs() <= 1e-5, "saturated row diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f32_switch_is_a_no_op_for_non_tree_members() {
+        let (rows, labels) = imbalanced_data(120, 0.3, 22);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::svms(2, 3), rows.view(), &labels);
+        let q = rows.view().head(10);
+        let p64 = model.predict_proba(q);
+        model.set_precision(Precision::F32);
+        assert!(model.forest32().is_none(), "SVMs have no f32 plane");
+        assert_eq!(model.predict_proba(q), p64, "predictions stay f64-exact");
     }
 
     #[test]

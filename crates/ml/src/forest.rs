@@ -55,9 +55,9 @@ use serde::{Deserialize, Serialize};
 /// Feature indices of real splits are always in range, and a leaf's
 /// `feature` is 0, so the per-step feature clamp disappears too.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct ArenaNode {
+pub(crate) struct ArenaNode {
     /// Split threshold for interior nodes; `+∞` for leaves.
-    value: f64,
+    pub(crate) value: f64,
     /// Packed `left_child | feature << 32` — one 8-byte load yields both
     /// the topology and the feature index, so a traversal step issues
     /// exactly two loads (node word + threshold) plus the row value.
@@ -76,12 +76,12 @@ impl ArenaNode {
     }
 
     #[inline(always)]
-    fn left(&self) -> u32 {
+    pub(crate) fn left(&self) -> u32 {
         self.packed as u32
     }
 
     #[inline(always)]
-    fn feature(&self) -> u32 {
+    pub(crate) fn feature(&self) -> u32 {
         (self.packed >> 32) as u32
     }
 
@@ -109,11 +109,11 @@ impl ArenaNode {
 /// Rows are traversed in blocks of this many: a block's feature rows stay
 /// resident in L1 while every tree streams over them, and blocks are the
 /// unit of parallel fan-out across the work-stealing pool.
-const ROW_BLOCK: usize = 256;
+pub(crate) const ROW_BLOCK: usize = 256;
 
 /// Rows advance through a tree in register-resident groups of this many
 /// interleaved root-to-leaf walks (see [`Forest::traverse_block`]).
-const INTERLEAVE: usize = 16;
+pub(crate) const INTERLEAVE: usize = 16;
 
 /// An arena of decision trees: one contiguous node slab, per-tree roots and
 /// depths. Serialized/deserialized as a single unit.
@@ -427,6 +427,12 @@ impl Forest {
             "prediction features must be finite"
         );
         self.traverse_block(x, start, len, out_block, len, 0);
+    }
+
+    /// The raw arena parts `(nodes, leaf_values, roots, depths)` — the
+    /// narrowing input of [`crate::forest32::Forest32::from_forest`].
+    pub(crate) fn arena_parts(&self) -> (&[ArenaNode], &[f64], &[u32], &[u32]) {
+        (&self.nodes, &self.leaf_values, &self.roots, &self.depths)
     }
 
     /// Number of edges tree `t` traverses for one row (diagnostics).

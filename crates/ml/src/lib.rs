@@ -9,6 +9,9 @@
 //! * [`tree`] — CART decision trees (DTB weak learners).
 //! * [`forest`] — arena-backed tree ensembles with level-synchronous batch
 //!   traversal (one contiguous node slab per ensemble).
+//! * [`forest32`] / [`precision`] — the opt-in f32 prediction plane: an
+//!   8-byte-node arena narrowed from the trained f64 forest, selected per
+//!   model with [`precision::Precision::F32`] (training stays f64).
 //! * [`svm`] — linear SVM with Platt scaling (SVB weak learners).
 //! * [`gp`] — Gaussian-process classifier with predictive variance (GPB).
 //! * [`bagging`] — plain and balanced (undersampled) bagging ensembles.
@@ -19,17 +22,21 @@
 pub mod bagging;
 pub mod cv;
 pub mod forest;
+pub mod forest32;
 pub mod gp;
 pub mod jackknife;
 pub mod linalg;
 pub mod metrics;
+pub mod precision;
 pub mod svm;
 pub mod traits;
 pub mod tree;
 
 pub use bagging::{BaggingClassifier, BaggingConfig, BaseLearnerConfig, BaseModel};
 pub use forest::Forest;
+pub use forest32::Forest32;
 pub use gp::{GaussianProcess, GpConfig};
+pub use precision::Precision;
 pub use svm::{LinearSvm, SvmConfig};
 pub use traits::{Classifier, Trainable, UncertainClassifier};
 pub use tree::{DecisionTree, TreeConfig};

@@ -18,11 +18,7 @@ pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
     }
     // Rank the scores (average rank for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -194,7 +194,7 @@ impl DecisionTree {
                     .zip(&node_labels)
                     .map(|(&i, &y)| (x.get(i, f), y)),
             );
-            pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             sorted_labels.clear();
             sorted_labels.extend(pairs.iter().map(|p| p.1));
 

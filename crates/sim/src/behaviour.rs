@@ -246,11 +246,7 @@ impl PoacherModel {
     /// Identify the cell ids of the `k` highest static-risk cells.
     pub fn top_risk_cells(&self, park: &Park, k: usize) -> Vec<CellId> {
         let mut idx: Vec<usize> = (0..self.n_cells()).collect();
-        idx.sort_by(|&a, &b| {
-            self.static_risk(b)
-                .partial_cmp(&self.static_risk(a))
-                .unwrap()
-        });
+        idx.sort_by(|&a, &b| self.static_risk(b).total_cmp(&self.static_risk(a)));
         idx.into_iter().take(k).map(|i| park.cells[i]).collect()
     }
 }

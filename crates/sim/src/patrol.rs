@@ -295,8 +295,7 @@ mod tests {
             .max_by(|a, b| {
                 park.grid
                     .distance_km(post, **a)
-                    .partial_cmp(&park.grid.distance_km(post, **b))
-                    .unwrap()
+                    .total_cmp(&park.grid.distance_km(post, **b))
             })
             .unwrap();
         let config = PatrolConfig {

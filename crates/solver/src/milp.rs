@@ -104,15 +104,10 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
         }
 
         // Most fractional binary.
-        let fractional = binaries
-            .iter()
-            .map(|&v| (v, relax.value(v)))
-            .filter(|(_, x)| (x - x.round()).abs() > options.int_tolerance)
-            .max_by(|a, b| {
-                let fa = (a.1 - 0.5).abs();
-                let fb = (b.1 - 0.5).abs();
-                fb.partial_cmp(&fa).unwrap()
-            });
+        let fractional = most_fractional(
+            binaries.iter().map(|&v| (v, relax.value(v))),
+            options.int_tolerance,
+        );
 
         match fractional {
             None => {
@@ -183,10 +178,52 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
     }
 }
 
+/// The most fractional candidate (value nearest 0.5) among `values`, or
+/// `None` when every value is integral within `tol`.
+///
+/// A non-finite relaxation value (a degenerate LP basis) is treated as
+/// non-fractional and skipped — it carries no branching information, and it
+/// used to panic the `partial_cmp().unwrap()` comparator. The surviving
+/// comparison uses `total_cmp`, which cannot panic and keeps the original
+/// `max_by` tie-breaking (the last of equally fractional candidates wins).
+fn most_fractional<V: Copy>(values: impl Iterator<Item = (V, f64)>, tol: f64) -> Option<(V, f64)> {
+    values
+        .filter(|(_, x)| x.is_finite() && (x - x.round()).abs() > tol)
+        .max_by(|a, b| {
+            let fa = (a.1 - 0.5).abs();
+            let fb = (b.1 - 0.5).abs();
+            fb.total_cmp(&fa)
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ConstraintOp, Model, Sense};
+
+    #[test]
+    fn most_fractional_skips_non_finite_and_picks_nearest_half() {
+        // Regression: a NaN relaxation value panicked the branching
+        // comparator; it must now be treated as non-fractional (skipped).
+        let picked = most_fractional(
+            [
+                (0usize, 1.0),          // integral — filtered
+                (1, f64::NAN),          // non-finite — skipped, not a panic
+                (2, 0.9),               // fractional
+                (3, f64::INFINITY),     // non-finite — skipped
+                (4, 0.45),              // most fractional
+                (5, f64::NEG_INFINITY), // non-finite — skipped
+            ]
+            .into_iter(),
+            1e-6,
+        );
+        assert_eq!(picked, Some((4, 0.45)));
+        // All-integral (or unusable) candidates mean "no branching var".
+        assert_eq!(
+            most_fractional([(0usize, 1.0), (1, f64::NAN)].into_iter(), 1e-6),
+            None
+        );
+    }
 
     #[test]
     fn solves_small_knapsack() {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# NaN-ordering lint: float comparators built from `partial_cmp(..)` chained
+# with `.unwrap()` / `.unwrap_or(..)` either panic on NaN or silently treat
+# it as Equal — the bug class swept out of the planner (PR 3) and the
+# field/geo/solver layers (PR 4). `f64::total_cmp` is the replacement.
+#
+# Scope: non-test sources (crate sources, bins, benches, examples);
+# integration-test directories are excluded, vendored stand-ins are not
+# scanned. `-z` reads each file as a single record so a chain split across
+# lines (rustfmt loves breaking before `.unwrap()`) still matches, and the
+# argument class `[^;{}]*?` tolerates nested call parentheses (e.g.
+# `.partial_cmp(&grid.distance_km(a, b)).unwrap()`) while a statement
+# boundary stops the span.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='\.partial_cmp\([^;{}]*?\)\s*\.\s*unwrap'
+
+grep -rznP --include='*.rs' --exclude-dir=tests "$pattern" crates src examples
+status=$?
+
+case "$status" in
+0)
+    echo "error: NaN-unsafe comparator(s) found (partial_cmp + unwrap*)." >&2
+    echo "       Use f64::total_cmp (and filter/assert non-finite keys) instead." >&2
+    exit 1
+    ;;
+1)
+    echo "NaN-ordering lint clean: no partial_cmp().unwrap*() comparators in non-test sources."
+    ;;
+*)
+    # grep exit 2 = it could not scan (missing dir, unreadable file, bad
+    # pattern): that is a lint-infrastructure failure, not a clean result.
+    echo "error: NaN-ordering lint could not run (grep exit $status)." >&2
+    exit "$status"
+    ;;
+esac
