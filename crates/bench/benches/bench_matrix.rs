@@ -505,7 +505,7 @@ fn bench_iware_legacy_vs_flat(c: &mut Criterion) {
         b.iter(|| black_box(flat_model.effort_response(w.park_flat.view(), &grid)))
     });
     let mut f32_model = IWareModel::fit(&config, w.flat.view(), &w.labels, &w.efforts);
-    f32_model.set_precision(paws_iware::Precision::F32);
+    f32_model.set_precision(paws_iware::Precision::F32).unwrap();
     group.bench_function("flat_cell_parallel_f32", |b| {
         b.iter(|| black_box(f32_model.effort_response(w.park_flat.view(), &grid)))
     });

@@ -24,6 +24,7 @@ pub mod report;
 pub mod scenario;
 
 pub use config::{ModelConfig, WeakLearnerKind};
+pub use paws_ml::layout::TraversalLayout;
 pub use paws_ml::precision::Precision;
 pub use pipeline::{build_planning_problem, train, FittedModel, TrainedModel};
 pub use report::{ascii_heatmap, format_table};

@@ -15,6 +15,8 @@ use paws_data::{Dataset, Matrix, MatrixView, StandardScaler, TrainTestSplit};
 use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
 use paws_ml::bagging::BaggingClassifier;
+use paws_ml::forest32::NarrowError;
+use paws_ml::layout::TraversalLayout;
 use paws_ml::metrics::roc_auc;
 use paws_ml::precision::Precision;
 use paws_ml::traits::{Classifier, UncertainClassifier};
@@ -67,9 +69,12 @@ pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) ->
         scaler,
         fitted,
     };
-    // Training always runs in f64; the configured plane only selects which
-    // arena serves predictions from here on.
-    model.set_precision(config.precision);
+    // Training always runs in f64; the configured plane and traversal
+    // layout only select which engine serves predictions from here on.
+    model
+        .set_precision(config.precision)
+        .expect("configured precision plane fits the trained arena");
+    model.set_layout(config.layout);
     model
 }
 
@@ -77,10 +82,33 @@ impl TrainedModel {
     /// Select the numeric plane serving this model's predictions (risk
     /// maps, response surfaces). Dispatches to the fitted ensemble; see
     /// [`paws_ml::precision::Precision`] for the contract.
-    pub fn set_precision(&mut self, precision: Precision) {
+    ///
+    /// # Errors
+    /// Returns the [`paws_ml::forest32::NarrowError`] when the trained
+    /// arena exceeds the f32 plane's packing caps; the model keeps
+    /// serving from its previous plane then.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), NarrowError> {
         match &mut self.fitted {
             FittedModel::IWare(m) => m.set_precision(precision),
             FittedModel::Plain(m) => m.set_precision(precision),
+        }
+    }
+
+    /// Select the traversal engine serving this model's park-wide tree
+    /// predictions; see [`paws_ml::layout::TraversalLayout`]. Surfaces are
+    /// bit-identical across engines (a pure memory-layout choice).
+    pub fn set_layout(&mut self, layout: TraversalLayout) {
+        match &mut self.fitted {
+            FittedModel::IWare(m) => m.set_layout(layout),
+            FittedModel::Plain(m) => m.set_layout(layout),
+        }
+    }
+
+    /// The traversal engine currently serving predictions.
+    pub fn layout(&self) -> TraversalLayout {
+        match &self.fitted {
+            FittedModel::IWare(m) => m.layout(),
+            FittedModel::Plain(m) => m.layout(),
         }
     }
 
@@ -327,7 +355,7 @@ mod tests {
         let (p64, v64) = model.park_response(&scenario.park, &dataset, &prev, &grid);
         let (r64, u64_) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
 
-        model.set_precision(crate::Precision::F32);
+        model.set_precision(crate::Precision::F32).unwrap();
         assert_eq!(model.precision(), crate::Precision::F32);
         let (p32, v32) = model.park_response(&scenario.park, &dataset, &prev, &grid);
         let (r32, u32_) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
@@ -361,6 +389,41 @@ mod tests {
         cfg.precision = crate::Precision::F32;
         let configured = train(&dataset, &split, &cfg);
         assert_eq!(configured.precision(), crate::Precision::F32);
+    }
+
+    #[test]
+    fn bitvector_layout_serves_identical_park_surfaces() {
+        let (scenario, dataset, split) = small_setup();
+        let mut model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        assert_eq!(model.layout(), crate::TraversalLayout::Interleaved);
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        let (p_il, v_il) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        let (r_il, u_il) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+
+        model.set_layout(crate::TraversalLayout::BitVector);
+        assert_eq!(model.layout(), crate::TraversalLayout::BitVector);
+        let (p_bv, v_bv) = model.park_response(&scenario.park, &dataset, &prev, &grid);
+        let (r_bv, u_bv) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+        assert_eq!(p_bv.as_slice(), p_il.as_slice());
+        assert_eq!(v_bv.as_slice(), v_il.as_slice());
+        assert_eq!(r_bv, r_il);
+        assert_eq!(u_bv, u_il);
+
+        // A config-selected layout applies straight out of train(), and
+        // composes with the f32 plane (both knobs from the config).
+        let mut cfg = quick_config(WeakLearnerKind::DecisionTree, true);
+        cfg.layout = crate::TraversalLayout::BitVector;
+        cfg.precision = crate::Precision::F32;
+        let configured = train(&dataset, &split, &cfg);
+        assert_eq!(configured.layout(), crate::TraversalLayout::BitVector);
+        assert_eq!(configured.precision(), crate::Precision::F32);
+        let (r32, _) = configured.risk_map(&scenario.park, &dataset, &prev, 1.0);
+        assert!(r32.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]

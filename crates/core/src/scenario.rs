@@ -60,6 +60,20 @@ impl Scenario {
         )
     }
 
+    /// An LLC-scale scenario (`target_cells` ≥ 10k, intended 50k–200k):
+    /// the seeded large-park workload the traversal-layout and f32-plane
+    /// bandwidth comparisons are measured on. Geography scales MFNP
+    /// (`paws_geo::parks::llc_park_spec`); the patrol force scales with
+    /// √area so the dataset keeps study-site-like coverage density
+    /// (`paws_sim::presets::llc_sim_config`).
+    pub fn llc_scenario(target_cells: usize, seed: u64) -> Self {
+        Self::generate(
+            &paws_geo::parks::llc_park_spec(target_cells),
+            paws_sim::presets::llc_sim_config(target_cells),
+            seed,
+        )
+    }
+
     /// Simulate `years` years of patrol history starting at `start_year`.
     pub fn simulate_years(&self, start_year: u32, years: u32) -> History {
         simulate_history(

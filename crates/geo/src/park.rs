@@ -76,6 +76,13 @@ pub struct ParkSpec {
     pub features: Vec<FeatureKind>,
     /// Seasonal regime.
     pub seasonality: Seasonality,
+    /// Multiplier on the terrain-noise length scales (elevation, cover,
+    /// NPP, rainfall, wildlife, boundary wobble). `1.0` reproduces the
+    /// study-site landscapes exactly; LLC-scale parks
+    /// (`crate::parks::llc_park_spec`) grow it with the park side so a
+    /// 270 km park remains one landscape with realistic long-range
+    /// feature correlations instead of a patchwork of 24 km tiles.
+    pub terrain_scale: f64,
 }
 
 /// A fully generated synthetic park.
@@ -205,17 +212,21 @@ impl<'a> ParkBuilder<'a> {
         }
         let boundary = self.boundary_cells(&mask);
 
-        // Terrain noise fields.
+        // Terrain noise fields; length scales grow with the spec's
+        // terrain_scale so LLC-size parks stay one coherent landscape.
+        let ts = self.spec.terrain_scale;
         let elevation_noise =
-            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 24.0, 5);
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 24.0 * ts, 5);
         let forest_noise =
-            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 14.0, 4);
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 14.0 * ts, 4);
         let scrub_noise =
-            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 10.0, 4);
-        let npp_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 18.0, 4);
-        let rain_noise = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 30.0, 3);
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 10.0 * ts, 4);
+        let npp_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 18.0 * ts, 4);
+        let rain_noise =
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 30.0 * ts, 3);
         let animal_noise =
-            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 12.0, 4);
+            FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 12.0 * ts, 4);
 
         let elevation: Vec<f64> = self
             .grid
@@ -231,7 +242,7 @@ impl<'a> ParkBuilder<'a> {
         let roads = self.trace_roads(&boundary);
         let villages = self.place_outside(&mask, &boundary, self.spec.n_villages, 1.0, 4.0);
         let towns = self.place_outside(&mask, &boundary, self.spec.n_towns, 5.0, 12.0);
-        let patrol_posts = self.place_patrol_posts(&cells, &boundary, &roads);
+        let patrol_posts = self.place_patrol_posts(&mask, &cells, &boundary, &roads);
         let camps = self.place_camps(&cells, &boundary);
 
         // Distance transforms reused by several feature layers.
@@ -381,7 +392,13 @@ impl<'a> ParkBuilder<'a> {
             BoundaryShape::Circular => 1.0,
             BoundaryShape::Elongated { aspect } => aspect.max(1.0),
         };
-        let wobble = FractalNoise::new(self.rng.gen(), self.spec.rows, self.spec.cols, 20.0, 3);
+        let wobble = FractalNoise::new(
+            self.rng.gen(),
+            self.spec.rows,
+            self.spec.cols,
+            20.0 * self.spec.terrain_scale,
+            3,
+        );
 
         // Radial score of every cell: lower = closer to the park centre after
         // aspect scaling and boundary wobble. The `target_cells` cells with
@@ -562,13 +579,17 @@ impl<'a> ParkBuilder<'a> {
     /// near roads), spread out by greedy max-min distance — mirroring Fig. 11.
     fn place_patrol_posts(
         &mut self,
+        mask: &[bool],
         cells: &[CellId],
         boundary: &[CellId],
         roads: &[CellId],
     ) -> Vec<CellId> {
         let dist_road = distance_to_nearest(&self.grid, roads);
         let dist_outside: Vec<f64> = {
-            let outside: Vec<CellId> = self.grid.cells().filter(|c| !cells.contains(c)).collect();
+            // Mask lookup, not a per-cell scan of the in-park list — the
+            // LLC-scale parks (50k+ cells) made the old `cells.contains`
+            // filter quadratic in park size.
+            let outside: Vec<CellId> = self.grid.cells().filter(|c| !mask[c.index()]).collect();
             if outside.is_empty() {
                 vec![0.0; self.grid.len()]
             } else {
@@ -699,6 +720,7 @@ mod tests {
             n_water_holes: 3,
             features: FeatureKind::all().to_vec(),
             seasonality: Seasonality::None,
+            terrain_scale: 1.0,
         }
     }
 

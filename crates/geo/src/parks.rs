@@ -57,6 +57,7 @@ pub fn mfnp_spec() -> ParkSpec {
             DistForestEdge,
         ],
         seasonality: Seasonality::None,
+        terrain_scale: 1.0,
     }
 }
 
@@ -100,6 +101,7 @@ pub fn qenp_spec() -> ParkSpec {
             DistCamp,
         ],
         seasonality: Seasonality::None,
+        terrain_scale: 1.0,
     }
 }
 
@@ -145,6 +147,7 @@ pub fn sws_spec() -> ParkSpec {
             DistForestEdge,
         ],
         seasonality: Seasonality::WetDry,
+        terrain_scale: 1.0,
     }
 }
 
@@ -180,12 +183,58 @@ pub fn test_park_spec() -> ParkSpec {
             DistPatrolPost,
         ],
         seasonality: Seasonality::None,
+        terrain_scale: 1.0,
     }
 }
 
 /// All three study-site presets in paper order.
 pub fn study_sites() -> Vec<ParkSpec> {
     vec![mfnp_spec(), qenp_spec(), sws_spec()]
+}
+
+/// An LLC-scale synthetic park of `target_cells` 1×1 km cells
+/// (50k–200k intended; anything ≥ 10k accepted) — the workload the
+/// bitvector-vs-arena traversal comparison and the f32 plane's bandwidth
+/// claims are measured on, since the study-site presets (≤ 4,613 cells)
+/// keep every feature matrix comfortably cache-resident.
+///
+/// The spec scales MFNP's geography: the same full feature set (21 static
+/// columns with the generator's realistic cross-correlations — animal
+/// density driven by water/NPP/interior distance, vegetation covers
+/// competing to sum to one, density layers derived from the same traced
+/// rivers/roads the distance layers use), a circular boundary at MFNP's
+/// fill ratio, and infrastructure counts grown with the square root of
+/// the area so rivers/roads/posts stay realistically sparse.
+pub fn llc_park_spec(target_cells: usize) -> ParkSpec {
+    assert!(
+        target_cells >= 10_000,
+        "LLC-scale parks start at 10k cells; use the study-site presets below that"
+    );
+    // MFNP's bounding-box fill: 4,613 cells in an 82×82 grid.
+    let mfnp = mfnp_spec();
+    let fill = mfnp.target_cells as f64 / f64::from(mfnp.rows * mfnp.cols);
+    let side = (target_cells as f64 / fill).sqrt().ceil() as u32;
+    let scale = (target_cells as f64 / mfnp.target_cells as f64).sqrt();
+    let grown = |n: usize| ((n as f64 * scale).round() as usize).max(n);
+    ParkSpec {
+        name: format!("LLC-{}k", target_cells.div_ceil(1000)),
+        rows: side,
+        cols: side,
+        target_cells,
+        shape: BoundaryShape::Circular,
+        n_rivers: grown(mfnp.n_rivers),
+        n_roads: grown(mfnp.n_roads),
+        n_villages: grown(mfnp.n_villages),
+        n_towns: grown(mfnp.n_towns),
+        n_patrol_posts: grown(mfnp.n_patrol_posts),
+        n_camps: grown(mfnp.n_camps),
+        n_water_holes: grown(mfnp.n_water_holes),
+        features: mfnp.features,
+        seasonality: Seasonality::None,
+        // One landscape, not a tiling of MFNP-sized patches: terrain
+        // length scales grow with the park side.
+        terrain_scale: scale,
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +261,33 @@ mod tests {
         for spec in study_sites() {
             assert!(spec.target_cells <= (spec.rows as usize) * (spec.cols as usize));
         }
+    }
+
+    #[test]
+    fn llc_spec_scales_mfnp_geography() {
+        let spec = llc_park_spec(50_000);
+        assert_eq!(spec.target_cells, 50_000);
+        assert!(spec.rows as usize * spec.cols as usize >= 50_000);
+        assert_eq!(spec.features.len(), mfnp_spec().features.len());
+        assert_eq!(spec.name, "LLC-50k");
+        // Infrastructure grows sublinearly with area (√ scaling) but never
+        // below the MFNP baseline.
+        let scale = (50_000f64 / mfnp_spec().target_cells as f64).sqrt();
+        assert_eq!(
+            spec.n_patrol_posts,
+            (10.0 * scale).round() as usize,
+            "posts scale with √area"
+        );
+        assert!(spec.n_rivers >= mfnp_spec().n_rivers);
+        let bigger = llc_park_spec(200_000);
+        assert!(bigger.n_patrol_posts > spec.n_patrol_posts);
+        assert!(bigger.rows > spec.rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLC-scale parks start at 10k cells")]
+    fn llc_spec_rejects_small_parks() {
+        let _ = llc_park_spec(500);
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub mod thresholds;
 pub mod weights;
 
 pub use ensemble::{IWareConfig, IWareModel};
+pub use paws_ml::forest32::NarrowError;
+pub use paws_ml::layout::TraversalLayout;
 pub use paws_ml::precision::Precision;
 pub use thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 pub use weights::{combine, optimize_weights, WeightMode};

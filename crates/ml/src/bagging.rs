@@ -23,9 +23,11 @@
 //! (see [`crate::jackknife`]).
 
 use crate::forest::Forest;
-use crate::forest32::Forest32;
+use crate::forest32::{Forest32, NarrowError};
 use crate::gp::{GaussianProcess, GpConfig};
+use crate::layout::TraversalLayout;
 use crate::precision::Precision;
+use crate::qs::{QuickScorer, QuickScorer32};
 use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use crate::tree::{DecisionTree, TreeConfig};
@@ -176,6 +178,15 @@ pub struct BaggingClassifier {
     /// [`Precision::F32`] and the members are trees (a derived cache of
     /// `members`, never serialized).
     forest32: Option<Forest32>,
+    /// Which traversal engine serves batch predictions for tree members.
+    layout: TraversalLayout,
+    /// Bitvector scorer over the f64 arena, present only while `layout`
+    /// is [`TraversalLayout::BitVector`] with tree members (a derived
+    /// cache, never serialized).
+    qs: Option<QuickScorer>,
+    /// Bitvector scorer over the narrowed f32 arena, present only while
+    /// both the f32 plane and the bitvector layout are selected.
+    qs32: Option<QuickScorer32>,
 }
 
 impl BaggingClassifier {
@@ -259,6 +270,9 @@ impl BaggingClassifier {
             config: config.clone(),
             precision: Precision::F64,
             forest32: None,
+            layout: TraversalLayout::default(),
+            qs: None,
+            qs32: None,
         }
     }
 
@@ -267,18 +281,71 @@ impl BaggingClassifier {
     /// [`Forest32`]); switching back drops the cache. A no-op for SVM/GP
     /// members, whose kernels have no f32 plane — they keep predicting in
     /// f64 regardless.
-    pub fn set_precision(&mut self, precision: Precision) {
-        self.precision = precision;
+    ///
+    /// # Errors
+    /// Returns the [`NarrowError`] when the trained arena exceeds the f32
+    /// plane's packing caps (2²⁴ nodes / 256 features); the model keeps
+    /// serving from its previous plane then.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), NarrowError> {
         match precision {
             Precision::F32 => {
                 if self.forest32.is_none() {
                     if let Members::Forest(f) = &self.members {
-                        self.forest32 = Some(Forest32::from_forest(f));
+                        self.forest32 = Some(Forest32::try_from_forest(f)?);
+                    }
+                }
+                if self.layout == TraversalLayout::BitVector && self.qs32.is_none() {
+                    if let Some(f32forest) = &self.forest32 {
+                        self.qs32 = Some(QuickScorer32::from_forest32(f32forest));
                     }
                 }
             }
-            Precision::F64 => self.forest32 = None,
+            Precision::F64 => {
+                self.forest32 = None;
+                self.qs32 = None;
+            }
         }
+        self.precision = precision;
+        Ok(())
+    }
+
+    /// Select the traversal engine that serves batch predictions.
+    /// Switching to [`TraversalLayout::BitVector`] lifts the arena(s) into
+    /// the QuickScorer layout once (cached, like the f32 plane); switching
+    /// back drops the caches. A no-op for SVM/GP members, which have no
+    /// tree traversal to re-lay out. Predictions are bit-identical across
+    /// layouts on either plane.
+    pub fn set_layout(&mut self, layout: TraversalLayout) {
+        self.layout = layout;
+        match layout {
+            TraversalLayout::BitVector => {
+                if self.qs.is_none() {
+                    if let Members::Forest(f) = &self.members {
+                        self.qs = Some(QuickScorer::from_forest(f));
+                    }
+                }
+                if self.qs32.is_none() {
+                    if let Some(f32forest) = &self.forest32 {
+                        self.qs32 = Some(QuickScorer32::from_forest32(f32forest));
+                    }
+                }
+            }
+            TraversalLayout::Interleaved => {
+                self.qs = None;
+                self.qs32 = None;
+            }
+        }
+    }
+
+    /// The traversal engine currently serving batch predictions.
+    pub fn layout(&self) -> TraversalLayout {
+        self.layout
+    }
+
+    /// The lifted bitvector scorer, when the ensemble is tree-based and
+    /// switched to [`TraversalLayout::BitVector`].
+    pub fn quickscorer(&self) -> Option<&QuickScorer> {
+        self.qs.as_ref()
     }
 
     /// The plane currently serving predictions.
@@ -333,7 +400,10 @@ impl BaggingClassifier {
     /// representable); the `Classifier` entry points handle that case.
     pub fn member_predictions(&self, x: MatrixView<'_>) -> Matrix {
         match &self.members {
-            Members::Forest(f) => f.predict_proba_batch(x),
+            Members::Forest(f) => match &self.qs {
+                Some(qs) => qs.predict_proba_batch(x),
+                None => f.predict_proba_batch(x),
+            },
             Members::Models(models) => {
                 let per_member: Vec<Vec<f64>> =
                     models.par_iter().map(|m| m.predict_proba(x)).collect();
@@ -398,10 +468,14 @@ impl Classifier for BaggingClassifier {
             return Vec::new();
         }
         // The f32 plane: narrow the batch once, traverse the 8-byte-node
-        // arena, reduce with the f32x8 kernels, widen the final mean.
+        // arena (or its bitvector lift), reduce with the f32x8 kernels,
+        // widen the final mean.
         if let Some(f32forest) = &self.forest32 {
             let q = Matrix32::from_f64(x);
-            let per_member = f32forest.predict_proba_batch(q.view());
+            let per_member = match &self.qs32 {
+                Some(qs32) => qs32.predict_proba_batch(q.view()),
+                None => f32forest.predict_proba_batch(q.view()),
+            };
             let mut mean = vec![0.0f32; x.n_rows()];
             for preds in per_member.rows() {
                 simd32::add_assign(&mut mean, preds);
@@ -437,10 +511,16 @@ impl UncertainClassifier for BaggingClassifier {
             Members::Forest(forest) => {
                 if let Some(f32forest) = &self.forest32 {
                     let q = Matrix32::from_f64(x);
-                    let per_member = f32forest.predict_proba_batch(q.view());
+                    let per_member = match &self.qs32 {
+                        Some(qs32) => qs32.predict_proba_batch(q.view()),
+                        None => f32forest.predict_proba_batch(q.view()),
+                    };
                     return mean_and_spread32(&per_member);
                 }
-                let per_member = forest.predict_proba_batch(x);
+                let per_member = match &self.qs {
+                    Some(qs) => qs.predict_proba_batch(x),
+                    None => forest.predict_proba_batch(x),
+                };
                 mean_and_spread(&per_member)
             }
             Members::Models(models) => {
@@ -683,7 +763,7 @@ mod tests {
         let p64 = model.predict_proba(q);
         let (pv64, v64) = model.predict_with_variance(q);
 
-        model.set_precision(Precision::F32);
+        model.set_precision(Precision::F32).unwrap();
         assert_eq!(model.precision(), Precision::F32);
         let f = model.forest32().expect("tree ensemble narrows an arena");
         assert_eq!(f.n_trees(), 8);
@@ -698,7 +778,7 @@ mod tests {
         }
 
         // Switching back drops the cache and restores exact f64 output.
-        model.set_precision(Precision::F64);
+        model.set_precision(Precision::F64).unwrap();
         assert!(model.forest32().is_none());
         assert_eq!(model.predict_proba(q), p64);
     }
@@ -714,7 +794,7 @@ mod tests {
         q.row_mut(0)[1] = 1e40;
         q.row_mut(2)[0] = -1e40;
         let p64 = model.predict_proba(q.view());
-        model.set_precision(Precision::F32);
+        model.set_precision(Precision::F32).unwrap();
         let p32 = model.predict_proba(q.view());
         for (a, b) in p64.iter().zip(&p32) {
             assert!((a - b).abs() <= 1e-5, "saturated row diverged: {a} vs {b}");
@@ -727,9 +807,84 @@ mod tests {
         let mut model = BaggingClassifier::fit(&BaggingConfig::svms(2, 3), rows.view(), &labels);
         let q = rows.view().head(10);
         let p64 = model.predict_proba(q);
-        model.set_precision(Precision::F32);
+        model.set_precision(Precision::F32).unwrap();
         assert!(model.forest32().is_none(), "SVMs have no f32 plane");
         assert_eq!(model.predict_proba(q), p64, "predictions stay f64-exact");
+    }
+
+    #[test]
+    fn bitvector_layout_is_bit_identical_for_trees() {
+        let (rows, labels) = imbalanced_data(300, 0.3, 31);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::trees(9, 3), rows.view(), &labels);
+        assert_eq!(model.layout(), TraversalLayout::Interleaved);
+        let q = rows.view().head(80);
+        let p64 = model.predict_proba(q);
+        let (pv64, v64) = model.predict_with_variance(q);
+        let members64 = model.member_predictions(q);
+
+        model.set_layout(TraversalLayout::BitVector);
+        assert_eq!(model.layout(), TraversalLayout::BitVector);
+        let qs = model.quickscorer().expect("tree ensembles lift a scorer");
+        assert_eq!(qs.n_trees(), 9);
+        assert_eq!(model.predict_proba(q), p64, "bit-identical mean");
+        let (pv_bv, v_bv) = model.predict_with_variance(q);
+        assert_eq!(pv_bv, pv64, "bit-identical pv mean");
+        assert_eq!(v_bv, v64, "bit-identical spread");
+        assert_eq!(
+            model.member_predictions(q).as_slice(),
+            members64.as_slice(),
+            "bit-identical member table"
+        );
+
+        // Both planes under the bitvector layout: the f32 scorer must be
+        // bit-identical to the f32 arena (compare against the interleaved
+        // f32 output).
+        model.set_layout(TraversalLayout::Interleaved);
+        model.set_precision(Precision::F32).unwrap();
+        let p32 = model.predict_proba(q);
+        model.set_layout(TraversalLayout::BitVector);
+        assert_eq!(model.predict_proba(q), p32, "f32 planes agree bit-tight");
+
+        // Switching back drops the scorer caches.
+        model.set_layout(TraversalLayout::Interleaved);
+        assert!(model.quickscorer().is_none());
+    }
+
+    #[test]
+    fn layout_switch_is_a_no_op_for_non_tree_members() {
+        let (rows, labels) = imbalanced_data(120, 0.3, 32);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::svms(2, 3), rows.view(), &labels);
+        let q = rows.view().head(10);
+        let p = model.predict_proba(q);
+        model.set_layout(TraversalLayout::BitVector);
+        assert!(model.quickscorer().is_none(), "SVMs have no tree layout");
+        assert_eq!(model.predict_proba(q), p);
+    }
+
+    #[test]
+    fn oversized_feature_width_is_a_typed_narrow_error() {
+        // 8-bit feature field caps the f32 plane at 256 features; the
+        // switch must surface the violation as a typed error and leave the
+        // model serving from the f64 plane.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..300).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let labels: Vec<f64> = (0..40).map(|i| f64::from(i % 2 == 0)).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::trees(2, 3), x.view(), &labels);
+        let err = model.set_precision(Precision::F32).unwrap_err();
+        assert_eq!(
+            err,
+            crate::forest32::NarrowError::TooManyFeatures {
+                n_features: 300,
+                max: 256
+            }
+        );
+        assert_eq!(model.precision(), Precision::F64, "plane unchanged");
+        assert!(model.forest32().is_none());
+        // The error carries the human-readable cap description.
+        assert!(err.to_string().contains("8-bit feature field"));
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl ArenaNode {
     /// Leaves self-reference; interior BFS children always come after
     /// their parent, so `left == own index` identifies a leaf.
     #[inline]
-    fn is_leaf(&self, own: u32) -> bool {
+    pub(crate) fn is_leaf(&self, own: u32) -> bool {
         self.left() == own
     }
 
@@ -104,6 +104,29 @@ impl ArenaNode {
     fn advance(&self, xv: f64) -> u32 {
         self.left() + u32::from(!(xv <= self.value))
     }
+}
+
+/// One node of a synthetic tree for [`Forest::push_raw_tree`]: either a
+/// split (`x[feature] <= threshold` → `left`, else `right`; indices into
+/// the same node slice) or a leaf carrying its prediction value.
+#[derive(Debug, Clone, Copy)]
+pub enum RawNode {
+    /// Interior split node.
+    Split {
+        /// Feature column compared against the threshold.
+        feature: u32,
+        /// Split threshold (`<=` goes left). Any non-NaN value.
+        threshold: f64,
+        /// Index of the left child in the node slice.
+        left: u32,
+        /// Index of the right child in the node slice.
+        right: u32,
+    },
+    /// Leaf node.
+    Leaf {
+        /// Prediction emitted when a row exits here.
+        value: f64,
+    },
 }
 
 /// Rows are traversed in blocks of this many: a block's feature rows stay
@@ -188,11 +211,50 @@ impl Forest {
         );
         let src = tree.nodes();
         assert!(!src.is_empty(), "cannot splice an unfitted tree");
+        let raw: Vec<RawNode> = src
+            .iter()
+            .map(|node| {
+                if node.is_leaf() {
+                    RawNode::Leaf { value: node.value }
+                } else {
+                    debug_assert!(
+                        node.value.is_finite(),
+                        "split thresholds are finite by training-data validation"
+                    );
+                    RawNode::Split {
+                        feature: node.feature as u32,
+                        threshold: node.value,
+                        left: node.left,
+                        right: node.right,
+                    }
+                }
+            })
+            .collect();
+        self.push_raw_tree(&raw);
+    }
+
+    /// Splice a synthetic tree described node by node (node 0 is the
+    /// root) — the construction surface the property suites and benches
+    /// use to build forests with exact shapes, tied thresholds, and
+    /// extreme (`±∞`, denormal-adjacent) split values that a fitted CART
+    /// tree would never produce. Fitted trees go through the same path
+    /// via [`Forest::push_tree`].
+    ///
+    /// # Panics
+    /// Panics when the nodes do not describe a proper binary tree rooted
+    /// at node 0 (a child index out of range or referenced twice, or
+    /// unreachable nodes), a split feature is out of range, or a split
+    /// threshold is NaN (`±∞` is allowed: the comparison semantics of the
+    /// traversal kernels handle it exactly).
+    pub fn push_raw_tree(&mut self, src: &[RawNode]) {
+        assert!(!src.is_empty(), "cannot splice an empty tree");
         let base = self.nodes.len() as u32;
 
-        // BFS pass: source index and level of every node in visit order.
+        // BFS pass: source index and level of every node in visit order,
+        // doubling as tree-shape validation (each node reached exactly
+        // once from the root).
         let mut order: Vec<(u32, u32)> = Vec::with_capacity(src.len());
-        let mut new_index: Vec<u32> = vec![0; src.len()];
+        let mut new_index: Vec<u32> = vec![u32::MAX; src.len()];
         order.push((0, 0));
         new_index[0] = base;
         let mut head = 0;
@@ -201,42 +263,62 @@ impl Forest {
             let (si, level) = order[head];
             head += 1;
             depth = depth.max(level);
-            let node = &src[si as usize];
-            if !node.is_leaf() {
-                for child in [node.left, node.right] {
+            if let RawNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } = src[si as usize]
+            {
+                assert!(
+                    (feature as usize) < self.n_features,
+                    "split feature out of range"
+                );
+                assert!(!threshold.is_nan(), "split threshold must not be NaN");
+                for child in [left, right] {
+                    assert!(
+                        (child as usize) < src.len(),
+                        "child index out of range in raw tree"
+                    );
+                    assert!(
+                        new_index[child as usize] == u32::MAX && child != 0,
+                        "raw tree node referenced twice (not a tree)"
+                    );
                     new_index[child as usize] = base + order.len() as u32;
                     order.push((child, level + 1));
                 }
             }
         }
+        assert_eq!(order.len(), src.len(), "raw tree has unreachable nodes");
 
         self.nodes.reserve(src.len());
         self.leaf_values.reserve(src.len());
         for &(si, _) in &order {
-            let node = &src[si as usize];
-            if node.is_leaf() {
-                self.nodes
-                    .push(ArenaNode::new(f64::INFINITY, new_index[si as usize], 0));
-                self.leaf_values.push(node.value);
-            } else {
-                // The BFS pass pushed this split's children back to back,
-                // so the right child sits directly after the left one —
-                // the invariant ArenaNode::advance relies on.
-                debug_assert_eq!(
-                    new_index[node.right as usize],
-                    new_index[node.left as usize] + 1,
-                    "BFS splice must place siblings adjacently"
-                );
-                debug_assert!(
-                    node.value.is_finite(),
-                    "split thresholds are finite by training-data validation"
-                );
-                self.nodes.push(ArenaNode::new(
-                    node.value,
-                    new_index[node.left as usize],
-                    node.feature as u32,
-                ));
-                self.leaf_values.push(0.0);
+            match src[si as usize] {
+                RawNode::Leaf { value } => {
+                    self.nodes
+                        .push(ArenaNode::new(f64::INFINITY, new_index[si as usize], 0));
+                    self.leaf_values.push(value);
+                }
+                RawNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    // The BFS pass pushed this split's children back to
+                    // back, so the right child sits directly after the
+                    // left one — the invariant ArenaNode::advance relies
+                    // on.
+                    debug_assert_eq!(
+                        new_index[right as usize],
+                        new_index[left as usize] + 1,
+                        "BFS splice must place siblings adjacently"
+                    );
+                    self.nodes
+                        .push(ArenaNode::new(threshold, new_index[left as usize], feature));
+                    self.leaf_values.push(0.0);
+                }
             }
         }
         self.roots.push(base);

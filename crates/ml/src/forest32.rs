@@ -58,9 +58,9 @@ const MAX_FEATURES: usize = 1 << 8;
 /// `ArenaNode`: interior nodes store the left child (right is `left + 1`),
 /// leaves store `+∞` and self-reference with `feature = 0`.
 #[derive(Debug, Clone, Copy)]
-struct ArenaNode32 {
+pub(crate) struct ArenaNode32 {
     /// Split threshold for interior nodes; `+∞` for leaves.
-    value: f32,
+    pub(crate) value: f32,
     /// Packed `left_child | feature << 24`.
     packed: u32,
 }
@@ -77,18 +77,18 @@ impl ArenaNode32 {
     }
 
     #[inline(always)]
-    fn left(&self) -> u32 {
+    pub(crate) fn left(&self) -> u32 {
         self.packed & (MAX_NODES as u32 - 1)
     }
 
     #[inline(always)]
-    fn feature(&self) -> u32 {
+    pub(crate) fn feature(&self) -> u32 {
         self.packed >> 24
     }
 
     /// Leaves self-reference (see the f64 `ArenaNode`).
     #[inline]
-    fn is_leaf(&self, own: u32) -> bool {
+    pub(crate) fn is_leaf(&self, own: u32) -> bool {
         self.left() == own
     }
 
@@ -122,6 +122,68 @@ fn narrow_threshold(t: f64) -> f32 {
     }
 }
 
+/// Why a trained f64 [`Forest`] cannot be narrowed into the f32 plane's
+/// packed 24-bit-node / 8-bit-feature word. Surfaced through
+/// `set_precision` on the ensembles so callers can react (keep serving
+/// from the f64 plane) instead of panicking deep inside a conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NarrowError {
+    /// The arena has no trees; there is nothing to narrow.
+    EmptyForest,
+    /// The node count exceeds the 24-bit child index (`2²⁴` nodes).
+    TooManyNodes {
+        /// Nodes in the source arena.
+        n_nodes: usize,
+        /// Exclusive cap of the packed index.
+        max: usize,
+    },
+    /// The feature width exceeds the 8-bit feature field (256 features).
+    TooManyFeatures {
+        /// Feature width of the source arena.
+        n_features: usize,
+        /// Inclusive cap of the packed field.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for NarrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NarrowError::EmptyForest => write!(f, "cannot narrow an empty forest"),
+            NarrowError::TooManyNodes { n_nodes, max } => write!(
+                f,
+                "forest arena exceeds the 24-bit node index of the f32 plane \
+                 ({n_nodes} nodes, cap {max})"
+            ),
+            NarrowError::TooManyFeatures { n_features, max } => write!(
+                f,
+                "feature width exceeds the 8-bit feature field of the f32 plane \
+                 ({n_features} features, cap {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NarrowError {}
+
+/// The packing-cap check behind [`Forest32::try_from_forest`], factored
+/// out so the caps are testable without allocating a 2²⁴-node arena.
+pub(crate) fn check_caps(n_nodes: usize, n_features: usize) -> Result<(), NarrowError> {
+    if n_nodes >= MAX_NODES {
+        return Err(NarrowError::TooManyNodes {
+            n_nodes,
+            max: MAX_NODES,
+        });
+    }
+    if n_features > MAX_FEATURES {
+        return Err(NarrowError::TooManyFeatures {
+            n_features,
+            max: MAX_FEATURES,
+        });
+    }
+    Ok(())
+}
+
 /// An f32 arena of decision trees, converted from a trained f64 [`Forest`].
 /// Same BFS layout, half the node and leaf-table footprint.
 #[derive(Debug, Clone)]
@@ -141,18 +203,23 @@ impl Forest32 {
     ///
     /// # Panics
     /// Panics when the arena exceeds the packing limits (2²⁴ nodes / 256
-    /// features) or is empty.
+    /// features) or is empty; [`Forest32::try_from_forest`] surfaces those
+    /// cases as a typed [`NarrowError`] instead.
     pub fn from_forest(forest: &Forest) -> Self {
+        match Self::try_from_forest(forest) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible narrowing: [`Forest32::from_forest`] with the packing caps
+    /// reported as a typed error instead of a panic.
+    pub fn try_from_forest(forest: &Forest) -> Result<Self, NarrowError> {
         let (nodes, leaf_values, roots, depths) = forest.arena_parts();
-        assert!(!roots.is_empty(), "cannot narrow an empty forest");
-        assert!(
-            nodes.len() < MAX_NODES,
-            "forest arena exceeds the 24-bit node index of the f32 plane"
-        );
-        assert!(
-            forest.n_features() <= MAX_FEATURES,
-            "feature width exceeds the 8-bit feature field of the f32 plane"
-        );
+        if roots.is_empty() {
+            return Err(NarrowError::EmptyForest);
+        }
+        check_caps(nodes.len(), forest.n_features())?;
         let nodes32: Vec<ArenaNode32> = nodes
             .iter()
             .map(|n| {
@@ -160,23 +227,28 @@ impl Forest32 {
                 // query plane's ±f32::MAX clamp (`simd32::narrow`): t >
                 // f32::MAX narrows down to f32::MAX (every clamped query
                 // goes left, as in f64); t < -f32::MAX narrows to -inf
-                // (every clamped query goes right, as in f64). Only the
-                // leaves' +∞ marker is genuinely infinite.
+                // (every clamped query goes right, as in f64). Interior
+                // `±∞` thresholds (synthetic trees only) narrow to
+                // themselves and keep their always-left / always-right
+                // semantics; NaN never occurs in an arena.
                 let v32 = narrow_threshold(n.value);
-                debug_assert!(
-                    v32 == f32::INFINITY || n.value.is_finite(),
-                    "only leaf markers narrow to +inf"
-                );
+                debug_assert!(!v32.is_nan(), "arena thresholds are never NaN");
                 ArenaNode32::new(v32, n.left(), n.feature())
             })
             .collect();
-        Self {
+        Ok(Self {
             nodes: nodes32,
             leaf_values: leaf_values.iter().map(|&v| v as f32).collect(),
             roots: roots.to_vec(),
             depths: depths.to_vec(),
             n_features: forest.n_features(),
-        }
+        })
+    }
+
+    /// The raw arena parts `(nodes, leaf_values, roots)` — the lift input
+    /// of [`crate::qs::QuickScorer32::from_forest32`].
+    pub(crate) fn arena_parts32(&self) -> (&[ArenaNode32], &[f32], &[u32]) {
+        (&self.nodes, &self.leaf_values, &self.roots)
     }
 
     /// Number of trees in the arena.
@@ -454,6 +526,90 @@ mod tests {
         let n = ArenaNode32::new(1.5, (MAX_NODES - 1) as u32, (MAX_FEATURES - 1) as u32);
         assert_eq!(n.left(), (MAX_NODES - 1) as u32);
         assert_eq!(n.feature(), (MAX_FEATURES - 1) as u32);
+    }
+
+    #[test]
+    fn packing_caps_are_typed_errors() {
+        // The caps themselves, checked without allocating a 2²⁴-node
+        // arena: the node count must stay below the 24-bit child index and
+        // the feature width within the 8-bit field.
+        assert_eq!(check_caps(MAX_NODES - 1, MAX_FEATURES), Ok(()));
+        assert_eq!(
+            check_caps(MAX_NODES, 3),
+            Err(NarrowError::TooManyNodes {
+                n_nodes: MAX_NODES,
+                max: MAX_NODES
+            })
+        );
+        assert_eq!(
+            check_caps(10, MAX_FEATURES + 1),
+            Err(NarrowError::TooManyFeatures {
+                n_features: MAX_FEATURES + 1,
+                max: MAX_FEATURES
+            })
+        );
+        // Display strings name the violated field (surfaced to users via
+        // set_precision).
+        assert!(check_caps(MAX_NODES, 3)
+            .unwrap_err()
+            .to_string()
+            .contains("24-bit node index"));
+    }
+
+    #[test]
+    fn try_from_forest_reports_feature_cap() {
+        use crate::forest::RawNode;
+        let mut forest = Forest::new(300);
+        forest.push_raw_tree(&[
+            RawNode::Split {
+                feature: 299,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            RawNode::Leaf { value: 0.0 },
+            RawNode::Leaf { value: 1.0 },
+        ]);
+        assert_eq!(
+            Forest32::try_from_forest(&forest).unwrap_err(),
+            NarrowError::TooManyFeatures {
+                n_features: 300,
+                max: MAX_FEATURES
+            }
+        );
+    }
+
+    #[test]
+    fn try_from_forest_reports_empty_forests() {
+        let forest = Forest::new(3);
+        assert_eq!(
+            Forest32::try_from_forest(&forest).unwrap_err(),
+            NarrowError::EmptyForest
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width exceeds the 8-bit feature field")]
+    fn from_forest_panics_on_the_feature_cap() {
+        use crate::forest::RawNode;
+        let mut forest = Forest::new(257);
+        forest.push_raw_tree(&[
+            RawNode::Split {
+                feature: 256,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            RawNode::Leaf { value: 0.0 },
+            RawNode::Leaf { value: 1.0 },
+        ]);
+        let _ = Forest32::from_forest(&forest);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot narrow an empty forest")]
+    fn from_forest_panics_on_empty_forests() {
+        let _ = Forest32::from_forest(&Forest::new(3));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! The traversal-engine selector for tree-backed prediction.
+//!
+//! Three traversal engines coexist over the same trained trees: the
+//! per-row root-to-leaf walk (the reference), the register-interleaved
+//! arena batch kernel ([`crate::forest::Forest`], the default), and the
+//! QuickScorer-style bitvector scorer ([`crate::qs::QuickScorer`]).
+//! [`TraversalLayout`] selects which engine serves *batch* predictions;
+//! the per-row walk stays the parity reference regardless.
+//!
+//! Like [`crate::precision::Precision`], the switch never changes
+//! numbers: all engines perform exactly the same `feature <= threshold`
+//! comparisons on exactly the same threshold and leaf values, so f64
+//! surfaces are bit-identical across layouts (pinned by the proptest and
+//! golden parity suites), and the f32 plane's documented divergence
+//! policy is unchanged. It changes memory behaviour only: the bitvector
+//! layout replaces dependent node loads with streaming threshold scans,
+//! which pays off when the arena and its feature batch outgrow cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Which traversal engine serves batch tree predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraversalLayout {
+    /// The packed-arena batch kernel (default): 16-way register-
+    /// interleaved root-to-leaf walks over 16-byte (f64) / 8-byte (f32)
+    /// nodes.
+    Interleaved,
+    /// QuickScorer-style bitvector scoring: feature-major streaming
+    /// threshold scans with per-tree leaf bitvectors, leaves recovered by
+    /// leftmost set bit.
+    BitVector,
+}
+
+// Manual impl: the vendored serde derive's token walker does not accept a
+// `#[default]` attribute on enum variants, which `#[derive(Default)]` needs.
+#[allow(clippy::derivable_impls)]
+impl Default for TraversalLayout {
+    fn default() -> Self {
+        TraversalLayout::Interleaved
+    }
+}

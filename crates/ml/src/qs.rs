@@ -1,0 +1,1255 @@
+//! QuickScorer-style bitvector forest scoring.
+//!
+//! The interleaved arena ([`crate::forest::Forest`]) advances a row through
+//! a tree one level at a time: each step is a dependent node load followed
+//! by a dependent feature load, and at ~2 cycles/step the kernel sits on
+//! the load-port floor of its node format. This module trades that
+//! root-to-leaf pointer chase for the bitvector formulation of Lucchese et
+//! al.'s QuickScorer (QS / V-QuickScorer line of work):
+//!
+//! * **Leaves as bits.** Each tree's leaves are numbered left to right; a
+//!   row's candidate-leaf set is a bitvector initialised to all ones.
+//! * **Conditions as masks.** Every split (`x[f] <= t` → left) owns a mask
+//!   with zeros over its *left* subtree's leaves. When the condition is
+//!   FALSE (`x[f] > t`) the row can never reach those leaves, so the mask
+//!   is ANDed into the tree's bitvector. True conditions are never
+//!   touched. After all false conditions are applied, the **leftmost set
+//!   bit** of the bitvector is exactly the exit leaf of the classic walk
+//!   (any leaf left of it is removed by the lowest false ancestor it
+//!   shares with the exit path).
+//! * **Feature-major streaming.** Conditions of all trees are regrouped by
+//!   feature and sorted ascending by threshold. For a row value `xv`, the
+//!   false conditions of feature `f` are precisely a *prefix* of that
+//!   sorted list: one streaming scan applies masks until the first
+//!   `xv <= t`, then breaks — no per-tree pointer chasing, no data-
+//!   dependent loads, just a linear walk over two flat arrays.
+//!
+//! Scoring performs exactly the comparisons `x[f] <= t` of the fitted
+//! tree on exactly the arena's threshold values, and exit-leaf values are
+//! read from the same leaf table, so results are **bit-identical** to both
+//! the per-row walk and the interleaved batch traversal (pinned by
+//! `crates/ml/tests/qs_proptest.rs` and the repo-level parity suites).
+//!
+//! Trees whose leaf count exceeds 64 use as many 64-bit words as they
+//! need; when every tree fits one word (the common case for the CART
+//! config used here) a dense single-word layout stores each mask inline
+//! with its condition and keeps the whole per-row state in `n_trees`
+//! words.
+//!
+//! Like the arena kernels, batch entry points assert the query matrix
+//! finite; rows are scored in [`ROW_BLOCK`]-row blocks that fan out across
+//! the work-stealing pool.
+
+use crate::forest::{Forest, ROW_BLOCK};
+use crate::forest32::Forest32;
+use paws_data::matrix::{Matrix, MatrixView};
+use paws_data::matrix32::{Matrix32, MatrixView32};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Scalar plane the scorer operates on (f64 arena or the narrowed f32
+/// plane). The comparison used while scanning is the plain `<=` of the
+/// traversal kernels; `total_order` is only used to sort conditions at
+/// build time (thresholds are never NaN, so any total order refining the
+/// partial one is fine — `total_cmp` keeps the build NaN-robust anyway).
+trait QsScalar: Copy + PartialOrd {
+    fn total_order(a: Self, b: Self) -> Ordering;
+}
+
+impl QsScalar for f64 {
+    #[inline]
+    fn total_order(a: Self, b: Self) -> Ordering {
+        a.total_cmp(&b)
+    }
+}
+
+impl QsScalar for f32 {
+    #[inline]
+    fn total_order(a: Self, b: Self) -> Ordering {
+        a.total_cmp(&b)
+    }
+}
+
+/// One split condition lifted out of a tree: when FALSE (`xv > threshold`),
+/// leaves `[remove_lo, remove_hi)` of `tree` become unreachable.
+struct RawCond<T> {
+    feature: u32,
+    threshold: T,
+    tree: u32,
+    remove_lo: u32,
+    remove_hi: u32,
+}
+
+/// Feature-major condition table. `Single` is the dense fast path taken
+/// when every tree has ≤ 64 leaves: the mask lives inline with its
+/// condition and the per-row state is one word per tree. `Multi` handles
+/// arbitrary leaf counts with per-condition word runs.
+#[derive(Debug, Clone)]
+enum CondTable<T> {
+    Single {
+        /// Ascending within each feature group.
+        thresholds: Vec<T>,
+        /// Inline leaf mask of each condition.
+        masks: Vec<u64>,
+        /// Tree (= state word) of each condition.
+        trees: Vec<u32>,
+    },
+    Multi {
+        thresholds: Vec<T>,
+        /// First word of the condition's mask in `masks`.
+        mask_off: Vec<u32>,
+        /// First state word of the condition's tree.
+        state_off: Vec<u32>,
+        /// Words per condition (the tree's word count).
+        n_words: Vec<u32>,
+        masks: Vec<u64>,
+    },
+}
+
+/// Per-feature cumulative-AND tables: row `r` of feature `f` is the AND of
+/// the masks of `f`'s first `r` conditions (ascending thresholds),
+/// expanded to full state width. A row whose value has rank `r` among a
+/// feature's thresholds picks up *all* of that feature's false masks with
+/// one `n_words`-wide AND — the per-condition scan collapses to a binary
+/// search plus one streaming vector op. Because ANDs are idempotent,
+/// prefix rows compose freely with the hierarchical block/sub-block folds
+/// (re-ANDing already-applied masks changes nothing).
+#[derive(Debug, Clone)]
+struct PrefixTable {
+    /// Start of feature `f`'s rows, in units of state rows:
+    /// `(row_off[f] + rank) * n_words` indexes `words`.
+    row_off: Vec<u32>,
+    words: Vec<u64>,
+}
+
+/// Prefix tables are skipped above this size ((conds + features) × state
+/// words); the per-condition scan path serves oversized models instead.
+/// 2²³ words = 64 MB — far above any ensemble in this reproduction.
+const MAX_PREFIX_WORDS: usize = 1 << 23;
+
+/// The layout-independent scoring core shared by the f64 and f32 planes.
+#[derive(Debug, Clone)]
+struct QsCore<T> {
+    /// `feat_offsets[f]..feat_offsets[f + 1]` is feature `f`'s condition
+    /// range in the table.
+    feat_offsets: Vec<u32>,
+    table: CondTable<T>,
+    /// Cumulative-AND rows (present unless the model exceeds
+    /// [`MAX_PREFIX_WORDS`]); `None` falls back to the per-condition scan.
+    prefix: Option<PrefixTable>,
+    /// All-leaves-candidate bitvectors, copied into the per-row state at
+    /// the start of each row (one word per tree for `Single`, the packed
+    /// word runs for `Multi`).
+    init_state: Vec<u64>,
+    /// Prefix offsets of each tree's words in the state (`n_trees + 1`);
+    /// for `Single` this is simply `0..=n_trees`.
+    tree_state_off: Vec<u32>,
+    /// Prefix offsets of each tree's leaves in `leaf_values`.
+    leaf_base: Vec<u32>,
+    /// Exit-leaf values of every tree, in left-to-right leaf order.
+    leaf_values: Vec<T>,
+    n_features: usize,
+    n_trees: usize,
+}
+
+/// Clear bits `lo..hi` across a little-endian word run.
+fn clear_range(words: &mut [u64], lo: usize, hi: usize) {
+    for b in lo..hi {
+        words[b / 64] &= !(1u64 << (b % 64));
+    }
+}
+
+/// AND a prefix row into a state row (auto-vectorised streaming op).
+#[inline]
+fn and_row(state: &mut [u64], row: &[u64]) {
+    for (s, &r) in state.iter_mut().zip(row) {
+        *s &= r;
+    }
+}
+
+impl<T: QsScalar> QsCore<T> {
+    /// Assemble the feature-major table from per-tree condition lists and
+    /// leaf tables (produced by the arena walkers below).
+    fn build(
+        n_features: usize,
+        conds: Vec<RawCond<T>>,
+        leaves_per_tree: &[u32],
+        leaf_values: Vec<T>,
+    ) -> Self {
+        let n_trees = leaves_per_tree.len();
+        assert!(n_trees > 0, "empty forest");
+
+        // Per-tree word counts and state offsets.
+        let single = leaves_per_tree.iter().all(|&l| l <= 64);
+        let words_per_tree: Vec<u32> = leaves_per_tree
+            .iter()
+            .map(|&l| if single { 1 } else { l.div_ceil(64) })
+            .collect();
+        let mut tree_state_off = Vec::with_capacity(n_trees + 1);
+        tree_state_off.push(0u32);
+        for &w in &words_per_tree {
+            tree_state_off.push(tree_state_off.last().unwrap() + w);
+        }
+        let mut leaf_base = Vec::with_capacity(n_trees + 1);
+        leaf_base.push(0u32);
+        for &l in leaves_per_tree {
+            leaf_base.push(leaf_base.last().unwrap() + l);
+        }
+
+        // All-ones-up-to-leaf-count initial state.
+        let total_words = *tree_state_off.last().unwrap() as usize;
+        let mut init_state = vec![0u64; total_words];
+        for (t, &l) in leaves_per_tree.iter().enumerate() {
+            let words = &mut init_state[tree_state_off[t] as usize..tree_state_off[t + 1] as usize];
+            for (w, word) in words.iter_mut().enumerate() {
+                let lo = w * 64;
+                let set = (l as usize).saturating_sub(lo).min(64);
+                *word = if set == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << set) - 1
+                };
+            }
+        }
+
+        // Regroup feature-major, ascending thresholds (stable sort keeps
+        // equal-threshold conditions in tree/discovery order, which is
+        // irrelevant for correctness — ties are either all applied or all
+        // skipped — but keeps the build deterministic).
+        let mut order: Vec<u32> = (0..conds.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (&conds[a as usize], &conds[b as usize]);
+            ca.feature
+                .cmp(&cb.feature)
+                .then_with(|| T::total_order(ca.threshold, cb.threshold))
+        });
+
+        let mut feat_offsets = vec![0u32; n_features + 1];
+        for c in &conds {
+            assert!(
+                (c.feature as usize) < n_features,
+                "condition feature out of range"
+            );
+            feat_offsets[c.feature as usize + 1] += 1;
+        }
+        for f in 0..n_features {
+            feat_offsets[f + 1] += feat_offsets[f];
+        }
+
+        let table = if single {
+            let mut thresholds = Vec::with_capacity(conds.len());
+            let mut masks = Vec::with_capacity(conds.len());
+            let mut trees = Vec::with_capacity(conds.len());
+            for &i in &order {
+                let c = &conds[i as usize];
+                let run = c.remove_hi - c.remove_lo;
+                debug_assert!(run < 64, "single-word left subtree has < 64 leaves");
+                thresholds.push(c.threshold);
+                masks.push(!(((1u64 << run) - 1) << c.remove_lo));
+                trees.push(c.tree);
+            }
+            CondTable::Single {
+                thresholds,
+                masks,
+                trees,
+            }
+        } else {
+            let mut thresholds = Vec::with_capacity(conds.len());
+            let mut mask_off = Vec::with_capacity(conds.len());
+            let mut state_off = Vec::with_capacity(conds.len());
+            let mut n_words = Vec::with_capacity(conds.len());
+            let mut masks = Vec::new();
+            for &i in &order {
+                let c = &conds[i as usize];
+                let t = c.tree as usize;
+                let w = words_per_tree[t] as usize;
+                thresholds.push(c.threshold);
+                mask_off.push(masks.len() as u32);
+                state_off.push(tree_state_off[t]);
+                n_words.push(w as u32);
+                let start = masks.len();
+                masks.resize(start + w, u64::MAX);
+                clear_range(
+                    &mut masks[start..],
+                    c.remove_lo as usize,
+                    c.remove_hi as usize,
+                );
+            }
+            CondTable::Multi {
+                thresholds,
+                mask_off,
+                state_off,
+                n_words,
+                masks,
+            }
+        };
+
+        let mut core = Self {
+            feat_offsets,
+            table,
+            prefix: None,
+            init_state,
+            tree_state_off,
+            leaf_base,
+            leaf_values,
+            n_features,
+            n_trees,
+        };
+        core.prefix = core.build_prefix();
+        core
+    }
+
+    /// Precompute the per-feature cumulative-AND rows (see
+    /// [`PrefixTable`]); `None` when the table would exceed
+    /// [`MAX_PREFIX_WORDS`] or when the per-condition scan is the cheaper
+    /// shape: a prefix AND costs `n_words` words per active feature per
+    /// row (≈ `n_features × n_words` per row in total), while the scan
+    /// costs roughly one word-AND per false in-window condition (a
+    /// fraction of `n_conditions`). Prefix rows therefore pay off for
+    /// ensembles of few *large* trees (many conditions, narrow state) and
+    /// the scan for many *small* trees (wide state, few conditions per
+    /// tree); `n_features × n_words > n_conditions` is the measured
+    /// crossover on the LLC-park workloads.
+    fn build_prefix(&self) -> Option<PrefixTable> {
+        let nw = self.init_state.len();
+        let n_rows = self.n_conditions() + self.n_features;
+        if n_rows.saturating_mul(nw) > MAX_PREFIX_WORDS {
+            return None;
+        }
+        if self.n_features.saturating_mul(nw) > self.n_conditions() {
+            return None;
+        }
+        let mut row_off = Vec::with_capacity(self.n_features);
+        let mut words = Vec::with_capacity(n_rows * nw);
+        let mut acc = vec![u64::MAX; nw];
+        for f in 0..self.n_features {
+            row_off.push((words.len() / nw) as u32);
+            acc.fill(u64::MAX);
+            words.extend_from_slice(&acc);
+            for i in self.feat_offsets[f] as usize..self.feat_offsets[f + 1] as usize {
+                self.apply_cond(i, &mut acc);
+                words.extend_from_slice(&acc);
+            }
+        }
+        Some(PrefixTable { row_off, words })
+    }
+
+    /// AND condition `i`'s mask into `acc` (full state width).
+    #[inline]
+    fn apply_cond(&self, i: usize, acc: &mut [u64]) {
+        match &self.table {
+            CondTable::Single { masks, trees, .. } => {
+                acc[trees[i] as usize] &= masks[i];
+            }
+            CondTable::Multi {
+                mask_off,
+                state_off,
+                n_words,
+                masks,
+                ..
+            } => {
+                let so = state_off[i] as usize;
+                let mo = mask_off[i] as usize;
+                for k in 0..n_words[i] as usize {
+                    acc[so + k] &= masks[mo + k];
+                }
+            }
+        }
+    }
+
+    /// The sorted threshold array (shared by both table variants).
+    #[inline]
+    fn thresholds(&self) -> &[T] {
+        match &self.table {
+            CondTable::Single { thresholds, .. } | CondTable::Multi { thresholds, .. } => {
+                thresholds
+            }
+        }
+    }
+
+    fn n_conditions(&self) -> usize {
+        match &self.table {
+            CondTable::Single { thresholds, .. } | CondTable::Multi { thresholds, .. } => {
+                thresholds.len()
+            }
+        }
+    }
+
+    fn is_single_word(&self) -> bool {
+        matches!(self.table, CondTable::Single { .. })
+    }
+
+    /// Score rows `0..len` of the contiguous row window `rows`
+    /// (`len × n_cols`), writing tree `t`, row `j` to
+    /// `out[t * out_stride + out_offset + j]` — the exact output contract
+    /// of the arena's `traverse_block`.
+    ///
+    /// # Hierarchical window pruning
+    ///
+    /// A naive per-row scan applies every false condition one row at a
+    /// time — on a park-scale ensemble that is ~half of *all* conditions
+    /// per row, an order of magnitude more work than the interleaved
+    /// arena's `trees × depth` advances. But mask ANDs **commute and are
+    /// idempotent**, and the rows of a park-response block are spatially
+    /// adjacent cells whose feature values span narrow ranges. So the
+    /// scan is shared hierarchically:
+    ///
+    /// * conditions with `t < min(block)` are false for *every* row in
+    ///   the block — their masks fold **once** into a block-level prefix
+    ///   bitvector;
+    /// * conditions with `t >= max(block)` are true for every row — the
+    ///   ascending scan never reaches them;
+    /// * only conditions with `t` inside the block's `[min, max)` window
+    ///   need per-row decisions, and a second 16-row sub-block level
+    ///   shrinks that window again before the per-row scan runs.
+    ///
+    /// Each row then starts from its sub-block prefix and applies only
+    /// the handful of conditions whose thresholds fall inside the
+    /// sub-block window below its own value. Exactly the same set of
+    /// masks is ANDed per row as in the naive scan — just factored across
+    /// the hierarchy — so results are unchanged, bit for bit.
+    fn score_rows(
+        &self,
+        rows: &[T],
+        n_cols: usize,
+        len: usize,
+        out: &mut [T],
+        out_stride: usize,
+        out_offset: usize,
+    ) {
+        debug_assert_eq!(rows.len(), len * n_cols);
+        debug_assert!(out.len() >= (self.n_trees - 1) * out_stride + out_offset + len);
+        if let Some(prefix) = &self.prefix {
+            return self.score_rows_prefix(prefix, rows, n_cols, len, out, out_stride, out_offset);
+        }
+        let nf = self.n_features;
+        let nw = self.init_state.len();
+
+        // Per-feature block minima (the scan breaks at the first true
+        // comparison on its own, so only the fold bound is needed here —
+        // maxima matter only to the prefix path's active-window test).
+        let mut block_min: Vec<T> = rows[..nf].to_vec();
+        for row in rows.chunks_exact(n_cols).skip(1) {
+            for f in 0..nf {
+                let v = row[f];
+                if v < block_min[f] {
+                    block_min[f] = v;
+                }
+            }
+        }
+
+        // Block-level prefix: fold every condition false for the whole
+        // block; remember where the per-feature in-window scans start.
+        let mut block_prefix = self.init_state.clone();
+        let mut block_lo: Vec<u32> = vec![0; nf];
+        for f in 0..nf {
+            block_lo[f] = self.fold_below(
+                self.feat_offsets[f] as usize,
+                self.feat_offsets[f + 1] as usize,
+                block_min[f],
+                &mut block_prefix,
+            ) as u32;
+        }
+
+        let mut sub_prefix = vec![0u64; nw];
+        let mut state = vec![0u64; nw];
+        let mut sub_lo: Vec<u32> = vec![0; nf];
+        let mut sub_min: Vec<T> = block_min.clone();
+        for sub_start in (0..len).step_by(SUB_BLOCK) {
+            let sub_len = SUB_BLOCK.min(len - sub_start);
+            let sub_rows = &rows[sub_start * n_cols..(sub_start + sub_len) * n_cols];
+
+            // Sub-block windows and prefix (on top of the block prefix).
+            sub_min.copy_from_slice(&sub_rows[..nf]);
+            for row in sub_rows.chunks_exact(n_cols).skip(1) {
+                for (m, &v) in sub_min.iter_mut().zip(row) {
+                    if v < *m {
+                        *m = v;
+                    }
+                }
+            }
+            sub_prefix.copy_from_slice(&block_prefix);
+            for f in 0..nf {
+                sub_lo[f] = self.fold_below(
+                    block_lo[f] as usize,
+                    self.feat_offsets[f + 1] as usize,
+                    sub_min[f],
+                    &mut sub_prefix,
+                ) as u32;
+            }
+
+            // Per-row residual scan from the sub-block frontier.
+            for (j, row) in sub_rows.chunks_exact(n_cols).enumerate() {
+                state.copy_from_slice(&sub_prefix);
+                match &self.table {
+                    CondTable::Single {
+                        thresholds,
+                        masks,
+                        trees,
+                    } => {
+                        for (f, &xv) in row.iter().enumerate() {
+                            let hi = self.feat_offsets[f + 1] as usize;
+                            let mut i = sub_lo[f] as usize;
+                            // False conditions are a prefix of the
+                            // ascending-threshold list: stream masks
+                            // until the first true comparison, then stop.
+                            while i < hi && xv > thresholds[i] {
+                                state[trees[i] as usize] &= masks[i];
+                                i += 1;
+                            }
+                        }
+                    }
+                    CondTable::Multi {
+                        thresholds,
+                        mask_off,
+                        state_off,
+                        n_words,
+                        masks,
+                    } => {
+                        for (f, &xv) in row.iter().enumerate() {
+                            let hi = self.feat_offsets[f + 1] as usize;
+                            let mut i = sub_lo[f] as usize;
+                            while i < hi && xv > thresholds[i] {
+                                let so = state_off[i] as usize;
+                                let mo = mask_off[i] as usize;
+                                for k in 0..n_words[i] as usize {
+                                    state[so + k] &= masks[mo + k];
+                                }
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                self.recover_leaves(&state, out, out_stride, out_offset + sub_start + j);
+            }
+        }
+    }
+
+    /// The prefix-table fast path of [`QsCore::score_rows`]: the same
+    /// block / sub-block / row hierarchy, but every "apply this feature's
+    /// false masks" step is one binary-searched rank plus one streaming
+    /// AND of a precomputed cumulative row — per-condition work vanishes
+    /// from the per-row loop entirely. Exactly the same mask set reaches
+    /// every row's state (prefix rows are cumulative ANDs of the same
+    /// masks, and re-ANDing masks already folded at an outer level is a
+    /// no-op), so results are bit-identical to the scan path.
+    #[allow(clippy::too_many_arguments)]
+    fn score_rows_prefix(
+        &self,
+        prefix: &PrefixTable,
+        rows: &[T],
+        n_cols: usize,
+        len: usize,
+        out: &mut [T],
+        out_stride: usize,
+        out_offset: usize,
+    ) {
+        let nf = self.n_features;
+        let nw = self.init_state.len();
+        let thresholds = self.thresholds();
+        let row_of = |f: usize, rank: usize| -> &[u64] {
+            let base = (prefix.row_off[f] as usize + rank) * nw;
+            &prefix.words[base..base + nw]
+        };
+
+        // Per-feature value windows over the whole block.
+        let mut block_min: Vec<T> = rows[..nf].to_vec();
+        let mut block_max: Vec<T> = rows[..nf].to_vec();
+        for row in rows.chunks_exact(n_cols).skip(1) {
+            for f in 0..nf {
+                let v = row[f];
+                if v < block_min[f] {
+                    block_min[f] = v;
+                }
+                if v > block_max[f] {
+                    block_max[f] = v;
+                }
+            }
+        }
+
+        // Features whose rank cannot vary inside the block fold their
+        // prefix row once; the rest stay active with their cond-index
+        // bounds `[a, b)` (every in-block rank lies in `a..=b`).
+        let mut block_prefix = self.init_state.clone();
+        let mut block_active: Vec<(u32, u32, u32)> = Vec::new();
+        for f in 0..nf {
+            let lo = self.feat_offsets[f] as usize;
+            let hi = self.feat_offsets[f + 1] as usize;
+            let ts = &thresholds[lo..hi];
+            let a = lo + ts.partition_point(|&t| t < block_min[f]);
+            let b = lo + ts.partition_point(|&t| t < block_max[f]);
+            if a == b {
+                and_row(&mut block_prefix, row_of(f, a - lo));
+            } else {
+                block_active.push((f as u32, a as u32, b as u32));
+            }
+        }
+
+        let mut sub_prefix = vec![0u64; nw];
+        let mut states = vec![0u64; SUB_BLOCK * nw];
+        let mut sub_active: Vec<(u32, u32, u32)> = Vec::with_capacity(block_active.len());
+        let mut sub_min: Vec<T> = block_min.clone();
+        let mut sub_max: Vec<T> = block_max.clone();
+        for sub_start in (0..len).step_by(SUB_BLOCK) {
+            let sub_len = SUB_BLOCK.min(len - sub_start);
+            let sub_rows = &rows[sub_start * n_cols..(sub_start + sub_len) * n_cols];
+
+            // Narrow the active features' windows to the sub-block.
+            for &(f, _, _) in &block_active {
+                let f = f as usize;
+                sub_min[f] = sub_rows[f];
+                sub_max[f] = sub_rows[f];
+            }
+            for row in sub_rows.chunks_exact(n_cols).skip(1) {
+                for &(f, _, _) in &block_active {
+                    let f = f as usize;
+                    let v = row[f];
+                    if v < sub_min[f] {
+                        sub_min[f] = v;
+                    }
+                    if v > sub_max[f] {
+                        sub_max[f] = v;
+                    }
+                }
+            }
+            sub_prefix.copy_from_slice(&block_prefix);
+            sub_active.clear();
+            for &(f, a, b) in &block_active {
+                let (fu, au, bu) = (f as usize, a as usize, b as usize);
+                let lo = self.feat_offsets[fu] as usize;
+                let ts = &thresholds[au..bu];
+                let a2 = au + ts.partition_point(|&t| t < sub_min[fu]);
+                let b2 = au + ts.partition_point(|&t| t < sub_max[fu]);
+                if a2 == b2 {
+                    and_row(&mut sub_prefix, row_of(fu, a2 - lo));
+                } else {
+                    sub_active.push((f, a2 as u32, b2 as u32));
+                }
+            }
+
+            // Per-row work, feature-major: one rank + one prefix-row AND
+            // per active feature per row. Iterating features outermost
+            // keeps a feature's (small) threshold window and prefix-row
+            // region cache-hot across all rows of the sub-block; small
+            // windows count their rank branchlessly instead of binary-
+            // searching (same `t < xv` comparisons, no mispredicts).
+            for j in 0..sub_len {
+                states[j * nw..(j + 1) * nw].copy_from_slice(&sub_prefix);
+            }
+            for &(f, a2, b2) in &sub_active {
+                let (fu, au, bu) = (f as usize, a2 as usize, b2 as usize);
+                let lo = self.feat_offsets[fu] as usize;
+                let ts = &thresholds[au..bu];
+                let mut r = au;
+                for (j, row) in sub_rows.chunks_exact(n_cols).enumerate() {
+                    let xv = row[fu];
+                    if j == 0 {
+                        r = au + ts.partition_point(|&t| t < xv);
+                    } else {
+                        // Adjacent park cells have nearly identical
+                        // values, so the rank barely moves row to row:
+                        // walk it from the previous row's position
+                        // instead of re-searching (the comparisons are
+                        // the same `t < xv`, converging on the same
+                        // rank).
+                        while r < bu && thresholds[r] < xv {
+                            r += 1;
+                        }
+                        // `>=` on these always-non-NaN threshold values
+                        // is exactly `!(t < xv)` — the scan's negation.
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        while r > au && !(thresholds[r - 1] < xv) {
+                            r -= 1;
+                        }
+                    }
+                    and_row(&mut states[j * nw..(j + 1) * nw], row_of(fu, r - lo));
+                }
+            }
+            for j in 0..sub_len {
+                self.recover_leaves(
+                    &states[j * nw..(j + 1) * nw],
+                    out,
+                    out_stride,
+                    out_offset + sub_start + j,
+                );
+            }
+        }
+    }
+
+    /// Fold the masks of conditions `i ∈ [lo, hi)` with `threshold <
+    /// bound` into `acc` (they are false for every row whose value is
+    /// ≥ `bound`), returning the index of the first unfolded condition.
+    #[inline]
+    fn fold_below(&self, lo: usize, hi: usize, bound: T, acc: &mut [u64]) -> usize {
+        let mut i = lo;
+        match &self.table {
+            CondTable::Single {
+                thresholds,
+                masks,
+                trees,
+            } => {
+                while i < hi && thresholds[i] < bound {
+                    acc[trees[i] as usize] &= masks[i];
+                    i += 1;
+                }
+            }
+            CondTable::Multi {
+                thresholds,
+                mask_off,
+                state_off,
+                n_words,
+                masks,
+            } => {
+                while i < hi && thresholds[i] < bound {
+                    let so = state_off[i] as usize;
+                    let mo = mask_off[i] as usize;
+                    for k in 0..n_words[i] as usize {
+                        acc[so + k] &= masks[mo + k];
+                    }
+                    i += 1;
+                }
+            }
+        }
+        i
+    }
+
+    /// Read each tree's exit leaf (leftmost surviving bit) out of a row's
+    /// final bitvector state.
+    #[inline]
+    fn recover_leaves(&self, state: &[u64], out: &mut [T], out_stride: usize, out_col: usize) {
+        if self.is_single_word() {
+            for t in 0..self.n_trees {
+                let word = state[t];
+                debug_assert!(word != 0, "exit leaf always survives");
+                let leaf = word.trailing_zeros();
+                out[t * out_stride + out_col] =
+                    self.leaf_values[(self.leaf_base[t] + leaf) as usize];
+            }
+        } else {
+            for t in 0..self.n_trees {
+                let words =
+                    &state[self.tree_state_off[t] as usize..self.tree_state_off[t + 1] as usize];
+                let (w, word) = words
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &word)| word != 0)
+                    .expect("exit leaf always survives");
+                let leaf = w as u32 * 64 + word.trailing_zeros();
+                out[t * out_stride + out_col] =
+                    self.leaf_values[(self.leaf_base[t] + leaf) as usize];
+            }
+        }
+    }
+}
+
+/// Rows per sub-block of the hierarchical window pruning in
+/// [`QsCore::score_rows`]: small enough that spatially adjacent park
+/// cells span a narrow threshold window, large enough to amortise the
+/// sub-block prefix fold.
+const SUB_BLOCK: usize = 16;
+
+/// Walk one tree of an arena in depth-first left-to-right order,
+/// numbering leaves and emitting one [`RawCond`] per split. Generic over
+/// the node accessors so the f64 and f32 arenas share the walker.
+/// Iterative (explicit work stack), so degenerate chain trees cannot
+/// overflow the call stack.
+#[allow(clippy::too_many_arguments)]
+fn lift_tree<T, L, F, V, B>(
+    tree: u32,
+    root: u32,
+    is_leaf: &L,
+    left_of: &F,
+    feature_of: &B,
+    value_of: &V,
+    conds: &mut Vec<RawCond<T>>,
+    leaf_values: &mut Vec<T>,
+) -> u32
+where
+    T: Copy,
+    L: Fn(u32) -> bool,
+    F: Fn(u32) -> u32,
+    B: Fn(u32) -> (u32, T),
+    V: Fn(u32) -> T,
+{
+    enum Task {
+        Visit(u32),
+        Combine(u32),
+    }
+    let mut n_leaves = 0u32;
+    // Subtree leaf ranges, pushed post-order (left result below right).
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut tasks = vec![Task::Visit(root)];
+    while let Some(task) = tasks.pop() {
+        match task {
+            Task::Visit(idx) => {
+                if is_leaf(idx) {
+                    leaf_values.push(value_of(idx));
+                    ranges.push((n_leaves, n_leaves + 1));
+                    n_leaves += 1;
+                } else {
+                    let left = left_of(idx);
+                    tasks.push(Task::Combine(idx));
+                    tasks.push(Task::Visit(left + 1));
+                    tasks.push(Task::Visit(left));
+                }
+            }
+            Task::Combine(idx) => {
+                let (rlo, rhi) = ranges.pop().expect("right subtree range");
+                let (llo, lhi) = ranges.pop().expect("left subtree range");
+                debug_assert_eq!(lhi, rlo, "in-order leaf numbering is contiguous");
+                let (feature, threshold) = feature_of(idx);
+                conds.push(RawCond {
+                    feature,
+                    threshold,
+                    tree,
+                    remove_lo: llo,
+                    remove_hi: lhi,
+                });
+                ranges.push((llo, rhi));
+            }
+        }
+    }
+    debug_assert_eq!(ranges.len(), 1);
+    n_leaves
+}
+
+/// QuickScorer over the f64 arena: bit-identical to
+/// [`Forest::predict_proba_batch`] and [`Forest::predict_row`].
+#[derive(Debug, Clone)]
+pub struct QuickScorer {
+    core: QsCore<f64>,
+}
+
+impl QuickScorer {
+    /// Lift a trained arena into the bitvector layout. The forest stays
+    /// the source of truth; the scorer is a derived cache (never
+    /// serialized), like the f32 plane's arena.
+    ///
+    /// # Panics
+    /// Panics on an empty forest.
+    pub fn from_forest(forest: &Forest) -> Self {
+        let (nodes, leaf_values64, roots, _depths) = forest.arena_parts();
+        assert!(!roots.is_empty(), "cannot lift an empty forest");
+        let mut conds = Vec::new();
+        let mut leaf_values = Vec::new();
+        let mut leaves_per_tree = Vec::with_capacity(roots.len());
+        for (t, &root) in roots.iter().enumerate() {
+            let n = lift_tree(
+                t as u32,
+                root,
+                &|i| nodes[i as usize].is_leaf(i),
+                &|i| nodes[i as usize].left(),
+                &|i| (nodes[i as usize].feature(), nodes[i as usize].value),
+                &|i| leaf_values64[i as usize],
+                &mut conds,
+                &mut leaf_values,
+            );
+            leaves_per_tree.push(n);
+        }
+        Self {
+            core: QsCore::build(forest.n_features(), conds, &leaves_per_tree, leaf_values),
+        }
+    }
+
+    /// Number of trees in the lifted forest.
+    pub fn n_trees(&self) -> usize {
+        self.core.n_trees
+    }
+
+    /// Total number of split conditions across all trees.
+    pub fn n_conditions(&self) -> usize {
+        self.core.n_conditions()
+    }
+
+    /// Feature width the source trees were fitted on.
+    pub fn n_features(&self) -> usize {
+        self.core.n_features
+    }
+
+    /// Whether every tree fits one 64-bit leaf word (the dense layout).
+    pub fn is_single_word(&self) -> bool {
+        self.core.is_single_word()
+    }
+
+    /// Whether the cumulative prefix-AND tables are in use (always, below
+    /// the documented size cap).
+    pub fn has_prefix_tables(&self) -> bool {
+        self.core.prefix.is_some()
+    }
+
+    /// Test/bench support: drop the prefix tables so scoring exercises the
+    /// per-condition scan fallback (the path oversized models take).
+    #[doc(hidden)]
+    pub fn without_prefix_tables(mut self) -> Self {
+        self.core.prefix = None;
+        self
+    }
+
+    /// Per-tree predictions as a flat `n_trees × n_rows` matrix — the
+    /// bitvector image of [`Forest::predict_proba_batch`], with the same
+    /// guards, blocking and parallel fan-out.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, a feature-width mismatch, or non-finite
+    /// query features.
+    pub fn predict_proba_batch(&self, x: MatrixView<'_>) -> Matrix {
+        assert_eq!(x.n_cols(), self.core.n_features, "feature width mismatch");
+        assert!(!x.is_empty(), "empty prediction batch");
+        assert!(
+            paws_data::simd::all_finite(x.as_slice()),
+            "prediction features must be finite"
+        );
+        let n_rows = x.n_rows();
+        let n_trees = self.core.n_trees;
+        let mut out = Matrix::zeros(n_trees, n_rows);
+
+        if n_rows <= ROW_BLOCK || rayon::current_num_threads() <= 1 {
+            for start in (0..n_rows).step_by(ROW_BLOCK) {
+                let len = ROW_BLOCK.min(n_rows - start);
+                let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+                self.core
+                    .score_rows(rows, x.n_cols(), len, out.as_mut_slice(), n_rows, start);
+            }
+            return out;
+        }
+
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_BLOCK).collect();
+        let blocks: Vec<Vec<f64>> = starts
+            .par_iter()
+            .map(|&start| {
+                let len = ROW_BLOCK.min(n_rows - start);
+                let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+                let mut block = vec![0.0; n_trees * len];
+                self.core
+                    .score_rows(rows, x.n_cols(), len, &mut block, len, 0);
+                block
+            })
+            .collect();
+        for (&start, block) in starts.iter().zip(&blocks) {
+            let len = ROW_BLOCK.min(n_rows - start);
+            for (t, seg) in block.chunks_exact(len).enumerate() {
+                out.row_mut(t)[start..start + len].copy_from_slice(seg);
+            }
+        }
+        out
+    }
+
+    /// Per-tree predictions for rows `start..start + len`, written
+    /// tree-major into `out_block` (`n_trees × len`) — the drop-in
+    /// bitvector replacement for [`Forest::predict_proba_block`], consumed
+    /// by the fused iWare-E pipeline.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or a non-finite feature window.
+    pub fn predict_proba_block(
+        &self,
+        x: MatrixView<'_>,
+        start: usize,
+        len: usize,
+        out_block: &mut [f64],
+    ) {
+        assert_eq!(x.n_cols(), self.core.n_features, "feature width mismatch");
+        assert!(len > 0 && start + len <= x.n_rows(), "block out of range");
+        assert_eq!(
+            out_block.len(),
+            self.core.n_trees * len,
+            "output block shape mismatch"
+        );
+        let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+        assert!(
+            paws_data::simd::all_finite(rows),
+            "prediction features must be finite"
+        );
+        self.core
+            .score_rows(rows, x.n_cols(), len, out_block, len, 0);
+    }
+}
+
+/// QuickScorer over the narrowed f32 arena: bit-identical to
+/// [`Forest32::predict_proba_batch`] and [`Forest32::predict_row`]. Shares
+/// the f32 plane's precision contract — it changes layout, never values.
+#[derive(Debug, Clone)]
+pub struct QuickScorer32 {
+    core: QsCore<f32>,
+}
+
+impl QuickScorer32 {
+    /// Lift a narrowed f32 arena into the bitvector layout.
+    ///
+    /// # Panics
+    /// Panics on an empty forest.
+    pub fn from_forest32(forest: &Forest32) -> Self {
+        let (nodes, leaf_values32, roots) = forest.arena_parts32();
+        assert!(!roots.is_empty(), "cannot lift an empty forest");
+        let mut conds = Vec::new();
+        let mut leaf_values = Vec::new();
+        let mut leaves_per_tree = Vec::with_capacity(roots.len());
+        for (t, &root) in roots.iter().enumerate() {
+            let n = lift_tree(
+                t as u32,
+                root,
+                &|i| nodes[i as usize].is_leaf(i),
+                &|i| nodes[i as usize].left(),
+                &|i| (nodes[i as usize].feature(), nodes[i as usize].value),
+                &|i| leaf_values32[i as usize],
+                &mut conds,
+                &mut leaf_values,
+            );
+            leaves_per_tree.push(n);
+        }
+        Self {
+            core: QsCore::build(forest.n_features(), conds, &leaves_per_tree, leaf_values),
+        }
+    }
+
+    /// Number of trees in the lifted forest.
+    pub fn n_trees(&self) -> usize {
+        self.core.n_trees
+    }
+
+    /// Total number of split conditions across all trees.
+    pub fn n_conditions(&self) -> usize {
+        self.core.n_conditions()
+    }
+
+    /// Whether every tree fits one 64-bit leaf word.
+    pub fn is_single_word(&self) -> bool {
+        self.core.is_single_word()
+    }
+
+    /// Whether the cumulative prefix-AND tables are in use.
+    pub fn has_prefix_tables(&self) -> bool {
+        self.core.prefix.is_some()
+    }
+
+    /// Test/bench support: drop the prefix tables so scoring exercises the
+    /// per-condition scan fallback.
+    #[doc(hidden)]
+    pub fn without_prefix_tables(mut self) -> Self {
+        self.core.prefix = None;
+        self
+    }
+
+    /// Per-tree predictions for an f32 batch — the bitvector image of
+    /// [`Forest32::predict_proba_batch`].
+    ///
+    /// # Panics
+    /// Panics on an empty batch, a feature-width mismatch, or non-finite
+    /// query features.
+    pub fn predict_proba_batch(&self, x: MatrixView32<'_>) -> Matrix32 {
+        assert_eq!(x.n_cols(), self.core.n_features, "feature width mismatch");
+        assert!(!x.is_empty(), "empty prediction batch");
+        assert!(
+            paws_data::simd32::all_finite(x.as_slice()),
+            "prediction features must be finite"
+        );
+        let n_rows = x.n_rows();
+        let n_trees = self.core.n_trees;
+        let mut out = Matrix32::zeros(n_trees, n_rows);
+
+        if n_rows <= ROW_BLOCK || rayon::current_num_threads() <= 1 {
+            for start in (0..n_rows).step_by(ROW_BLOCK) {
+                let len = ROW_BLOCK.min(n_rows - start);
+                let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+                self.core
+                    .score_rows(rows, x.n_cols(), len, out.as_mut_slice(), n_rows, start);
+            }
+            return out;
+        }
+
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_BLOCK).collect();
+        let blocks: Vec<Vec<f32>> = starts
+            .par_iter()
+            .map(|&start| {
+                let len = ROW_BLOCK.min(n_rows - start);
+                let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+                let mut block = vec![0.0f32; n_trees * len];
+                self.core
+                    .score_rows(rows, x.n_cols(), len, &mut block, len, 0);
+                block
+            })
+            .collect();
+        for (&start, block) in starts.iter().zip(&blocks) {
+            let len = ROW_BLOCK.min(n_rows - start);
+            for (t, seg) in block.chunks_exact(len).enumerate() {
+                out.row_mut(t)[start..start + len].copy_from_slice(seg);
+            }
+        }
+        out
+    }
+
+    /// Per-tree predictions for rows `start..start + len`, tree-major —
+    /// the bitvector replacement for [`Forest32::predict_proba_block`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or a non-finite feature window.
+    pub fn predict_proba_block(
+        &self,
+        x: MatrixView32<'_>,
+        start: usize,
+        len: usize,
+        out_block: &mut [f32],
+    ) {
+        assert_eq!(x.n_cols(), self.core.n_features, "feature width mismatch");
+        assert!(len > 0 && start + len <= x.n_rows(), "block out of range");
+        assert_eq!(
+            out_block.len(),
+            self.core.n_trees * len,
+            "output block shape mismatch"
+        );
+        let rows = &x.as_slice()[start * x.n_cols()..(start + len) * x.n_cols()];
+        assert!(
+            paws_data::simd32::all_finite(rows),
+            "prediction features must be finite"
+        );
+        self.core
+            .score_rows(rows, x.n_cols(), len, out_block, len, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RawNode;
+    use crate::tree::{DecisionTree, TreeConfig};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn fitted_forest(n_trees: usize, seed: u64) -> (Matrix, Forest) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] + r[1] > 1.0 { 1.0 } else { 0.0 })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let trees: Vec<DecisionTree> = (0..n_trees)
+            .map(|s| {
+                DecisionTree::fit(
+                    &TreeConfig {
+                        max_features: Some(2),
+                        ..TreeConfig::default()
+                    },
+                    x.view(),
+                    &labels,
+                    seed.wrapping_add(s as u64),
+                )
+            })
+            .collect();
+        let forest = Forest::from_trees(3, trees.iter());
+        (x, forest)
+    }
+
+    #[test]
+    fn bitvector_scores_are_bit_identical_to_the_arena() {
+        let (x, forest) = fitted_forest(7, 3);
+        let qs = QuickScorer::from_forest(&forest);
+        assert_eq!(qs.n_trees(), forest.n_trees());
+        assert_eq!(
+            qs.n_conditions() + qs.core.leaf_values.len(),
+            forest.n_nodes(),
+            "one condition per split node, one leaf value per leaf"
+        );
+        let batch = qs.predict_proba_batch(x.view());
+        let reference = forest.predict_proba_batch(x.view());
+        assert_eq!(batch.as_slice(), reference.as_slice());
+        for t in 0..forest.n_trees() {
+            for (r, row) in x.view().head(64).rows().enumerate() {
+                assert_eq!(batch.get(t, r), forest.predict_row(t, row));
+            }
+        }
+    }
+
+    #[test]
+    fn block_scoring_matches_the_full_batch() {
+        let (x, forest) = fitted_forest(4, 9);
+        let qs = QuickScorer::from_forest(&forest);
+        let batch = qs.predict_proba_batch(x.view());
+        let (start, len) = (33, 57);
+        let mut block = vec![0.0; qs.n_trees() * len];
+        qs.predict_proba_block(x.view(), start, len, &mut block);
+        for t in 0..qs.n_trees() {
+            assert_eq!(
+                &block[t * len..(t + 1) * len],
+                &batch.row(t)[start..start + len]
+            );
+        }
+    }
+
+    #[test]
+    fn f32_scorer_is_bit_identical_to_the_f32_arena() {
+        let (x, forest) = fitted_forest(6, 21);
+        let f32forest = Forest32::from_forest(&forest);
+        let qs32 = QuickScorer32::from_forest32(&f32forest);
+        let q = Matrix32::from_f64(x.view());
+        let batch = qs32.predict_proba_batch(q.view());
+        let reference = f32forest.predict_proba_batch(q.view());
+        assert_eq!(batch.as_slice(), reference.as_slice());
+        for t in 0..qs32.n_trees() {
+            for (r, row) in q.rows().take(64).enumerate() {
+                assert_eq!(batch.get(t, r), f32forest.predict_row(t, row));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_word_trees_score_exactly() {
+        // A synthetic perfect tree of depth 7 has 128 leaves — more than
+        // one 64-bit word — so the lifted layout must take the multi-word
+        // path and still agree with the per-row walk everywhere.
+        let depth = 7u32;
+        let n_interior = (1u32 << depth) - 1;
+        let n_total = (1u32 << (depth + 1)) - 1;
+        let mut nodes = Vec::new();
+        for i in 0..n_total {
+            if i < n_interior {
+                nodes.push(RawNode::Split {
+                    feature: i % 2,
+                    threshold: (i as f64).sin(),
+                    left: 2 * i + 1,
+                    right: 2 * i + 2,
+                });
+            } else {
+                nodes.push(RawNode::Leaf {
+                    value: f64::from(i),
+                });
+            }
+        }
+        let mut forest = Forest::new(2);
+        forest.push_raw_tree(&nodes);
+        let qs = QuickScorer::from_forest(&forest);
+        assert!(!qs.is_single_word());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let batch = qs.predict_proba_batch(x.view());
+        for (r, row) in x.view().rows().enumerate() {
+            assert_eq!(batch.get(0, r), forest.predict_row(0, row));
+        }
+    }
+
+    #[test]
+    fn single_leaf_trees_are_constant() {
+        let mut forest = Forest::new(2);
+        forest.push_raw_tree(&[RawNode::Leaf { value: 0.625 }]);
+        let qs = QuickScorer::from_forest(&forest);
+        assert_eq!(qs.n_conditions(), 0);
+        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![-5.0, 3.0]]);
+        let batch = qs.predict_proba_batch(x.view());
+        assert_eq!(batch.as_slice(), &[0.625, 0.625]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction features must be finite")]
+    fn rejects_non_finite_queries() {
+        let (x, forest) = fitted_forest(2, 4);
+        let qs = QuickScorer::from_forest(&forest);
+        let mut q = x.gather(&[0, 1, 2]);
+        q.row_mut(1)[2] = f64::NAN;
+        let _ = qs.predict_proba_batch(q.view());
+    }
+}

@@ -113,6 +113,39 @@ pub fn test_sim_config() -> SimConfig {
     }
 }
 
+/// Simulator preset for the LLC-scale synthetic parks
+/// (`paws_geo::parks::llc_park_spec`): MFNP-like attack/detection
+/// behaviour with the patrol force grown with the square root of the park
+/// area, so patrol-coverage *density* — and with it the dataset's
+/// positive rate and effort distribution — stays comparable to the study
+/// sites while the prediction surface grows by an order of magnitude.
+pub fn llc_sim_config(target_cells: usize) -> SimConfig {
+    // Same baseline the geography scales from (paws_geo::parks::llc_park_spec),
+    // so patrol force and park area grow in lockstep.
+    let mfnp_cells = paws_geo::parks::mfnp_spec().target_cells as f64;
+    let scale = (target_cells as f64 / mfnp_cells).sqrt().max(1.0);
+    SimConfig {
+        attack: AttackModelConfig {
+            target_attack_rate: 0.115,
+            w_boundary: 2.4,
+            w_animal: 2.0,
+            deterrence: 0.30,
+            seasonal_shift: 0.0,
+            cell_noise_sd: 0.6,
+            ..AttackModelConfig::default()
+        },
+        detection: DetectionModel::new(0.9, 0.95),
+        patrol: PatrolConfig {
+            patrols_per_month: (46.0 * scale).round() as usize,
+            patrol_length_km: 10.0,
+            waypoint_interval_km: 1.5,
+            post_bias: 0.18,
+            risk_seeking: 0.5,
+            transport: Transport::Foot,
+        },
+    }
+}
+
 /// Look up the preset matching a park preset name from `paws_geo::parks`.
 pub fn sim_config_for(park_name: &str) -> SimConfig {
     match park_name {
@@ -133,6 +166,17 @@ mod tests {
         assert_eq!(sim_config_for("QENP").patrol.patrols_per_month, 40);
         assert_eq!(sim_config_for("SWS").patrol.transport, Transport::Motorbike);
         assert_eq!(sim_config_for("anything-else").patrol.patrols_per_month, 14);
+    }
+
+    #[test]
+    fn llc_patrol_force_scales_with_park_side() {
+        let small = llc_sim_config(50_000);
+        let large = llc_sim_config(200_000);
+        // √(200k/50k) = 2× the patrol force for 4× the area (± rounding).
+        let ratio = large.patrol.patrols_per_month as f64 / small.patrol.patrols_per_month as f64;
+        assert!((ratio - 2.0).abs() < 0.02, "ratio {ratio}");
+        assert!(small.patrol.patrols_per_month > mfnp_sim_config().patrol.patrols_per_month);
+        assert_eq!(small.attack.seasonal_shift, 0.0);
     }
 
     #[test]

@@ -92,6 +92,65 @@ fn full_pipeline_runs_and_beats_chance() {
 }
 
 #[test]
+#[cfg(not(debug_assertions))]
+fn large_park_pipeline_runs_under_both_layouts() {
+    // The small test park above leaves the whole stack cache-resident; this
+    // release-profile smoke drives the same fit → risk_map → patrol-plan
+    // pipeline on a seeded LLC-scale park (50k cells) under both traversal
+    // layouts, pinning them to each other end to end.
+    use paws_core::TraversalLayout;
+    let scenario = Scenario::llc_scenario(50_000, 43);
+    assert_eq!(scenario.park.n_cells(), 50_000);
+    let history = scenario.simulate_years(2014, 2);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2015, 1).expect("2015 present");
+    let mut model = train(
+        &dataset,
+        &split,
+        &quick_model(WeakLearnerKind::DecisionTree, true, 43),
+    );
+    let auc = model.auc_on(&dataset, &split.test);
+    assert!(auc > 0.55, "LLC-park model should beat chance, got {auc}");
+
+    let prev = dataset.coverage.last().unwrap().clone();
+    let effort_grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let post = scenario.park.patrol_posts[0];
+
+    let mut plans = Vec::new();
+    for layout in [TraversalLayout::Interleaved, TraversalLayout::BitVector] {
+        model.set_layout(layout);
+        let (risk, var) = model.risk_map(&scenario.park, &dataset, &prev, 1.0);
+        assert_eq!(risk.len(), 50_000);
+        assert!(risk.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(var.iter().all(|&v| v >= 0.0));
+
+        let problem = build_planning_problem(
+            &scenario.park,
+            &model,
+            &dataset,
+            &prev,
+            post,
+            &effort_grid,
+            8.0,
+            2,
+            1.0,
+        );
+        let patrol = plan(&problem, &PlannerConfig::default());
+        assert!(patrol.coverage.iter().sum::<f64>() <= problem.budget_km() + 1e-6);
+        let routes = extract_routes(&problem, &patrol.coverage);
+        assert_eq!(routes.len(), 2);
+        for r in &routes {
+            assert_eq!(r.cells.first(), Some(&post));
+            assert_eq!(r.cells.last(), Some(&post));
+        }
+        plans.push((risk, patrol.coverage.clone()));
+    }
+    // Bit-identical surfaces feed bit-identical plans.
+    assert_eq!(plans[0].0, plans[1].0, "risk maps diverged across layouts");
+    assert_eq!(plans[0].1, plans[1].1, "plans diverged across layouts");
+}
+
+#[test]
 fn iware_improves_over_plain_bagging_on_average() {
     // The paper's central Table II claim, checked directionally on the
     // synthetic park: averaged over learners and seeds, iWare-E should not
