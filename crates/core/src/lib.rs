@@ -19,13 +19,18 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
 pub use config::{ModelConfig, WeakLearnerKind};
+pub use error::PawsError;
+pub use paws_iware::SnapshotError;
 pub use paws_ml::layout::TraversalLayout;
 pub use paws_ml::precision::Precision;
+pub use paws_ml::traits::QueryError;
+pub use paws_plan::PlanError;
 pub use pipeline::{build_planning_problem, train, FittedModel, TrainedModel};
 pub use report::{ascii_heatmap, format_table};
 pub use scenario::Scenario;

@@ -11,6 +11,7 @@
 //! learner stack for "-iW" variants) rather than per-tree row walks.
 
 use crate::config::ModelConfig;
+use crate::error::PawsError;
 use paws_data::{Dataset, Matrix, MatrixView, StandardScaler, TrainTestSplit};
 use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
@@ -19,7 +20,7 @@ use paws_ml::forest32::NarrowError;
 use paws_ml::layout::TraversalLayout;
 use paws_ml::metrics::roc_auc;
 use paws_ml::precision::Precision;
-use paws_ml::traits::{Classifier, UncertainClassifier};
+use paws_ml::traits::{validate_effort_grid, validate_query, Classifier, UncertainClassifier};
 use paws_plan::{squash_matrix, PlanningProblem};
 
 /// A fitted predictive model (plain bagging or iWare-E).
@@ -153,6 +154,73 @@ impl TrainedModel {
         roc_auc(&labels, &probs)
     }
 
+    /// Feature width this model's scaler (and hence every query path) was
+    /// fitted on.
+    pub fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+
+    /// Validate a coverage vector + the assembled park feature stack
+    /// before it reaches the unchecked traversal kernels.
+    fn checked_feature_matrix(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+    ) -> Result<Matrix, PawsError> {
+        if prev_coverage.len() != park.n_cells() {
+            return Err(PawsError::Input(
+                "previous-coverage length does not match the park's cell count",
+            ));
+        }
+        if !prev_coverage.iter().all(|c| c.is_finite()) {
+            return Err(PawsError::Input(
+                "previous coverage must be finite (found NaN or infinity)",
+            ));
+        }
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        validate_query(rows.view(), self.scaler.n_features())?;
+        Ok(rows)
+    }
+
+    /// [`TrainedModel::risk_map`] with the adversarial-input guard: the
+    /// coverage vector, effort level and assembled feature stack are
+    /// validated and rejected with a typed [`PawsError`] instead of
+    /// flowing NaN through the arena comparisons. This is the serving
+    /// entry point; the panicking sibling stays for trusted in-process
+    /// callers.
+    pub fn try_risk_map(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_km: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>), PawsError> {
+        if !effort_km.is_finite() || effort_km < 0.0 {
+            return Err(PawsError::Input(
+                "effort level must be finite and non-negative",
+            ));
+        }
+        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
+        let efforts = vec![effort_km; rows.n_rows()];
+        Ok(self.predict_with_variance(rows.view(), &efforts))
+    }
+
+    /// [`TrainedModel::park_response`] with the adversarial-input guard
+    /// (see [`TrainedModel::try_risk_map`]); additionally validates the
+    /// effort grid (non-empty, finite, non-negative levels).
+    pub fn try_park_response(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_grid: &[f64],
+    ) -> Result<(Matrix, Matrix), PawsError> {
+        validate_effort_grid(effort_grid).map_err(PawsError::Query)?;
+        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
+        Ok(self.park_response_from(rows, effort_grid))
+    }
+
     /// Predicted risk and uncertainty for every in-park cell at a single
     /// prospective patrol-effort level (one panel of Fig. 6).
     pub fn risk_map(
@@ -177,7 +245,11 @@ impl TrainedModel {
         prev_coverage: &[f64],
         effort_grid: &[f64],
     ) -> (Matrix, Matrix) {
-        let mut rows = dataset.full_feature_matrix(park, prev_coverage);
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        self.park_response_from(rows, effort_grid)
+    }
+
+    fn park_response_from(&self, mut rows: Matrix, effort_grid: &[f64]) -> (Matrix, Matrix) {
         // The f32-plane iWare path fuses standardisation and narrowing into
         // one pass (`StandardScaler::transform_f32` computes the z-score in
         // f64 and narrows once — bit-identical to transforming in place and
@@ -424,6 +496,58 @@ mod tests {
         assert_eq!(configured.precision(), crate::Precision::F32);
         let (r32, _) = configured.risk_map(&scenario.park, &dataset, &prev, 1.0);
         assert!(r32.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn checked_serving_paths_reject_adversarial_input_and_match_trusted_ones() {
+        let (scenario, dataset, split) = small_setup();
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        let park = &scenario.park;
+        let prev = vec![0.0; park.n_cells()];
+        let grid = [0.0, 0.5, 1.0];
+
+        // Wrong-length coverage vector.
+        let short = vec![0.0; park.n_cells() - 1];
+        assert!(matches!(
+            model.try_risk_map(park, &dataset, &short, 1.0),
+            Err(PawsError::Input(_))
+        ));
+        // NaN-poisoned coverage vector.
+        let mut poisoned = prev.clone();
+        poisoned[0] = f64::NAN;
+        assert!(matches!(
+            model.try_park_response(park, &dataset, &poisoned, &grid),
+            Err(PawsError::Input(_))
+        ));
+        // Bad effort level / grid.
+        assert!(matches!(
+            model.try_risk_map(park, &dataset, &prev, f64::NAN),
+            Err(PawsError::Input(_))
+        ));
+        assert!(matches!(
+            model.try_park_response(park, &dataset, &prev, &[]),
+            Err(PawsError::Query(_))
+        ));
+        assert!(matches!(
+            model.try_park_response(park, &dataset, &prev, &[0.5, -1.0]),
+            Err(PawsError::Query(_))
+        ));
+
+        // Valid input: bit-identical to the trusted panicking paths.
+        let (risk, var) = model.try_risk_map(park, &dataset, &prev, 1.0).unwrap();
+        let (risk_ref, var_ref) = model.risk_map(park, &dataset, &prev, 1.0);
+        assert_eq!(risk, risk_ref);
+        assert_eq!(var, var_ref);
+        let (p, v) = model
+            .try_park_response(park, &dataset, &prev, &grid)
+            .unwrap();
+        let (p_ref, v_ref) = model.park_response(park, &dataset, &prev, &grid);
+        assert_eq!(p.as_slice(), p_ref.as_slice());
+        assert_eq!(v.as_slice(), v_ref.as_slice());
     }
 
     #[test]

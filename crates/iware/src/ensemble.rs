@@ -43,7 +43,12 @@ use paws_ml::forest32::{Forest32, NarrowError};
 use paws_ml::layout::TraversalLayout;
 use paws_ml::precision::Precision;
 use paws_ml::qs::{QuickScorer, QuickScorer32};
-use paws_ml::traits::{Classifier, UncertainClassifier};
+use paws_ml::snapshot::{
+    section as snapshot_section, PayloadKind, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use paws_ml::traits::{
+    validate_effort_grid, validate_query, Classifier, QueryError, UncertainClassifier,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -226,8 +231,15 @@ impl LearnerStack32 {
 /// A fitted iWare-E ensemble.
 pub struct IWareModel {
     thresholds: Vec<f64>,
+    /// Per-threshold weak learners. Empty for a model reconstructed from a
+    /// stack snapshot — every park-wide serving path then answers from the
+    /// fused `stack`, and the sizing of learner-major tables goes through
+    /// `ranges`/`weights`, never `learners.len()`.
     learners: Vec<BaggingClassifier>,
     weights: Vec<f64>,
+    /// Feature width the learners were fitted on (recorded at fit or
+    /// snapshot-load time; the query-validation width).
+    n_features: usize,
     /// Present when every learner is a tree ensemble (the DTB variants).
     stack: Option<LearnerStack>,
     /// Which plane serves the park-wide prediction paths; fitting and the
@@ -281,6 +293,7 @@ impl IWareModel {
             thresholds,
             learners,
             weights,
+            n_features: x.n_cols(),
             stack,
             precision: Precision::F64,
             stack32: None,
@@ -388,9 +401,17 @@ impl IWareModel {
         &self.weights
     }
 
-    /// Number of weak learners.
+    /// Number of weak learners. Counted via the weight vector (one weight
+    /// per learner), which is present both on fitted models and on models
+    /// reconstructed from a stack snapshot.
     pub fn n_learners(&self) -> usize {
-        self.learners.len()
+        self.weights.len()
+    }
+
+    /// Feature width the model was fitted on (the width
+    /// [`IWareModel::try_effort_response`] validates queries against).
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// The configuration the model was fitted with.
@@ -413,7 +434,7 @@ impl IWareModel {
         if let Some(stack) = &self.stack {
             let per_tree = stack.per_tree_batch(x);
             let stride = x.n_rows();
-            let mut probs = Matrix::zeros(self.learners.len(), stride);
+            let mut probs = Matrix::zeros(stack.ranges.len(), stride);
             for (li, range) in stack.ranges.iter().enumerate() {
                 reduce_members(
                     per_tree.as_slice(),
@@ -442,8 +463,8 @@ impl IWareModel {
         if let Some(stack) = &self.stack {
             let per_tree = stack.per_tree_batch(x);
             let n_rows = x.n_rows();
-            let mut probs = Matrix::zeros(self.learners.len(), n_rows);
-            let mut vars = Matrix::zeros(self.learners.len(), n_rows);
+            let mut probs = Matrix::zeros(stack.ranges.len(), n_rows);
+            let mut vars = Matrix::zeros(stack.ranges.len(), n_rows);
             for (li, range) in stack.ranges.iter().enumerate() {
                 reduce_members(
                     per_tree.as_slice(),
@@ -758,6 +779,122 @@ impl IWareModel {
             .collect();
 
         Some(assemble_response(parts, n_rows, n_levels))
+    }
+
+    /// [`IWareModel::effort_response`] with the adversarial-input guard:
+    /// the query batch and effort grid are validated (width, finiteness,
+    /// non-empty) and rejected with a typed [`QueryError`] instead of
+    /// tripping an assert deep inside a traversal kernel — or, on non-tree
+    /// learner stacks, silently flowing NaN through kernel evaluations.
+    /// This is the serving-surface entry point; the panicking
+    /// `effort_response` stays for trusted in-process callers.
+    pub fn try_effort_response(
+        &self,
+        x: MatrixView<'_>,
+        effort_grid: &[f64],
+    ) -> Result<(Matrix, Matrix), QueryError> {
+        validate_query(x, self.n_features)?;
+        validate_effort_grid(effort_grid)?;
+        Ok(self.effort_response(x, effort_grid))
+    }
+
+    /// Serialize the fused learner stack — forest arena, per-learner tree
+    /// ranges, classifier weights and effort thresholds — as one snapshot
+    /// slab (see [`paws_ml::snapshot`] for the wire format). `None` when
+    /// the weak learners are not tree ensembles (there is no fused stack
+    /// to snapshot). The f32 plane is a derived cache and is never
+    /// serialized; reload and call [`IWareModel::set_precision`] to
+    /// rebuild it.
+    pub fn to_stack_snapshot(&self) -> Option<Vec<u8>> {
+        let stack = self.stack.as_ref()?;
+        let mut w = SnapshotWriter::new(PayloadKind::LearnerStack);
+        w.push_forest(&stack.forest);
+        let mut ranges = Vec::with_capacity(stack.ranges.len() * 2);
+        for r in &stack.ranges {
+            ranges.push(r.start as u64);
+            ranges.push(r.end as u64);
+        }
+        w.push_u64_section(snapshot_section::RANGES, &ranges);
+        w.push_f64_section(snapshot_section::WEIGHTS, &self.weights);
+        w.push_f64_section(snapshot_section::THRESHOLDS, &self.thresholds);
+        Some(w.finish())
+    }
+
+    /// Reconstruct a serving model from a stack snapshot. The forest
+    /// arena is revalidated structurally by the snapshot decoder; on top
+    /// of that, the stack-level invariants are checked here: learner
+    /// ranges partition the fused forest's trees contiguously, weights are
+    /// finite and non-negative, thresholds are finite and strictly
+    /// ascending, and all three sections agree on the learner count.
+    ///
+    /// The reconstructed model serves every park-wide prediction path
+    /// (`effort_response`, the constant- and varying-effort entry points)
+    /// bit-identically to the fitted original; it carries no per-learner
+    /// `BaggingClassifier`s, so learner-introspection surfaces specific to
+    /// fitting are unavailable. `config` is carried for introspection only
+    /// and does not influence predictions.
+    pub fn from_stack_snapshot(bytes: &[u8], config: IWareConfig) -> Result<Self, SnapshotError> {
+        let reader = SnapshotReader::parse(bytes, PayloadKind::LearnerStack)?;
+        let forest = reader.read_forest()?;
+        let raw_ranges = reader.read_u64_section(snapshot_section::RANGES)?;
+        let weights = reader.read_f64_section(snapshot_section::WEIGHTS)?;
+        let thresholds = reader.read_f64_section(snapshot_section::THRESHOLDS)?;
+        if raw_ranges.len() % 2 != 0 {
+            return Err(SnapshotError::SectionShape {
+                section: snapshot_section::RANGES,
+                detail: "ranges must be (start, end) u64 pairs",
+            });
+        }
+        let n_learners = raw_ranges.len() / 2;
+        if n_learners == 0 || weights.len() != n_learners || thresholds.len() != n_learners {
+            return Err(SnapshotError::Invariant(
+                "stack sections disagree on the learner count",
+            ));
+        }
+        let mut ranges = Vec::with_capacity(n_learners);
+        let mut cursor = 0u64;
+        for pair in raw_ranges.chunks_exact(2) {
+            let (start, end) = (pair[0], pair[1]);
+            if start != cursor || end <= start {
+                return Err(SnapshotError::Invariant(
+                    "learner ranges must partition the fused forest's trees contiguously",
+                ));
+            }
+            cursor = end;
+            ranges.push(start as usize..end as usize);
+        }
+        if cursor != forest.n_trees() as u64 {
+            return Err(SnapshotError::Invariant(
+                "learner ranges must cover every tree of the fused forest",
+            ));
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w >= 0.0) {
+            return Err(SnapshotError::Invariant(
+                "learner weights must be finite and non-negative",
+            ));
+        }
+        if !thresholds.iter().all(|t| t.is_finite()) || !thresholds.windows(2).all(|w| w[1] > w[0])
+        {
+            return Err(SnapshotError::Invariant(
+                "effort thresholds must be finite and strictly ascending",
+            ));
+        }
+        let n_features = forest.n_features();
+        Ok(Self {
+            thresholds,
+            learners: Vec::new(),
+            weights,
+            n_features,
+            stack: Some(LearnerStack {
+                forest,
+                ranges,
+                qs: None,
+            }),
+            precision: Precision::F64,
+            stack32: None,
+            layout: TraversalLayout::default(),
+            config,
+        })
     }
 
     /// Qualified learner sets per effort level, plus the ascending-prefix
@@ -1615,5 +1752,194 @@ mod tests {
         for &w in model.weights() {
             assert!((w - 1.0 / 3.0).abs() < 1e-12);
         }
+    }
+
+    type Tamper = Box<dyn FnOnce(&mut Vec<u64>, &mut Vec<f64>, &mut Vec<f64>)>;
+
+    /// Re-encode a fitted model's stack snapshot with tampered stack-level
+    /// sections (the forest section is kept intact, so every checksum is
+    /// valid and only the stack invariants can catch the corruption).
+    fn tampered_stack_snapshot(
+        model: &IWareModel,
+        tamper: impl FnOnce(&mut Vec<u64>, &mut Vec<f64>, &mut Vec<f64>),
+    ) -> Vec<u8> {
+        let stack = model.stack.as_ref().expect("tree stack");
+        let mut ranges: Vec<u64> = stack
+            .ranges
+            .iter()
+            .flat_map(|r| [r.start as u64, r.end as u64])
+            .collect();
+        let mut weights = model.weights.clone();
+        let mut thresholds = model.thresholds.clone();
+        tamper(&mut ranges, &mut weights, &mut thresholds);
+        let mut w = SnapshotWriter::new(PayloadKind::LearnerStack);
+        w.push_forest(&stack.forest);
+        w.push_u64_section(snapshot_section::RANGES, &ranges);
+        w.push_f64_section(snapshot_section::WEIGHTS, &weights);
+        w.push_f64_section(snapshot_section::THRESHOLDS, &thresholds);
+        w.finish()
+    }
+
+    #[test]
+    fn stack_snapshot_round_trips_bit_identically() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(300, 11);
+        let cfg = quick_config(4);
+        let model = IWareModel::fit(&cfg, rows.view(), &labels, &efforts);
+        let bytes = model.to_stack_snapshot().expect("tree stack snapshots");
+        let mut loaded = IWareModel::from_stack_snapshot(&bytes, cfg).expect("snapshot decodes");
+
+        assert_eq!(loaded.n_learners(), model.n_learners());
+        assert_eq!(loaded.n_features(), model.n_features());
+        assert_eq!(loaded.weights(), model.weights());
+        assert_eq!(loaded.thresholds(), model.thresholds());
+
+        let q = rows.view().head(64);
+        let grid = [0.0, 0.5, 1.0, 2.0, 3.5];
+        let (p_ref, v_ref) = model.effort_response(q, &grid);
+        let (p, v) = loaded.effort_response(q, &grid);
+        assert_eq!(p.as_slice(), p_ref.as_slice());
+        assert_eq!(v.as_slice(), v_ref.as_slice());
+
+        // The layout switch is pure layout: the reloaded model must agree
+        // with the original bit-for-bit on the bitvector plane too.
+        loaded.set_layout(TraversalLayout::BitVector);
+        let (p_qs, v_qs) = loaded.effort_response(q, &grid);
+        assert_eq!(p_qs.as_slice(), p_ref.as_slice());
+        assert_eq!(v_qs.as_slice(), v_ref.as_slice());
+
+        // A second snapshot of the reloaded model is byte-identical: the
+        // wire form is canonical.
+        loaded.set_layout(TraversalLayout::Interleaved);
+        assert_eq!(loaded.to_stack_snapshot().unwrap(), bytes);
+    }
+
+    #[test]
+    fn stack_snapshot_rejects_tampered_sections() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(250, 12);
+        let cfg = quick_config(3);
+        let model = IWareModel::fit(&cfg, rows.view(), &labels, &efforts);
+
+        // Sanity: an untampered re-encode decodes.
+        let clean = tampered_stack_snapshot(&model, |_, _, _| {});
+        assert!(IWareModel::from_stack_snapshot(&clean, cfg.clone()).is_ok());
+
+        let cases: Vec<(&str, Tamper)> = vec![
+            (
+                "odd ranges",
+                Box::new(|r: &mut Vec<u64>, _: &mut Vec<f64>, _: &mut Vec<f64>| {
+                    r.pop();
+                }),
+            ),
+            (
+                "learner count mismatch",
+                Box::new(|_, w, _| {
+                    w.pop();
+                }),
+            ),
+            (
+                "non-contiguous ranges",
+                Box::new(|r, _, _| {
+                    r[0] = 1;
+                }),
+            ),
+            (
+                "ranges miss trailing trees",
+                Box::new(|r, _, _| {
+                    let last = r.len() - 1;
+                    r[last] -= 1;
+                }),
+            ),
+            (
+                "empty range",
+                Box::new(|r, _, _| {
+                    r[1] = r[0];
+                }),
+            ),
+            (
+                "NaN weight",
+                Box::new(|_, w, _| {
+                    w[0] = f64::NAN;
+                }),
+            ),
+            (
+                "negative weight",
+                Box::new(|_, w, _| {
+                    w[0] = -0.25;
+                }),
+            ),
+            (
+                "non-ascending thresholds",
+                Box::new(|_, _, t| {
+                    t.swap(0, 1);
+                }),
+            ),
+            (
+                "infinite threshold",
+                Box::new(|_, _, t| {
+                    t[0] = f64::NEG_INFINITY;
+                }),
+            ),
+        ];
+        for (label, tamper) in cases {
+            let bytes = tampered_stack_snapshot(&model, tamper);
+            let err = match IWareModel::from_stack_snapshot(&bytes, cfg.clone()) {
+                Ok(_) => panic!("{label}: tampered snapshot decoded"),
+                Err(e) => e,
+            };
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Invariant(_) | SnapshotError::SectionShape { .. }
+                ),
+                "{label}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_effort_response_rejects_adversarial_queries() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(200, 13);
+        let model = IWareModel::fit(&quick_config(3), rows.view(), &labels, &efforts);
+        let grid = [0.5, 1.5];
+
+        let wide = Matrix::from_rows(&[vec![0.1, 0.2, 0.3]]);
+        assert_eq!(
+            model.try_effort_response(wide.view(), &grid),
+            Err(QueryError::WidthMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+
+        let empty = Matrix::new(2);
+        assert_eq!(
+            model.try_effort_response(empty.view(), &grid),
+            Err(QueryError::EmptyQuery)
+        );
+
+        let nan = Matrix::from_rows(&[vec![0.1, 0.2], vec![f64::NAN, 0.4]]);
+        assert_eq!(
+            model.try_effort_response(nan.view(), &grid),
+            Err(QueryError::NonFinite { row: 1, col: 0 })
+        );
+
+        let q = rows.view().head(8);
+        assert_eq!(
+            model.try_effort_response(q, &[]),
+            Err(QueryError::EmptyEffortGrid)
+        );
+        assert_eq!(
+            model.try_effort_response(q, &[0.5, -1.0]),
+            Err(QueryError::BadEffort { index: 1 })
+        );
+        assert_eq!(
+            model.try_effort_response(q, &[0.5, f64::INFINITY]),
+            Err(QueryError::BadEffort { index: 1 })
+        );
+
+        // Valid input passes through to the panicking path unchanged.
+        let (p_ok, _) = model.try_effort_response(q, &grid).expect("valid query");
+        let (p_ref, _) = model.effort_response(q, &grid);
+        assert_eq!(p_ok.as_slice(), p_ref.as_slice());
     }
 }

@@ -15,5 +15,7 @@ pub use ensemble::{IWareConfig, IWareModel};
 pub use paws_ml::forest32::NarrowError;
 pub use paws_ml::layout::TraversalLayout;
 pub use paws_ml::precision::Precision;
+pub use paws_ml::snapshot::SnapshotError;
+pub use paws_ml::traits::QueryError;
 pub use thresholds::{qualified_learners, select_thresholds, ThresholdMode};
 pub use weights::{combine, optimize_weights, WeightMode};

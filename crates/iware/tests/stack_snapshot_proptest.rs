@@ -1,0 +1,119 @@
+//! Fault-injection suite for fused `LearnerStack` snapshots, driven through
+//! the public `IWareModel` surface: fit a small ensemble, snapshot it, then
+//! attack the bytes (truncation at every prefix length, random bit flips,
+//! trailing garbage). Every corrupted slab must come back as a typed
+//! [`SnapshotError`] — never a panic — and a clean round trip must serve
+//! bit-identical effort-response surfaces.
+
+use paws_data::Matrix;
+use paws_iware::{IWareConfig, IWareModel};
+use paws_ml::bagging::BaggingConfig;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const EFFORT_GRID: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 3.5];
+
+fn synth_data(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Matrix::new(2);
+    let mut observed = Vec::with_capacity(n);
+    let mut efforts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x0: f64 = rng.gen_range(-1.0..1.0);
+        let x1: f64 = rng.gen_range(-1.0..1.0);
+        let attack_p = 1.0 / (1.0 + (-(2.0 * x0 + x1)).exp());
+        let attack = rng.gen::<f64>() < attack_p;
+        let effort: f64 = rng.gen_range(0.0..4.0);
+        let detect = attack && rng.gen::<f64>() < 1.0 - (-1.2 * effort).exp();
+        rows.push_row(&[x0, x1]);
+        observed.push(if detect { 1.0 } else { 0.0 });
+        efforts.push(effort);
+    }
+    (rows, observed, efforts)
+}
+
+fn fit_model(seed: u64) -> (IWareModel, IWareConfig, Matrix) {
+    let (rows, labels, efforts) = synth_data(220, seed);
+    let config = IWareConfig::new(3, BaggingConfig::trees(4, seed ^ 0x5eed), seed);
+    let model = IWareModel::fit(&config, rows.view(), &labels, &efforts);
+    (model, config, rows)
+}
+
+fn check_round_trip(seed: u64) {
+    let (model, config, rows) = fit_model(seed);
+    let bytes = model
+        .to_stack_snapshot()
+        .expect("freshly fitted stack is snapshotable");
+    let loaded = IWareModel::from_stack_snapshot(&bytes, config).expect("clean snapshot decodes");
+    let queries = rows.view().head(48);
+    let (g, v) = model.effort_response(queries, &EFFORT_GRID);
+    let (g2, v2) = loaded.effort_response(queries, &EFFORT_GRID);
+    assert_eq!(g.as_slice(), g2.as_slice(), "g_v diverged (seed {seed})");
+    assert_eq!(v.as_slice(), v2.as_slice(), "nu_v diverged (seed {seed})");
+    // Canonical: the reloaded model re-encodes to the identical slab.
+    assert_eq!(
+        loaded
+            .to_stack_snapshot()
+            .expect("reloaded stack re-encodes"),
+        bytes,
+        "re-encode not canonical (seed {seed})"
+    );
+}
+
+fn check_truncations(seed: u64) {
+    let (model, config, _) = fit_model(seed);
+    let bytes = model.to_stack_snapshot().unwrap();
+    // Exhaustive truncation is quadratic in slab size; stride through the
+    // payload but always hit the structural boundaries near the front.
+    let stride = (bytes.len() / 256).max(1);
+    let mut lengths: Vec<usize> = (0..bytes.len().min(128)).collect();
+    lengths.extend((128..bytes.len()).step_by(stride));
+    for len in lengths {
+        assert!(
+            IWareModel::from_stack_snapshot(&bytes[..len], config.clone()).is_err(),
+            "truncation to {len}/{} bytes decoded (seed {seed})",
+            bytes.len()
+        );
+    }
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0u8; 3]);
+    assert!(
+        IWareModel::from_stack_snapshot(&padded, config).is_err(),
+        "trailing bytes accepted (seed {seed})"
+    );
+}
+
+fn check_bit_flips(seed: u64) {
+    let (model, config, _) = fit_model(seed);
+    let bytes = model.to_stack_snapshot().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
+    for _ in 0..48 {
+        let mut corrupt = bytes.clone();
+        let at = rng.gen_range(0..corrupt.len());
+        corrupt[at] ^= 1 << rng.gen_range(0..8u32);
+        assert!(
+            IWareModel::from_stack_snapshot(&corrupt, config.clone()).is_err(),
+            "bit flip at byte {at} decoded (seed {seed})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn clean_stack_round_trips_bit_identically(seed in 0.0..1e9) {
+        check_round_trip(seed as u64);
+    }
+
+    #[test]
+    fn truncated_stack_snapshots_are_typed_errors(seed in 0.0..1e9) {
+        check_truncations(seed as u64);
+    }
+
+    #[test]
+    fn bit_flipped_stack_snapshots_are_typed_errors(seed in 0.0..1e9) {
+        check_bit_flips(seed as u64);
+    }
+}

@@ -92,6 +92,23 @@ impl ArenaNode {
         self.left() == own
     }
 
+    /// Raw `(value_bits, packed)` words — the snapshot wire image of a
+    /// node.
+    #[inline]
+    pub(crate) fn to_bits(self) -> (u64, u64) {
+        (self.value.to_bits(), self.packed)
+    }
+
+    /// Rebuild a node from its wire image. Only the snapshot decoder may
+    /// call this, and only after (or on the way to) full arena validation.
+    #[inline]
+    pub(crate) fn from_bits(value_bits: u64, packed: u64) -> Self {
+        Self {
+            value: f64::from_bits(value_bits),
+            packed,
+        }
+    }
+
     /// Index of the node this row moves to: `left` when
     /// `row-value <= threshold` (always, for a leaf's `+∞` threshold and
     /// finite rows), `left + 1` otherwise. Exactly the comparison
@@ -515,6 +532,28 @@ impl Forest {
     /// narrowing input of [`crate::forest32::Forest32::from_forest`].
     pub(crate) fn arena_parts(&self) -> (&[ArenaNode], &[f64], &[u32], &[u32]) {
         (&self.nodes, &self.leaf_values, &self.roots, &self.depths)
+    }
+
+    /// Assemble a forest from parts the snapshot decoder has **already
+    /// validated** against every splice invariant (see
+    /// [`crate::snapshot`]). Not a public constructor: unvalidated parts
+    /// here would unsound the unchecked traversal kernels.
+    pub(crate) fn from_validated_parts(
+        nodes: Vec<ArenaNode>,
+        leaf_values: Vec<f64>,
+        roots: Vec<u32>,
+        depths: Vec<u32>,
+        n_features: usize,
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), leaf_values.len());
+        debug_assert_eq!(roots.len(), depths.len());
+        Self {
+            nodes,
+            leaf_values,
+            roots,
+            depths,
+            n_features,
+        }
     }
 
     /// Number of edges tree `t` traverses for one row (diagnostics).

@@ -86,6 +86,23 @@ impl ArenaNode32 {
         self.packed >> 24
     }
 
+    /// Raw `(value_bits, packed)` words — the snapshot wire image of a
+    /// node.
+    #[inline]
+    pub(crate) fn to_bits(self) -> (u32, u32) {
+        (self.value.to_bits(), self.packed)
+    }
+
+    /// Rebuild a node from its wire image. Snapshot decoder only; the
+    /// caller validates the arena before traversal can see it.
+    #[inline]
+    pub(crate) fn from_bits(value_bits: u32, packed: u32) -> Self {
+        Self {
+            value: f32::from_bits(value_bits),
+            packed,
+        }
+    }
+
     /// Leaves self-reference (see the f64 `ArenaNode`).
     #[inline]
     pub(crate) fn is_leaf(&self, own: u32) -> bool {
@@ -249,6 +266,31 @@ impl Forest32 {
     /// of [`crate::qs::QuickScorer32::from_forest32`].
     pub(crate) fn arena_parts32(&self) -> (&[ArenaNode32], &[f32], &[u32]) {
         (&self.nodes, &self.leaf_values, &self.roots)
+    }
+
+    /// Per-tree depths (the snapshot writer's fifth section).
+    pub(crate) fn depths32(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// Assemble an f32 arena from parts the snapshot decoder has already
+    /// validated (same contract as `Forest::from_validated_parts`).
+    pub(crate) fn from_validated_parts(
+        nodes: Vec<ArenaNode32>,
+        leaf_values: Vec<f32>,
+        roots: Vec<u32>,
+        depths: Vec<u32>,
+        n_features: usize,
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), leaf_values.len());
+        debug_assert_eq!(roots.len(), depths.len());
+        Self {
+            nodes,
+            leaf_values,
+            roots,
+            depths,
+            n_features,
+        }
     }
 
     /// Number of trees in the arena.

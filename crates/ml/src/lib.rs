@@ -33,6 +33,7 @@ pub mod linalg;
 pub mod metrics;
 pub mod precision;
 pub mod qs;
+pub mod snapshot;
 pub mod svm;
 pub mod traits;
 pub mod tree;
@@ -44,6 +45,7 @@ pub use gp::{GaussianProcess, GpConfig};
 pub use layout::TraversalLayout;
 pub use precision::Precision;
 pub use qs::{QuickScorer, QuickScorer32};
+pub use snapshot::{PayloadKind, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use svm::{LinearSvm, SvmConfig};
-pub use traits::{Classifier, Trainable, UncertainClassifier};
+pub use traits::{Classifier, QueryError, Trainable, UncertainClassifier};
 pub use tree::{DecisionTree, TreeConfig};

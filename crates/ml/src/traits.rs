@@ -41,6 +41,96 @@ pub trait Trainable: Sized {
 /// The non-finite check matters: a single NaN feature would otherwise
 /// surface as a `partial_cmp().unwrap()` panic deep inside split search or
 /// kernel evaluation, far from the data that caused it.
+/// Why a *query* batch was rejected at the serving surface — the typed
+/// twin of [`validate_training_data`]'s panics, for the paths where the
+/// input is operational data (a park's feature stack, a caller-supplied
+/// coverage vector) rather than a programming error. A wrong-width or
+/// non-finite query would otherwise either trip an assert deep inside a
+/// traversal kernel or, on the non-tree learners, flow silently through
+/// kernel evaluations as NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query matrix has a different feature width than the model.
+    WidthMismatch {
+        /// Feature width the model was fitted on.
+        expected: usize,
+        /// Feature width of the query batch.
+        got: usize,
+    },
+    /// The query batch is empty (zero rows).
+    EmptyQuery,
+    /// A query feature is NaN or infinite.
+    NonFinite {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+    /// The effort grid is empty.
+    EmptyEffortGrid,
+    /// An effort level is NaN, infinite or negative.
+    BadEffort {
+        /// Index of the offending effort level.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::WidthMismatch { expected, got } => write!(
+                f,
+                "query feature width {got} does not match the model's {expected}"
+            ),
+            QueryError::EmptyQuery => write!(f, "query batch is empty"),
+            QueryError::NonFinite { row, col } => {
+                write!(f, "query feature at row {row}, column {col} is not finite")
+            }
+            QueryError::EmptyEffortGrid => write!(f, "effort grid is empty"),
+            QueryError::BadEffort { index } => write!(
+                f,
+                "effort level at index {index} is not finite and non-negative"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validate a query batch against the feature width a model was fitted
+/// on: non-empty, matching width, every value finite. Reports the first
+/// offending coordinate so operational data problems are diagnosable.
+pub fn validate_query(x: MatrixView<'_>, n_features: usize) -> Result<(), QueryError> {
+    if x.n_cols() != n_features {
+        return Err(QueryError::WidthMismatch {
+            expected: n_features,
+            got: x.n_cols(),
+        });
+    }
+    if x.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    if let Some(at) = x.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(QueryError::NonFinite {
+            row: at / n_features,
+            col: at % n_features,
+        });
+    }
+    Ok(())
+}
+
+/// Validate an effort grid: non-empty, every level finite and
+/// non-negative.
+pub fn validate_effort_grid(grid: &[f64]) -> Result<(), QueryError> {
+    if grid.is_empty() {
+        return Err(QueryError::EmptyEffortGrid);
+    }
+    if let Some(index) = grid.iter().position(|&e| !e.is_finite() || e < 0.0) {
+        return Err(QueryError::BadEffort { index });
+    }
+    Ok(())
+}
+
 pub fn validate_training_data(x: MatrixView<'_>, labels: &[f64]) {
     assert!(!x.is_empty(), "cannot fit on an empty training set");
     assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");

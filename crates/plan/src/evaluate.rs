@@ -7,8 +7,7 @@
 //! at a given β to the baseline of β = 0, Uβ(Cβ)/Uβ(Cβ=0)."
 
 use crate::game::PlanningProblem;
-use crate::planner::{plan, try_plan, PlannerConfig};
-use crate::pwl::PwlError;
+use crate::planner::{plan, try_plan, PlanError, PlannerConfig};
 use serde::{Deserialize, Serialize};
 
 /// Result of comparing a robust plan against the non-robust baseline.
@@ -43,13 +42,14 @@ pub fn compare_robust_vs_baseline(
         .unwrap_or_else(|e| panic!("robust-vs-baseline comparison failed: {e}"))
 }
 
-/// Checked Fig. 8 comparison: a degenerate piecewise-linear utility
-/// surfaces as the [`PwlError`] the planner hit (e.g. [`PwlError::Empty`]
-/// for an empty curve) instead of a panic mid-evaluation.
+/// Checked Fig. 8 comparison: a degenerate piecewise-linear utility or a
+/// malformed optimisation model surfaces as the [`PlanError`] the planner
+/// hit (e.g. [`PlanError::Pwl`] for an empty curve) instead of a panic
+/// mid-evaluation.
 pub fn try_compare_robust_vs_baseline(
     problem: &PlanningProblem,
     config: &PlannerConfig,
-) -> Result<RobustComparison, PwlError> {
+) -> Result<RobustComparison, PlanError> {
     let beta = problem.beta;
     let mut baseline_problem = problem.clone();
     baseline_problem.beta = 0.0;
@@ -195,7 +195,7 @@ mod tests {
         };
         assert_eq!(
             try_compare_robust_vs_baseline(&problem, &bad).err(),
-            Some(PwlError::Empty)
+            Some(PlanError::Pwl(PwlError::Empty))
         );
         // On a well-posed problem the checked path returns exactly what the
         // panicking wrapper returns.

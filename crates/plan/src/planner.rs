@@ -17,9 +17,55 @@
 
 use crate::game::{steps_for, PlanningProblem};
 use crate::pwl::{PwlError, PwlFunction};
-use paws_solver::{solve_milp, ConstraintOp, MilpOptions, Model, Sense, SolveStatus, Variable};
+use paws_solver::{
+    solve_milp, ConstraintOp, MilpOptions, Model, Sense, SolveStatus, SolverError, Variable,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Why patrol planning failed: either the utility curves could not be
+/// piecewise-linearised, or the optimiser terminated without a usable
+/// point. A budget-exhausted solve is *not* an error — the planner falls
+/// back to a greedy feasible incumbent tagged [`SolveStatus::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// Building a piecewise-linear utility failed (degenerate cell domain,
+    /// non-finite samples, zero segments).
+    Pwl(PwlError),
+    /// The optimiser produced no usable point (infeasible or unbounded
+    /// model — both indicate a malformed problem rather than time pressure).
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Pwl(e) => write!(f, "piecewise-linear utility construction failed: {e}"),
+            PlanError::Solver(e) => write!(f, "patrol optimisation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Pwl(e) => Some(e),
+            PlanError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<PwlError> for PlanError {
+    fn from(e: PwlError) -> Self {
+        PlanError::Pwl(e)
+    }
+}
+
+impl From<SolverError> for PlanError {
+    fn from(e: SolverError) -> Self {
+        PlanError::Solver(e)
+    }
+}
 
 /// Which MILP formulation to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,28 +125,108 @@ pub struct PatrolPlan {
 ///
 /// # Panics
 /// Panics when the utility PWL construction fails (degenerate cell
-/// domains); use [`try_plan`] to handle that as an error.
+/// domains) or the optimisation model is malformed; use [`try_plan`] to
+/// handle those as a [`PlanError`].
 pub fn plan(problem: &PlanningProblem, config: &PlannerConfig) -> PatrolPlan {
     try_plan(problem, config).unwrap_or_else(|e| panic!("patrol planning failed: {e}"))
 }
 
 /// Checked planning entry point: degenerate piecewise-linear utilities
 /// (e.g. an empty sampling domain from a NaN-poisoned response surface)
-/// surface as a [`PwlError`] instead of a panic mid-optimisation.
-pub fn try_plan(problem: &PlanningProblem, config: &PlannerConfig) -> Result<PatrolPlan, PwlError> {
+/// and pointless solves (infeasible/unbounded models) surface as a
+/// [`PlanError`] instead of a panic mid-optimisation.
+///
+/// Anytime behaviour: when `config.milp.budget` runs out, the best solver
+/// incumbent is returned tagged [`SolveStatus::Degraded`]; if the budget
+/// died before *any* incumbent was found, a greedy marginal-utility
+/// allocation (feasible by construction) is returned instead, also tagged
+/// `Degraded`. An unlimited budget reproduces the pre-budget behaviour
+/// exactly.
+pub fn try_plan(
+    problem: &PlanningProblem,
+    config: &PlannerConfig,
+) -> Result<PatrolPlan, PlanError> {
     if config.segments < 1 {
-        return Err(PwlError::Empty);
+        return Err(PlanError::Pwl(PwlError::Empty));
     }
     let start = Instant::now();
     let utilities = cell_utilities(problem, config.segments)?;
-    let result = match config.method {
+    let mut result = match config.method {
         PlannerMethod::Allocation => solve_allocation(problem, &utilities, config),
         PlannerMethod::Flow => solve_flow(problem, &utilities, config),
     };
+    match result.status {
+        SolveStatus::Infeasible => return Err(SolverError::Infeasible.into()),
+        SolveStatus::Unbounded => return Err(SolverError::Unbounded.into()),
+        SolveStatus::BudgetExceeded => {
+            // The budget died before branch-and-bound found any incumbent:
+            // fall back to the greedy fill, which needs no solver at all.
+            let coverage = greedy_coverage(problem, &utilities);
+            let objective = utilities
+                .iter()
+                .zip(&coverage)
+                .map(|(u, &c)| u.eval(c))
+                .sum();
+            result = PatrolPlan {
+                coverage,
+                objective,
+                status: SolveStatus::Degraded,
+                ..result
+            };
+        }
+        _ => {}
+    }
     Ok(PatrolPlan {
         solve_time: start.elapsed(),
         ..result
     })
+}
+
+/// Greedy feasible incumbent for budget-starved solves: every segment of
+/// every cell's concave-envelope utility is a `(slope, width)` candidate,
+/// and filling them in descending-slope order until the km budget runs out
+/// is optimal for the enveloped separable LP. Per-cell caps hold because a
+/// cell's segments sum to its PWL domain width, and the total never
+/// exceeds the budget — so the result is always feasible for problem (P).
+fn greedy_coverage(problem: &PlanningProblem, utilities: &[PwlFunction]) -> Vec<f64> {
+    struct Segment {
+        slope: f64,
+        cell: usize,
+        width: f64,
+    }
+    let mut segments: Vec<Segment> = Vec::new();
+    for (cell, u) in utilities.iter().enumerate() {
+        let envelope;
+        let u = if u.is_concave(1e-9) {
+            u
+        } else {
+            envelope = u.concave_envelope();
+            &envelope
+        };
+        let (xs, ys) = (u.xs(), u.ys());
+        for j in 0..xs.len() - 1 {
+            let width = xs[j + 1] - xs[j];
+            if width <= 0.0 {
+                continue;
+            }
+            let slope = (ys[j + 1] - ys[j]) / width;
+            if slope.is_finite() && slope > 0.0 {
+                segments.push(Segment { slope, cell, width });
+            }
+        }
+    }
+    segments.sort_by(|a, b| b.slope.total_cmp(&a.slope));
+    let mut remaining = problem.budget_km();
+    let mut coverage = vec![0.0; problem.n_cells()];
+    for s in segments {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = s.width.min(remaining);
+        coverage[s.cell] += take;
+        remaining -= take;
+    }
+    coverage
 }
 
 /// Per-cell utility PWL resampled to the configured number of segments.
@@ -450,6 +576,52 @@ mod tests {
         // exceed the allocation optimum (up to PWL resolution differences).
         assert!(flow.objective <= alloc.objective + 0.1 * alloc.objective.abs().max(1.0));
         assert!(flow.objective > 0.0);
+    }
+
+    #[test]
+    fn starved_budget_returns_feasible_degraded_plan() {
+        let problem = small_problem(0.5, 8.0, 3);
+        let config = PlannerConfig {
+            milp: MilpOptions {
+                budget: paws_solver::SolveBudget::with_time_limit(Duration::ZERO),
+                ..MilpOptions::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let p = try_plan(&problem, &config).expect("degraded, not an error");
+        assert_eq!(p.status, SolveStatus::Degraded);
+        let total: f64 = p.coverage.iter().sum();
+        assert!(
+            total <= problem.budget_km() + 1e-6,
+            "degraded plan violates the budget: {total}"
+        );
+        for (i, &c) in p.coverage.iter().enumerate() {
+            assert!(c >= -1e-9);
+            assert!(
+                c <= problem.max_effort(i) + 1e-6,
+                "cell {i} over its cap: {c}"
+            );
+        }
+        // The greedy incumbent is a real plan, not an all-zero placeholder.
+        assert!(total > 0.0);
+        assert!(p.objective > 0.0);
+    }
+
+    #[test]
+    fn generous_budget_reproduces_the_unbudgeted_plan_exactly() {
+        let problem = small_problem(0.5, 8.0, 2);
+        let free = plan(&problem, &PlannerConfig::default());
+        let config = PlannerConfig {
+            milp: MilpOptions {
+                budget: paws_solver::SolveBudget::with_time_limit(Duration::from_secs(3600)),
+                ..MilpOptions::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let budgeted = plan(&problem, &config);
+        assert_eq!(budgeted.status, free.status);
+        assert_eq!(budgeted.coverage, free.coverage);
+        assert_eq!(budgeted.objective, free.objective);
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! * [`simplex::solve_lp`] — dense two-phase primal simplex for the
 //!   continuous relaxation.
 //! * [`milp::solve_milp`] — branch-and-bound over the binary variables.
+//! * [`budget::SolveBudget`] — anytime wall-clock / iteration budgets; an
+//!   exhausted budget returns the best incumbent tagged
+//!   [`model::SolveStatus::Degraded`] instead of hanging the caller.
 
+pub mod budget;
 pub mod milp;
 pub mod model;
 pub mod simplex;
 
+pub use budget::SolveBudget;
 pub use milp::{solve_milp, MilpOptions, MilpStats};
-pub use model::{ConstraintOp, Model, Sense, Solution, SolveStatus, VarKind, Variable};
-pub use simplex::solve_lp;
+pub use model::{
+    ConstraintOp, Model, Sense, Solution, SolveStatus, SolverError, VarKind, Variable,
+};
+pub use simplex::{solve_lp, solve_lp_budgeted};

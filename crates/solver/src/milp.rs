@@ -6,8 +6,9 @@
 //! are continuous. Branch-and-bound on the binaries with the dense simplex
 //! of [`crate::simplex`] as the relaxation solver is therefore sufficient.
 
+use crate::budget::{deadline_expired, SolveBudget};
 use crate::model::{Model, Sense, Solution, SolveStatus};
-use crate::simplex::solve_lp;
+use crate::simplex::solve_lp_inner;
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -18,6 +19,12 @@ pub struct MilpOptions {
     pub gap_tolerance: f64,
     /// Integrality tolerance.
     pub int_tolerance: f64,
+    /// Anytime budget for the whole search: one wall-clock deadline shared
+    /// by every LP relaxation, plus an optional per-LP iteration cap. When
+    /// it runs out the best incumbent is returned tagged
+    /// [`SolveStatus::Degraded`] ([`SolveStatus::BudgetExceeded`] when no
+    /// incumbent was found in time). Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for MilpOptions {
@@ -26,6 +33,7 @@ impl Default for MilpOptions {
             max_nodes: 20_000,
             gap_tolerance: 1e-6,
             int_tolerance: 1e-6,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -48,15 +56,19 @@ struct Node {
 pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats) {
     let binaries = model.binary_vars();
     let mut stats = MilpStats::default();
+    let deadline = options.budget.deadline();
+    let lp_cap = options.budget.max_lp_iterations;
 
     let root_bounds: Vec<(f64, f64)> = (0..model.n_vars())
         .map(|i| (model.vars[i].lower, model.vars[i].upper))
         .collect();
 
-    let root = solve_lp(model, Some(&root_bounds));
+    let root = solve_lp_inner(model, Some(&root_bounds), lp_cap, deadline);
     stats.lp_solves += 1;
     match root.status {
-        SolveStatus::Infeasible | SolveStatus::Unbounded => return (root, stats),
+        SolveStatus::Infeasible | SolveStatus::Unbounded | SolveStatus::BudgetExceeded => {
+            return (root, stats)
+        }
         _ => {}
     }
     if binaries.is_empty() {
@@ -69,6 +81,9 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
         Sense::Minimize => a < b,
     };
 
+    // A Degraded root relaxation has no trustworthy bound; remember that
+    // the budget already bit so the final status reports degradation.
+    let mut budget_hit = root.status == SolveStatus::Degraded;
     let mut incumbent: Option<Solution> = None;
     let mut stack: Vec<Node> = vec![Node {
         bounds: root_bounds,
@@ -76,6 +91,10 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
     }];
 
     while let Some(node) = stack.pop() {
+        if deadline_expired(deadline) {
+            budget_hit = true;
+            break;
+        }
         if stats.nodes >= options.max_nodes {
             break;
         }
@@ -92,9 +111,19 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
             }
         }
 
-        let relax = solve_lp(model, Some(&node.bounds));
+        let relax = solve_lp_inner(model, Some(&node.bounds), lp_cap, deadline);
         stats.lp_solves += 1;
         if relax.status == SolveStatus::Infeasible {
+            continue;
+        }
+        if matches!(
+            relax.status,
+            SolveStatus::Degraded | SolveStatus::BudgetExceeded
+        ) {
+            // An unfinished relaxation has neither a valid bound to fathom
+            // with nor a branching point worth trusting: skip the node and
+            // let the deadline check at the loop top stop the search.
+            budget_hit = true;
             continue;
         }
         if let Some(inc) = &incumbent {
@@ -155,14 +184,18 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
 
     match incumbent {
         Some(mut sol) => {
-            if stats.nodes >= options.max_nodes {
+            if budget_hit {
+                sol.status = SolveStatus::Degraded;
+            } else if stats.nodes >= options.max_nodes {
                 sol.status = SolveStatus::LimitReached;
             }
             (sol, stats)
         }
         None => (
             Solution {
-                status: if stats.nodes >= options.max_nodes {
+                status: if budget_hit {
+                    SolveStatus::BudgetExceeded
+                } else if stats.nodes >= options.max_nodes {
                     SolveStatus::LimitReached
                 } else {
                     SolveStatus::Infeasible
@@ -324,6 +357,75 @@ mod tests {
         let (sol, stats) = solve_milp(&m, &options);
         assert!(stats.nodes <= 2);
         assert!(sol.status == SolveStatus::LimitReached || sol.status == SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn generous_budget_reproduces_unbudgeted_milp_exactly() {
+        let mut m = Model::new(Sense::Maximize);
+        let x1 = m.add_binary("x1", 10.0);
+        let x2 = m.add_binary("x2", 13.0);
+        let x3 = m.add_binary("x3", 7.0);
+        m.add_constraint(&[(x1, 5.0), (x2, 7.0), (x3, 4.0)], ConstraintOp::Le, 9.0);
+        let (free, free_stats) = solve_milp(&m, &MilpOptions::default());
+        let options = MilpOptions {
+            budget: crate::budget::SolveBudget::with_time_limit(std::time::Duration::from_secs(
+                3600,
+            )),
+            ..MilpOptions::default()
+        };
+        let (budgeted, stats) = solve_milp(&m, &options);
+        assert_eq!(budgeted.status, free.status);
+        assert_eq!(budgeted.values, free.values);
+        assert_eq!(budgeted.objective, free.objective);
+        assert_eq!(stats.nodes, free_stats.nodes);
+        assert_eq!(stats.lp_solves, free_stats.lp_solves);
+    }
+
+    #[test]
+    fn expired_deadline_returns_budget_exceeded_without_hanging() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(&format!("x{i}"), (i % 4) as f64 + 1.0))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 3) as f64 + 1.0))
+            .collect();
+        m.add_constraint(&terms, ConstraintOp::Le, 6.5);
+        let options = MilpOptions {
+            budget: crate::budget::SolveBudget::with_time_limit(std::time::Duration::ZERO),
+            ..MilpOptions::default()
+        };
+        let (sol, _) = solve_milp(&m, &options);
+        assert_eq!(sol.status, SolveStatus::BudgetExceeded);
+    }
+
+    #[test]
+    fn starved_lp_iterations_surface_as_budget_degradation() {
+        // With one simplex iteration per relaxation no node can be solved
+        // to optimality; the search must still terminate with a typed
+        // budget status rather than mis-reporting optimality.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 3.0);
+        let y = m.add_binary("y", 2.0);
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+        let options = MilpOptions {
+            budget: crate::budget::SolveBudget {
+                time_limit: None,
+                max_lp_iterations: Some(1),
+            },
+            ..MilpOptions::default()
+        };
+        let (sol, _) = solve_milp(&m, &options);
+        assert!(
+            matches!(
+                sol.status,
+                SolveStatus::Degraded | SolveStatus::BudgetExceeded
+            ),
+            "unexpected status {:?}",
+            sol.status
+        );
     }
 
     #[test]

@@ -78,7 +78,50 @@ pub enum SolveStatus {
     /// The iteration or node limit was reached; the incumbent (if any) is
     /// returned.
     LimitReached,
+    /// A caller-supplied [`crate::budget::SolveBudget`] ran out before the
+    /// search finished; the returned point is the best incumbent found in
+    /// time (feasible for MILP solves, a primal-feasible basic point for LP
+    /// solves) but is not proven optimal.
+    Degraded,
+    /// A caller-supplied [`crate::budget::SolveBudget`] ran out before any
+    /// usable point was found; the returned values are meaningless and the
+    /// objective is the worst value for the optimisation sense.
+    BudgetExceeded,
 }
+
+/// Why a solve produced no usable point: the typed-error twin of the
+/// point-free [`SolveStatus`] variants, for serving-path callers that must
+/// propagate failure instead of inspecting statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverError {
+    /// The problem admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The [`crate::budget::SolveBudget`] ran out before any usable point
+    /// was found.
+    BudgetExceeded,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "the problem is infeasible"),
+            SolverError::Unbounded => {
+                write!(
+                    f,
+                    "the objective is unbounded in the optimisation direction"
+                )
+            }
+            SolverError::BudgetExceeded => write!(
+                f,
+                "the solve budget ran out before any usable point was found"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// Result of solving a model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -96,6 +139,17 @@ impl Solution {
     /// Value of a variable in this solution.
     pub fn value(&self, var: Variable) -> f64 {
         self.values[var.0]
+    }
+
+    /// `Ok(())` when the solution carries a usable point (`Optimal`,
+    /// `LimitReached`, `Degraded`); the matching [`SolverError`] otherwise.
+    pub fn require_usable(&self) -> Result<(), SolverError> {
+        match self.status {
+            SolveStatus::Optimal | SolveStatus::LimitReached | SolveStatus::Degraded => Ok(()),
+            SolveStatus::Infeasible => Err(SolverError::Infeasible),
+            SolveStatus::Unbounded => Err(SolverError::Unbounded),
+            SolveStatus::BudgetExceeded => Err(SolverError::BudgetExceeded),
+        }
     }
 }
 

@@ -4,10 +4,12 @@
 //! the robust and nominal formulations.
 
 use paws_data::Matrix;
-use paws_geo::parks::test_park_spec;
+use paws_geo::parks::{qenp_spec, test_park_spec};
 use paws_geo::Park;
-use paws_plan::{plan, PlannerConfig, PlanningProblem};
+use paws_plan::{plan, try_plan, PlannerConfig, PlanningProblem};
+use paws_solver::{MilpOptions, SolveBudget, SolveStatus};
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Build a planning problem with parameterised response shapes.
 fn build_problem(seed_scale: f64, uncertainty_level: f64, beta: f64) -> PlanningProblem {
@@ -91,4 +93,85 @@ proptest! {
         // Allow a tiny tolerance for PWL resolution differences.
         prop_assert!(u_robust >= u_nominal - 0.02 * u_nominal.abs().max(1.0));
     }
+}
+
+/// Build a Fig. 8-scale planning problem: the full QENP park at the fig8
+/// bench's patrol budget (4 patrols × 10 km) with synthetic saturating
+/// response curves over the standard effort grid.
+fn qenp_scale_problem() -> PlanningProblem {
+    let park = Park::generate(&qenp_spec(), 11);
+    let post = park.patrol_posts[0];
+    let grid: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let probs: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let s = (0.05 + 0.6 * ((i * 37 + 11) % 100) as f64 / 100.0).min(0.95);
+            grid.iter().map(|&e| s * (1.0 - (-0.7 * e).exp())).collect()
+        })
+        .collect();
+    let vars: Vec<Vec<f64>> = (0..park.n_cells())
+        .map(|i| {
+            let base = 0.4 * ((i * 61 + 3) % 100) as f64 / 100.0;
+            grid.iter().map(|&e| (base + 0.02 * e).min(0.99)).collect()
+        })
+        .collect();
+    PlanningProblem::from_response(
+        &park,
+        post,
+        &grid,
+        &Matrix::from_rows(&probs),
+        &Matrix::from_rows(&vars),
+        40.0,
+        4,
+        0.9,
+    )
+}
+
+fn budgeted(budget: SolveBudget) -> PlannerConfig {
+    PlannerConfig {
+        milp: MilpOptions {
+            budget,
+            ..MilpOptions::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+/// Fig. 8-scale robustness: a ~1 ms wall-clock budget must come back fast
+/// with a feasible incumbent explicitly tagged `Degraded` — no hang, no
+/// panic — and its coverage must respect the km budget and per-cell caps.
+#[test]
+fn qenp_scale_deadline_returns_degraded_feasible_incumbent() {
+    let problem = qenp_scale_problem();
+    let config = budgeted(SolveBudget::with_time_limit(Duration::from_millis(1)));
+    let t0 = Instant::now();
+    let p = try_plan(&problem, &config).expect("budget exhaustion degrades, never errors");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "1 ms deadline failed to bound the solve ({:?})",
+        t0.elapsed()
+    );
+    assert_eq!(p.status, SolveStatus::Degraded);
+    let total: f64 = p.coverage.iter().sum();
+    assert!(total <= problem.budget_km() + 1e-6, "over budget: {total}");
+    for (i, &c) in p.coverage.iter().enumerate() {
+        assert!(c >= -1e-9, "cell {i} negative: {c}");
+        assert!(c <= problem.max_effort(i) + 1e-6, "cell {i} over cap: {c}");
+    }
+    assert!(total > 0.0, "degraded incumbent allocated nothing");
+    assert!(p.objective.is_finite() && p.objective > 0.0);
+}
+
+/// A generous budget must be a strict identity: exactly the plan the
+/// unbudgeted planner produced, down to the solver statistics.
+#[test]
+fn qenp_scale_generous_budget_reproduces_the_unbudgeted_plan() {
+    let problem = qenp_scale_problem();
+    let free = plan(&problem, &PlannerConfig::default());
+    let generous = budgeted(SolveBudget::with_time_limit(Duration::from_secs(600)));
+    let p = try_plan(&problem, &generous).expect("generous budget plans normally");
+    assert_eq!(p.coverage, free.coverage);
+    assert_eq!(p.objective, free.objective);
+    assert_eq!(p.status, free.status);
+    assert_eq!(p.nodes, free.nodes);
+    assert_eq!(p.lp_solves, free.lp_solves);
 }
