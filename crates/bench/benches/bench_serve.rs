@@ -1,0 +1,155 @@
+//! Criterion benchmarks of the serving surface: prepared-park queries
+//! (cached standardize + narrow) vs the unprepared per-call path, and the
+//! batched admission layer vs per-request submits.
+//!
+//! The LLC group is the evidence for the PR 7 acceptance criterion: with
+//! `PreparedPark` caching the standardized f64 plane and the f32 narrowing,
+//! the f32 `park_response` at 50k cells must no longer trail f64 (the
+//! per-call `Matrix32::from_f64` narrowing cost that BENCH_5 measured as a
+//! 0.84x slowdown is paid once at prepare time, not per query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paws_core::{
+    train, ModelConfig, Precision, Scenario, ServingModel, TraversalLayout, WeakLearnerKind,
+};
+use paws_data::{build_dataset, split_by_test_year, Dataset, Discretization};
+use paws_serve::{PawsServer, QueryKind, QueryRequest};
+use std::hint::black_box;
+
+fn quick_config(learner: WeakLearnerKind, use_iware: bool) -> ModelConfig {
+    let mut cfg = ModelConfig::new(learner, use_iware, 7);
+    cfg.n_learners = 5;
+    cfg.n_estimators = 4;
+    cfg.gp_max_points = 120;
+    cfg.weight_mode = paws_iware::WeightMode::Uniform;
+    cfg
+}
+
+fn bench_prepared_queries_llc(c: &mut Criterion) {
+    // LLC-scale park (50k cells): the standardized feature stack (~8 MB)
+    // outgrows the last-level cache, so the per-call standardize + narrow
+    // work the prepared path amortizes actually shows up in the numbers.
+    let scenario = Scenario::llc_scenario(50_000, 5);
+    let history = scenario.simulate_years(2014, 2);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2015, 1).expect("2015 present");
+    let prev = dataset.coverage.last().unwrap().clone();
+    let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+    let mut group = c.benchmark_group("serving_prepared_llc");
+    group.sample_size(10);
+    for (tag, precision) in [("", Precision::F64), ("_f32", Precision::F32)] {
+        let mut cfg = quick_config(WeakLearnerKind::DecisionTree, true);
+        cfg.precision = precision;
+        let model = train(&dataset, &split, &cfg).into_serving();
+        let prepared = model
+            .prepare_park(&scenario.park, &dataset, &prev)
+            .expect("park prepares");
+        // Unprepared: every call re-standardizes the stack (and, on the
+        // f32 plane, re-narrows it) before traversal.
+        group.bench_function(format!("park_response_llc_50k_cells_6_levels{tag}"), |b| {
+            b.iter(|| black_box(model.park_response(&scenario.park, &dataset, &prev, &grid)))
+        });
+        // Prepared: traversal only, straight off the cached plane.
+        group.bench_function(
+            format!("park_response_prepared_llc_50k_cells_6_levels{tag}"),
+            |b| b.iter(|| black_box(model.park_response_prepared(&prepared, &grid))),
+        );
+        group.bench_function(format!("risk_map_prepared_llc_50k_cells{tag}"), |b| {
+            b.iter(|| black_box(model.risk_map_prepared(&prepared, 1.0)))
+        });
+        // The one-time cost the prepared path pays up front.
+        group.bench_function(format!("prepare_park_llc_50k_cells{tag}"), |b| {
+            b.iter(|| {
+                black_box(
+                    model
+                        .prepare_park(&scenario.park, &dataset, &prev)
+                        .expect("park prepares"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fit_resident(seed: u64, tweak: u8) -> (Scenario, Dataset, ServingModel) {
+    let scenario = Scenario::test_scenario(seed);
+    let history = scenario.simulate_years(2014, 3);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2016, 2).expect("2016 present");
+    let mut cfg = quick_config(WeakLearnerKind::DecisionTree, true);
+    cfg.seed = seed;
+    match tweak {
+        1 => cfg.precision = Precision::F32,
+        2 => cfg.layout = TraversalLayout::BitVector,
+        _ => {}
+    }
+    let model = train(&dataset, &split, &cfg).into_serving();
+    (scenario, dataset, model)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    // Three resident parks spanning the engine mix (f64, f32, bitvector).
+    // The batched submit coalesces each park's risk levels into one
+    // response-surface kernel and shares identical grids; the per-request
+    // loop pays admission, lookup and traversal per query.
+    let server = PawsServer::new();
+    let names = ["gonarezhou", "mondulkiri", "queen-elizabeth"];
+    for (i, name) in names.iter().enumerate() {
+        let (scenario, dataset, model) = fit_resident(3 + i as u64, i as u8);
+        let prev = vec![0.0; scenario.park.n_cells()];
+        server
+            .registry()
+            .install(*name, model, scenario.park.clone(), &dataset, &prev)
+            .expect("install succeeds");
+    }
+
+    // 24 risk-map queries: 8 per park over 4 distinct effort levels, with
+    // duplicates, so coalescing and the response cache both engage.
+    let mut risk_batch = Vec::new();
+    for q in 0..24usize {
+        risk_batch.push(QueryRequest::new(
+            names[q % names.len()],
+            QueryKind::RiskMap {
+                effort_km: 0.5 * (1 + q % 4) as f64,
+            },
+        ));
+    }
+    // A mixed batch folds in whole response surfaces alongside risk maps.
+    let mut mixed_batch = risk_batch[..16].to_vec();
+    for name in &names {
+        mixed_batch.push(QueryRequest::new(
+            *name,
+            QueryKind::ParkResponse {
+                effort_grid: vec![0.0, 0.5, 1.0, 2.0],
+            },
+        ));
+    }
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.bench_function("submit_batched_24_risk_maps_3_parks", |b| {
+        b.iter(|| black_box(server.submit(&risk_batch)))
+    });
+    group.bench_function("submit_individual_24_risk_maps_3_parks", |b| {
+        b.iter(|| {
+            for req in &risk_batch {
+                black_box(server.submit(std::slice::from_ref(req)));
+            }
+        })
+    });
+    group.bench_function("submit_batched_19_mixed_3_parks", |b| {
+        b.iter(|| black_box(server.submit(&mixed_batch)))
+    });
+    group.bench_function("submit_individual_19_mixed_3_parks", |b| {
+        b.iter(|| {
+            for req in &mixed_batch {
+                black_box(server.submit(std::slice::from_ref(req)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared_queries_llc, bench_serve_throughput);
+criterion_main!(benches);

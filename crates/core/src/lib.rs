@@ -23,6 +23,7 @@ pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod serving;
 
 pub use config::{ModelConfig, WeakLearnerKind};
 pub use error::PawsError;
@@ -31,6 +32,7 @@ pub use paws_ml::layout::TraversalLayout;
 pub use paws_ml::precision::Precision;
 pub use paws_ml::traits::QueryError;
 pub use paws_plan::PlanError;
-pub use pipeline::{build_planning_problem, train, FittedModel, TrainedModel};
+pub use pipeline::{build_planning_problem, train, TrainedModel};
 pub use report::{ascii_heatmap, format_table};
 pub use scenario::Scenario;
+pub use serving::{try_planning_problem_from_response, FittedModel, PreparedPark, ServingModel};

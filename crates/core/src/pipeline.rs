@@ -2,43 +2,74 @@
 //! uncertainty maps → patrol-planning inputs.
 //!
 //! Feature batches flow through the whole stack as flat row-major matrices:
-//! training gathers the split's rows into one [`Matrix`], the scaler
+//! training gathers the split's rows into one [`paws_data::Matrix`], the scaler
 //! standardises in place, and park-wide evaluation produces flat
 //! `cells × effort-levels` response matrices consumed directly by the
-//! planner. For tree-based models the park-wide paths ([`TrainedModel::risk_map`],
-//! [`TrainedModel::park_response`]) are served by one level-synchronous
+//! planner. For tree-based models the park-wide paths ([`ServingModel::risk_map`],
+//! [`ServingModel::park_response`]) are served by one level-synchronous
 //! batch traversal of the ensemble's arena-backed forest (the fused iWare-E
 //! learner stack for "-iW" variants) rather than per-tree row walks.
+//!
+//! This module is the **fit** half of the fit/serve split: [`train`] runs
+//! the mutable fitting pipeline and hands back a [`TrainedModel`] — a thin
+//! owner of the immutable [`ServingModel`] artifact defined in
+//! [`crate::serving`]. `TrainedModel` derefs to `ServingModel`, so every
+//! query method (and public field) keeps its historical spelling; call
+//! [`TrainedModel::into_serving`] to take the artifact out and share it
+//! behind an `Arc` (e.g. in a `paws-serve` registry).
 
 use crate::config::ModelConfig;
-use crate::error::PawsError;
-use paws_data::{Dataset, Matrix, MatrixView, StandardScaler, TrainTestSplit};
+pub use crate::serving::{FittedModel, PreparedPark, ServingModel};
+use paws_data::{Dataset, StandardScaler, TrainTestSplit};
 use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
 use paws_ml::bagging::BaggingClassifier;
-use paws_ml::forest32::NarrowError;
-use paws_ml::layout::TraversalLayout;
-use paws_ml::metrics::roc_auc;
-use paws_ml::precision::Precision;
-use paws_ml::traits::{validate_effort_grid, validate_query, Classifier, UncertainClassifier};
 use paws_plan::{squash_matrix, PlanningProblem};
-
-/// A fitted predictive model (plain bagging or iWare-E).
-pub enum FittedModel {
-    /// iWare-E wrapped ensemble ("-iW" variants).
-    IWare(IWareModel),
-    /// Plain bagging ensemble.
-    Plain(BaggingClassifier),
-}
+use std::ops::{Deref, DerefMut};
 
 /// A trained predictive model together with its feature scaler.
+///
+/// Since the fit/serve split this is a compatibility facade: the model's
+/// whole query surface lives on the immutable [`ServingModel`] artifact it
+/// wraps, reachable here through `Deref`/`DerefMut` (so existing call sites
+/// — including field access to `config`/`scaler`/`fitted` — compile and
+/// behave bit-identically). Use [`TrainedModel::into_serving`] to extract
+/// the artifact for `Arc` sharing.
 pub struct TrainedModel {
-    /// The variant configuration used for training.
-    pub config: ModelConfig,
-    /// Feature standardiser fitted on the training rows.
-    pub scaler: StandardScaler,
-    /// The fitted model.
-    pub fitted: FittedModel,
+    serving: ServingModel,
+}
+
+impl TrainedModel {
+    /// Wrap an existing serving artifact (e.g. one rehydrated from a
+    /// snapshot) in the fit-time facade.
+    pub fn from_serving(serving: ServingModel) -> Self {
+        Self { serving }
+    }
+
+    /// Take the immutable serving artifact out of the facade — the form a
+    /// model registry holds resident behind an `Arc`.
+    pub fn into_serving(self) -> ServingModel {
+        self.serving
+    }
+
+    /// Borrow the serving artifact.
+    pub fn serving(&self) -> &ServingModel {
+        &self.serving
+    }
+}
+
+impl Deref for TrainedModel {
+    type Target = ServingModel;
+
+    fn deref(&self) -> &ServingModel {
+        &self.serving
+    }
+}
+
+impl DerefMut for TrainedModel {
+    fn deref_mut(&mut self) -> &mut ServingModel {
+        &mut self.serving
+    }
 }
 
 /// Train a model variant on the training part of a split.
@@ -65,228 +96,26 @@ pub fn train(dataset: &Dataset, split: &TrainTestSplit, config: &ModelConfig) ->
         ))
     };
 
-    let mut model = TrainedModel {
+    let mut serving = ServingModel {
         config: config.clone(),
         scaler,
         fitted,
     };
     // Training always runs in f64; the configured plane and traversal
     // layout only select which engine serves predictions from here on.
-    model
+    serving
         .set_precision(config.precision)
         .expect("configured precision plane fits the trained arena");
-    model.set_layout(config.layout);
-    model
+    serving.set_layout(config.layout);
+    TrainedModel { serving }
 }
 
-impl TrainedModel {
-    /// Select the numeric plane serving this model's predictions (risk
-    /// maps, response surfaces). Dispatches to the fitted ensemble; see
-    /// [`paws_ml::precision::Precision`] for the contract.
-    ///
-    /// # Errors
-    /// Returns the [`paws_ml::forest32::NarrowError`] when the trained
-    /// arena exceeds the f32 plane's packing caps; the model keeps
-    /// serving from its previous plane then.
-    pub fn set_precision(&mut self, precision: Precision) -> Result<(), NarrowError> {
-        match &mut self.fitted {
-            FittedModel::IWare(m) => m.set_precision(precision),
-            FittedModel::Plain(m) => m.set_precision(precision),
-        }
-    }
-
-    /// Select the traversal engine serving this model's park-wide tree
-    /// predictions; see [`paws_ml::layout::TraversalLayout`]. Surfaces are
-    /// bit-identical across engines (a pure memory-layout choice).
-    pub fn set_layout(&mut self, layout: TraversalLayout) {
-        match &mut self.fitted {
-            FittedModel::IWare(m) => m.set_layout(layout),
-            FittedModel::Plain(m) => m.set_layout(layout),
-        }
-    }
-
-    /// The traversal engine currently serving predictions.
-    pub fn layout(&self) -> TraversalLayout {
-        match &self.fitted {
-            FittedModel::IWare(m) => m.layout(),
-            FittedModel::Plain(m) => m.layout(),
-        }
-    }
-
-    /// The plane currently serving predictions.
-    pub fn precision(&self) -> Precision {
-        match &self.fitted {
-            FittedModel::IWare(m) => m.precision(),
-            FittedModel::Plain(m) => m.precision(),
-        }
-    }
-
-    /// Predict detection probabilities for raw (unscaled) feature rows,
-    /// given the patrol effort associated with each row.
-    pub fn predict(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
-        let scaled = self.scaler.transform(x);
-        match &self.fitted {
-            FittedModel::IWare(m) => m.predict_proba_at_effort(scaled.view(), efforts),
-            FittedModel::Plain(m) => m.predict_proba(scaled.view()),
-        }
-    }
-
-    /// Predict probabilities and uncertainty (variance) for raw rows.
-    pub fn predict_with_variance(
-        &self,
-        x: MatrixView<'_>,
-        efforts: &[f64],
-    ) -> (Vec<f64>, Vec<f64>) {
-        let scaled = self.scaler.transform(x);
-        match &self.fitted {
-            FittedModel::IWare(m) => m.predict_with_variance_at_effort(scaled.view(), efforts),
-            FittedModel::Plain(m) => m.predict_with_variance(scaled.view()),
-        }
-    }
-
-    /// ROC AUC of the model on a set of dataset points (typically the test
-    /// split), using each point's recorded patrol effort for qualification.
-    pub fn auc_on(&self, dataset: &Dataset, idx: &[usize]) -> f64 {
-        let rows = dataset.feature_rows(idx);
-        let labels = dataset.labels(idx);
-        let efforts = dataset.efforts(idx);
-        let probs = self.predict(rows.view(), &efforts);
-        roc_auc(&labels, &probs)
-    }
-
-    /// Feature width this model's scaler (and hence every query path) was
-    /// fitted on.
-    pub fn n_features(&self) -> usize {
-        self.scaler.n_features()
-    }
-
-    /// Validate a coverage vector + the assembled park feature stack
-    /// before it reaches the unchecked traversal kernels.
-    fn checked_feature_matrix(
-        &self,
-        park: &Park,
-        dataset: &Dataset,
-        prev_coverage: &[f64],
-    ) -> Result<Matrix, PawsError> {
-        if prev_coverage.len() != park.n_cells() {
-            return Err(PawsError::Input(
-                "previous-coverage length does not match the park's cell count",
-            ));
-        }
-        if !prev_coverage.iter().all(|c| c.is_finite()) {
-            return Err(PawsError::Input(
-                "previous coverage must be finite (found NaN or infinity)",
-            ));
-        }
-        let rows = dataset.full_feature_matrix(park, prev_coverage);
-        validate_query(rows.view(), self.scaler.n_features())?;
-        Ok(rows)
-    }
-
-    /// [`TrainedModel::risk_map`] with the adversarial-input guard: the
-    /// coverage vector, effort level and assembled feature stack are
-    /// validated and rejected with a typed [`PawsError`] instead of
-    /// flowing NaN through the arena comparisons. This is the serving
-    /// entry point; the panicking sibling stays for trusted in-process
-    /// callers.
-    pub fn try_risk_map(
-        &self,
-        park: &Park,
-        dataset: &Dataset,
-        prev_coverage: &[f64],
-        effort_km: f64,
-    ) -> Result<(Vec<f64>, Vec<f64>), PawsError> {
-        if !effort_km.is_finite() || effort_km < 0.0 {
-            return Err(PawsError::Input(
-                "effort level must be finite and non-negative",
-            ));
-        }
-        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
-        let efforts = vec![effort_km; rows.n_rows()];
-        Ok(self.predict_with_variance(rows.view(), &efforts))
-    }
-
-    /// [`TrainedModel::park_response`] with the adversarial-input guard
-    /// (see [`TrainedModel::try_risk_map`]); additionally validates the
-    /// effort grid (non-empty, finite, non-negative levels).
-    pub fn try_park_response(
-        &self,
-        park: &Park,
-        dataset: &Dataset,
-        prev_coverage: &[f64],
-        effort_grid: &[f64],
-    ) -> Result<(Matrix, Matrix), PawsError> {
-        validate_effort_grid(effort_grid).map_err(PawsError::Query)?;
-        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
-        Ok(self.park_response_from(rows, effort_grid))
-    }
-
-    /// Predicted risk and uncertainty for every in-park cell at a single
-    /// prospective patrol-effort level (one panel of Fig. 6).
-    pub fn risk_map(
-        &self,
-        park: &Park,
-        dataset: &Dataset,
-        prev_coverage: &[f64],
-        effort_km: f64,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let rows = dataset.full_feature_matrix(park, prev_coverage);
-        let efforts = vec![effort_km; rows.n_rows()];
-        self.predict_with_variance(rows.view(), &efforts)
-    }
-
-    /// Response curves g_v(c), ν_v(c) for every in-park cell over a grid of
-    /// prospective effort levels — the planner's input, as flat
-    /// `cells × effort-levels` matrices.
-    pub fn park_response(
-        &self,
-        park: &Park,
-        dataset: &Dataset,
-        prev_coverage: &[f64],
-        effort_grid: &[f64],
-    ) -> (Matrix, Matrix) {
-        let rows = dataset.full_feature_matrix(park, prev_coverage);
-        self.park_response_from(rows, effort_grid)
-    }
-
-    fn park_response_from(&self, mut rows: Matrix, effort_grid: &[f64]) -> (Matrix, Matrix) {
-        // The f32-plane iWare path fuses standardisation and narrowing into
-        // one pass (`StandardScaler::transform_f32` computes the z-score in
-        // f64 and narrows once — bit-identical to transforming in place and
-        // narrowing afterwards) and serves the fused arena natively.
-        if let FittedModel::IWare(m) = &self.fitted {
-            if m.precision() == Precision::F32 {
-                let rows32 = self.scaler.transform_f32(rows.view());
-                if let Some(response) = m.effort_response32(rows32.view(), effort_grid) {
-                    return response;
-                }
-            }
-        }
-        self.scaler.transform_in_place(&mut rows);
-        match &self.fitted {
-            FittedModel::IWare(m) => m.effort_response(rows.view(), effort_grid),
-            FittedModel::Plain(m) => {
-                // A plain ensemble has no notion of prospective effort: its
-                // prediction and variance are constant across effort levels.
-                let (p, v) = m.predict_with_variance(rows.view());
-                let n_levels = effort_grid.len();
-                let mut probs = Matrix::zeros(p.len(), n_levels);
-                let mut vars = Matrix::zeros(v.len(), n_levels);
-                for (i, (&pi, &vi)) in p.iter().zip(&v).enumerate() {
-                    probs.row_mut(i).fill(pi);
-                    vars.row_mut(i).fill(vi);
-                }
-                (probs, vars)
-            }
-        }
-    }
-}
-
-/// Build a patrol-planning problem for one patrol post from a trained model.
+/// Build a patrol-planning problem for one patrol post from a serving
+/// artifact (a `&TrainedModel` deref-coerces here).
 #[allow(clippy::too_many_arguments)]
 pub fn build_planning_problem(
     park: &Park,
-    model: &TrainedModel,
+    model: &ServingModel,
     dataset: &Dataset,
     prev_coverage: &[f64],
     post: CellId,
@@ -308,11 +137,11 @@ pub fn build_planning_problem(
         beta,
     )
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::WeakLearnerKind;
+    use crate::error::PawsError;
     use crate::scenario::Scenario;
     use paws_data::{build_dataset, split_by_test_year, Discretization};
 

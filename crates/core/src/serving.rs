@@ -1,0 +1,781 @@
+//! Immutable serving artifacts — the serve half of the fit/serve split.
+//!
+//! Training ([`crate::pipeline::train`]) is a one-shot, mutable affair; what
+//! deployment actually holds resident is produced here:
+//!
+//! * [`ServingModel`] — the fitted ensemble (fused learner stack, and its
+//!   f32 narrowing when configured), the feature scaler and the variant
+//!   config, as one value. It is built from a live fit or rehydrated from a
+//!   stack snapshot ([`ServingModel::from_stack_snapshot`]), optionally
+//!   re-planed/re-laid-out **before** sharing, and then published behind an
+//!   `Arc` — at which point only `&self` query methods remain reachable, so
+//!   the artifact is immutable for as long as it serves.
+//! * [`PreparedPark`] — a park's assembled feature stack standardised
+//!   **once** and narrowed to the f32 plane **once**
+//!   ([`StandardScaler::transform_planes_in_place`]). Every subsequent
+//!   risk-map / response-surface query on the prepared park skips the
+//!   per-call standardise+narrow pass entirely; this is what turns the f32
+//!   plane's bandwidth advantage back into a net win on 50k-cell parks
+//!   (BENCH_5 measured the per-call narrowing eating it: 0.84×).
+//!
+//! Every prepared query path is bit-identical to its unprepared sibling on
+//! [`crate::pipeline::TrainedModel`]: the cached f64 plane is exactly the
+//! in-place standardised matrix the unprepared path builds per call, and the
+//! cached f32 plane is exactly its one-pass narrowing.
+
+use crate::config::ModelConfig;
+use crate::error::PawsError;
+use paws_data::matrix32::Matrix32;
+use paws_data::{Dataset, Matrix, MatrixView, StandardScaler};
+use paws_geo::{CellId, Park};
+use paws_iware::IWareModel;
+use paws_ml::bagging::BaggingClassifier;
+use paws_ml::forest32::NarrowError;
+use paws_ml::layout::TraversalLayout;
+use paws_ml::metrics::roc_auc;
+use paws_ml::precision::Precision;
+use paws_ml::traits::{validate_effort_grid, validate_query, Classifier, UncertainClassifier};
+use paws_plan::{squash_matrix, PlanningProblem};
+
+/// A fitted predictive model (plain bagging or iWare-E).
+pub enum FittedModel {
+    /// iWare-E wrapped ensemble ("-iW" variants).
+    IWare(IWareModel),
+    /// Plain bagging ensemble.
+    Plain(BaggingClassifier),
+}
+
+/// The immutable serving artifact: fitted ensemble + scaler + config.
+///
+/// Constructible from a live fit (via [`crate::pipeline::train`], which
+/// wraps one) or from a PR 6 learner-stack snapshot
+/// ([`ServingModel::from_stack_snapshot`]). The `&mut self` plane/layout
+/// setters are usable only while the artifact has a unique owner; once it
+/// is shared behind an `Arc` (the registry's resident form), callers can
+/// reach only the `&self` query surface.
+pub struct ServingModel {
+    /// The variant configuration used for training.
+    pub config: ModelConfig,
+    /// Feature standardiser fitted on the training rows.
+    pub scaler: StandardScaler,
+    /// The fitted model.
+    pub fitted: FittedModel,
+}
+
+/// A park's feature stack, standardised and narrowed once against a
+/// specific [`ServingModel`]'s scaler.
+///
+/// Holds both precision planes: the standardised f64 matrix (bit-identical
+/// to what the unprepared query paths compute per call) and its f32
+/// narrowing (bit-identical to [`StandardScaler::transform_f32`] on the raw
+/// rows). Build one per (park, previous-coverage) pair via
+/// [`ServingModel::prepare_park`] and reuse it across queries; rebuild it
+/// when the coverage — and hence the feature stack — changes.
+pub struct PreparedPark {
+    rows: Matrix,
+    rows32: Matrix32,
+}
+
+impl PreparedPark {
+    /// Number of park cells (feature rows) in the prepared stack.
+    pub fn n_cells(&self) -> usize {
+        self.rows.n_rows()
+    }
+
+    /// Feature width of the prepared stack.
+    pub fn n_features(&self) -> usize {
+        self.rows.n_cols()
+    }
+}
+
+impl ServingModel {
+    /// Rehydrate a serving artifact from a learner-stack snapshot plus the
+    /// fit-time scaler and variant config (the snapshot wire format carries
+    /// the ensemble only). The configured precision plane and traversal
+    /// layout are applied before the artifact is returned.
+    ///
+    /// # Errors
+    /// [`PawsError::Snapshot`] for a rejected snapshot,
+    /// [`PawsError::Narrow`] when the configured f32 plane does not fit the
+    /// restored arena, [`PawsError::Input`] when the restored ensemble's
+    /// feature width does not match the scaler.
+    pub fn from_stack_snapshot(
+        bytes: &[u8],
+        config: ModelConfig,
+        scaler: StandardScaler,
+    ) -> Result<Self, PawsError> {
+        let model = IWareModel::from_stack_snapshot(bytes, config.iware_config())?;
+        if model.n_features() != scaler.n_features() {
+            return Err(PawsError::Input(
+                "snapshot feature width does not match the scaler",
+            ));
+        }
+        let mut serving = ServingModel {
+            config,
+            scaler,
+            fitted: FittedModel::IWare(model),
+        };
+        let precision = serving.config.precision;
+        serving.set_precision(precision)?;
+        serving.set_layout(serving.config.layout);
+        Ok(serving)
+    }
+
+    /// Serialise the fused learner stack to the snapshot wire format.
+    /// `None` when the fitted model has no snapshotable stack (plain
+    /// bagging, or a non-tree learner base).
+    pub fn to_stack_snapshot(&self) -> Option<Vec<u8>> {
+        match &self.fitted {
+            FittedModel::IWare(m) => m.to_stack_snapshot(),
+            FittedModel::Plain(_) => None,
+        }
+    }
+
+    /// Select the numeric plane serving this model's predictions (risk
+    /// maps, response surfaces). Dispatches to the fitted ensemble; see
+    /// [`paws_ml::precision::Precision`] for the contract.
+    ///
+    /// # Errors
+    /// Returns the [`paws_ml::forest32::NarrowError`] when the trained
+    /// arena exceeds the f32 plane's packing caps; the model keeps
+    /// serving from its previous plane then.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), NarrowError> {
+        match &mut self.fitted {
+            FittedModel::IWare(m) => m.set_precision(precision),
+            FittedModel::Plain(m) => m.set_precision(precision),
+        }
+    }
+
+    /// Select the traversal engine serving this model's park-wide tree
+    /// predictions; see [`paws_ml::layout::TraversalLayout`]. Surfaces are
+    /// bit-identical across engines (a pure memory-layout choice).
+    pub fn set_layout(&mut self, layout: TraversalLayout) {
+        match &mut self.fitted {
+            FittedModel::IWare(m) => m.set_layout(layout),
+            FittedModel::Plain(m) => m.set_layout(layout),
+        }
+    }
+
+    /// The traversal engine currently serving predictions.
+    pub fn layout(&self) -> TraversalLayout {
+        match &self.fitted {
+            FittedModel::IWare(m) => m.layout(),
+            FittedModel::Plain(m) => m.layout(),
+        }
+    }
+
+    /// The plane currently serving predictions.
+    pub fn precision(&self) -> Precision {
+        match &self.fitted {
+            FittedModel::IWare(m) => m.precision(),
+            FittedModel::Plain(m) => m.precision(),
+        }
+    }
+
+    /// Predict detection probabilities for raw (unscaled) feature rows,
+    /// given the patrol effort associated with each row.
+    pub fn predict(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
+        let scaled = self.scaler.transform(x);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.predict_proba_at_effort(scaled.view(), efforts),
+            FittedModel::Plain(m) => m.predict_proba(scaled.view()),
+        }
+    }
+
+    /// Predict probabilities and uncertainty (variance) for raw rows.
+    pub fn predict_with_variance(
+        &self,
+        x: MatrixView<'_>,
+        efforts: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let scaled = self.scaler.transform(x);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.predict_with_variance_at_effort(scaled.view(), efforts),
+            FittedModel::Plain(m) => m.predict_with_variance(scaled.view()),
+        }
+    }
+
+    /// ROC AUC of the model on a set of dataset points (typically the test
+    /// split), using each point's recorded patrol effort for qualification.
+    pub fn auc_on(&self, dataset: &Dataset, idx: &[usize]) -> f64 {
+        let rows = dataset.feature_rows(idx);
+        let labels = dataset.labels(idx);
+        let efforts = dataset.efforts(idx);
+        let probs = self.predict(rows.view(), &efforts);
+        roc_auc(&labels, &probs)
+    }
+
+    /// Feature width this model's scaler (and hence every query path) was
+    /// fitted on.
+    pub fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+
+    /// Validate a coverage vector + the assembled park feature stack
+    /// before it reaches the unchecked traversal kernels.
+    fn checked_feature_matrix(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+    ) -> Result<Matrix, PawsError> {
+        if prev_coverage.len() != park.n_cells() {
+            return Err(PawsError::Input(
+                "previous-coverage length does not match the park's cell count",
+            ));
+        }
+        if !prev_coverage.iter().all(|c| c.is_finite()) {
+            return Err(PawsError::Input(
+                "previous coverage must be finite (found NaN or infinity)",
+            ));
+        }
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        validate_query(rows.view(), self.scaler.n_features())?;
+        Ok(rows)
+    }
+
+    /// Assemble, validate, standardise and narrow a park's feature stack
+    /// once, caching both precision planes for repeated queries.
+    ///
+    /// # Errors
+    /// [`PawsError::Input`] / [`PawsError::Query`] exactly as
+    /// [`ServingModel::try_risk_map`] would reject the same inputs.
+    pub fn prepare_park(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+    ) -> Result<PreparedPark, PawsError> {
+        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
+        self.prepare_rows(rows)
+    }
+
+    /// [`ServingModel::prepare_park`] for an already-assembled **raw**
+    /// (unscaled) feature stack — the registry's model-swap path, which
+    /// keeps a park's raw stack around and re-prepares it against the
+    /// incoming model's scaler without re-touching the dataset.
+    ///
+    /// # Errors
+    /// [`PawsError::Query`] when the stack is empty, width-mismatched or
+    /// non-finite.
+    pub fn prepare_rows(&self, mut rows: Matrix) -> Result<PreparedPark, PawsError> {
+        validate_query(rows.view(), self.scaler.n_features())?;
+        let rows32 = self.scaler.transform_planes_in_place(&mut rows);
+        Ok(PreparedPark { rows, rows32 })
+    }
+
+    fn check_prepared(&self, prepared: &PreparedPark) -> Result<(), PawsError> {
+        if prepared.n_features() != self.scaler.n_features() {
+            return Err(PawsError::Input(
+                "prepared park feature width does not match the model",
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`ServingModel::risk_map`] on a prepared park: zero per-call
+    /// standardise/narrow work. Bit-identical to the unprepared path on the
+    /// same raw feature stack.
+    pub fn risk_map_prepared(
+        &self,
+        prepared: &PreparedPark,
+        effort_km: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        match &self.fitted {
+            FittedModel::IWare(m) => {
+                if m.precision() == Precision::F32 {
+                    if let Some(out) =
+                        m.predict_with_variance_at_effort32(prepared.rows32.view(), effort_km)
+                    {
+                        return out;
+                    }
+                }
+                let efforts = vec![effort_km; prepared.n_cells()];
+                m.predict_with_variance_at_effort(prepared.rows.view(), &efforts)
+            }
+            FittedModel::Plain(m) => {
+                if m.precision() == Precision::F32 {
+                    if let Some(out) = m.predict_with_variance32(prepared.rows32.view()) {
+                        return out;
+                    }
+                }
+                m.predict_with_variance(prepared.rows.view())
+            }
+        }
+    }
+
+    /// [`ServingModel::risk_map_prepared`] with the serving-side input
+    /// guard (finite, non-negative effort; width-matched prepared stack).
+    pub fn try_risk_map_prepared(
+        &self,
+        prepared: &PreparedPark,
+        effort_km: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>), PawsError> {
+        if !effort_km.is_finite() || effort_km < 0.0 {
+            return Err(PawsError::Input(
+                "effort level must be finite and non-negative",
+            ));
+        }
+        self.check_prepared(prepared)?;
+        Ok(self.risk_map_prepared(prepared, effort_km))
+    }
+
+    /// [`ServingModel::park_response`] on a prepared park: the response
+    /// surfaces are served straight off the cached plane matching the
+    /// model's precision. Bit-identical to the unprepared path.
+    pub fn park_response_prepared(
+        &self,
+        prepared: &PreparedPark,
+        effort_grid: &[f64],
+    ) -> (Matrix, Matrix) {
+        match &self.fitted {
+            FittedModel::IWare(m) => {
+                if m.precision() == Precision::F32 {
+                    if let Some(response) = m.effort_response32(prepared.rows32.view(), effort_grid)
+                    {
+                        return response;
+                    }
+                }
+                m.effort_response(prepared.rows.view(), effort_grid)
+            }
+            FittedModel::Plain(m) => {
+                let pv = if m.precision() == Precision::F32 {
+                    m.predict_with_variance32(prepared.rows32.view())
+                } else {
+                    None
+                };
+                let (p, v) = match pv {
+                    Some(out) => out,
+                    None => m.predict_with_variance(prepared.rows.view()),
+                };
+                broadcast_constant_response(&p, &v, effort_grid.len())
+            }
+        }
+    }
+
+    /// [`ServingModel::park_response_prepared`] with the serving-side input
+    /// guard (validated effort grid; width-matched prepared stack).
+    pub fn try_park_response_prepared(
+        &self,
+        prepared: &PreparedPark,
+        effort_grid: &[f64],
+    ) -> Result<(Matrix, Matrix), PawsError> {
+        validate_effort_grid(effort_grid).map_err(PawsError::Query)?;
+        self.check_prepared(prepared)?;
+        Ok(self.park_response_prepared(prepared, effort_grid))
+    }
+
+    /// Build a patrol-planning problem for one post from a prepared park:
+    /// the response surfaces come off the cached planes, then flow through
+    /// the same squash + game construction as
+    /// [`crate::pipeline::build_planning_problem`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_planning_problem_prepared(
+        &self,
+        park: &Park,
+        prepared: &PreparedPark,
+        post: CellId,
+        effort_grid: &[f64],
+        patrol_length_km: f64,
+        n_patrols: usize,
+        beta: f64,
+    ) -> Result<PlanningProblem, PawsError> {
+        let (probs, vars) = self.try_park_response_prepared(prepared, effort_grid)?;
+        try_planning_problem_from_response(
+            park,
+            post,
+            effort_grid,
+            &probs,
+            &vars,
+            patrol_length_km,
+            n_patrols,
+            beta,
+        )
+    }
+
+    /// [`ServingModel::risk_map`] with the adversarial-input guard: the
+    /// coverage vector, effort level and assembled feature stack are
+    /// validated and rejected with a typed [`PawsError`] instead of
+    /// flowing NaN through the arena comparisons. This is the serving
+    /// entry point; the panicking sibling stays for trusted in-process
+    /// callers.
+    pub fn try_risk_map(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_km: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>), PawsError> {
+        if !effort_km.is_finite() || effort_km < 0.0 {
+            return Err(PawsError::Input(
+                "effort level must be finite and non-negative",
+            ));
+        }
+        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
+        let efforts = vec![effort_km; rows.n_rows()];
+        Ok(self.predict_with_variance(rows.view(), &efforts))
+    }
+
+    /// [`ServingModel::park_response`] with the adversarial-input guard
+    /// (see [`ServingModel::try_risk_map`]); additionally validates the
+    /// effort grid (non-empty, finite, non-negative levels).
+    pub fn try_park_response(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_grid: &[f64],
+    ) -> Result<(Matrix, Matrix), PawsError> {
+        validate_effort_grid(effort_grid).map_err(PawsError::Query)?;
+        let rows = self.checked_feature_matrix(park, dataset, prev_coverage)?;
+        Ok(self.park_response_from(rows, effort_grid))
+    }
+
+    /// Predicted risk and uncertainty for every in-park cell at a single
+    /// prospective patrol-effort level (one panel of Fig. 6).
+    pub fn risk_map(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_km: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        let efforts = vec![effort_km; rows.n_rows()];
+        self.predict_with_variance(rows.view(), &efforts)
+    }
+
+    /// Response curves g_v(c), ν_v(c) for every in-park cell over a grid of
+    /// prospective effort levels — the planner's input, as flat
+    /// `cells × effort-levels` matrices.
+    pub fn park_response(
+        &self,
+        park: &Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+        effort_grid: &[f64],
+    ) -> (Matrix, Matrix) {
+        let rows = dataset.full_feature_matrix(park, prev_coverage);
+        self.park_response_from(rows, effort_grid)
+    }
+
+    fn park_response_from(&self, mut rows: Matrix, effort_grid: &[f64]) -> (Matrix, Matrix) {
+        // The f32-plane iWare path fuses standardisation and narrowing into
+        // one pass (`StandardScaler::transform_f32` computes the z-score in
+        // f64 and narrows once — bit-identical to transforming in place and
+        // narrowing afterwards) and serves the fused arena natively.
+        if let FittedModel::IWare(m) = &self.fitted {
+            if m.precision() == Precision::F32 {
+                let rows32 = self.scaler.transform_f32(rows.view());
+                if let Some(response) = m.effort_response32(rows32.view(), effort_grid) {
+                    return response;
+                }
+            }
+        }
+        self.scaler.transform_in_place(&mut rows);
+        match &self.fitted {
+            FittedModel::IWare(m) => m.effort_response(rows.view(), effort_grid),
+            FittedModel::Plain(m) => {
+                // A plain ensemble has no notion of prospective effort: its
+                // prediction and variance are constant across effort levels.
+                let (p, v) = m.predict_with_variance(rows.view());
+                broadcast_constant_response(&p, &v, effort_grid.len())
+            }
+        }
+    }
+}
+
+/// Build a patrol-planning problem from an **already computed** response
+/// surface (e.g. one shared across a batch of same-park queries), with the
+/// serving-side guards that [`PlanningProblem::from_response`] enforces by
+/// panicking: the post must lie inside the park, the surfaces must cover
+/// every cell over ≥ 2 effort levels, and the patrol budget and β must be
+/// sane. The raw variance surface is squashed here.
+///
+/// # Errors
+/// [`PawsError::Input`] naming the violated precondition.
+#[allow(clippy::too_many_arguments)]
+pub fn try_planning_problem_from_response(
+    park: &Park,
+    post: CellId,
+    effort_grid: &[f64],
+    probs: &Matrix,
+    vars: &Matrix,
+    patrol_length_km: f64,
+    n_patrols: usize,
+    beta: f64,
+) -> Result<PlanningProblem, PawsError> {
+    if !park.contains(post) {
+        return Err(PawsError::Input("patrol post must be inside the park"));
+    }
+    if effort_grid.len() < 2 {
+        return Err(PawsError::Input(
+            "planning needs at least two effort levels",
+        ));
+    }
+    if probs.n_rows() != park.n_cells() || vars.n_rows() != park.n_cells() {
+        return Err(PawsError::Input(
+            "response surfaces must cover every in-park cell",
+        ));
+    }
+    if !(patrol_length_km.is_finite() && patrol_length_km > 0.0) || n_patrols == 0 {
+        return Err(PawsError::Input(
+            "patrol budget must be positive and finite",
+        ));
+    }
+    if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
+        return Err(PawsError::Input("beta must lie in [0, 1]"));
+    }
+    let (_, squashed) = squash_matrix(vars);
+    Ok(PlanningProblem::from_response(
+        park,
+        post,
+        effort_grid,
+        probs,
+        &squashed,
+        patrol_length_km,
+        n_patrols,
+        beta,
+    ))
+}
+
+/// Broadcast a plain ensemble's effort-constant prediction across the
+/// requested effort levels.
+fn broadcast_constant_response(p: &[f64], v: &[f64], n_levels: usize) -> (Matrix, Matrix) {
+    let mut probs = Matrix::zeros(p.len(), n_levels);
+    let mut vars = Matrix::zeros(v.len(), n_levels);
+    for (i, (&pi, &vi)) in p.iter().zip(v).enumerate() {
+        probs.row_mut(i).fill(pi);
+        vars.row_mut(i).fill(vi);
+    }
+    (probs, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WeakLearnerKind;
+    use crate::pipeline::{build_planning_problem, train, TrainedModel};
+    use crate::scenario::Scenario;
+    use paws_data::{build_dataset, split_by_test_year, Discretization, TrainTestSplit};
+    use std::sync::Arc;
+
+    fn small_setup() -> (Scenario, Dataset, TrainTestSplit) {
+        let scenario = Scenario::test_scenario(3);
+        let history = scenario.simulate_years(2014, 3);
+        let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+        let split = split_by_test_year(&dataset, 2016, 2).expect("split exists");
+        (scenario, dataset, split)
+    }
+
+    fn quick_config(learner: WeakLearnerKind, use_iware: bool) -> ModelConfig {
+        let mut cfg = ModelConfig::new(learner, use_iware, 7);
+        cfg.n_learners = 4;
+        cfg.n_estimators = 4;
+        cfg.weight_mode = paws_iware::WeightMode::Uniform;
+        cfg.gp_max_points = 120;
+        cfg
+    }
+
+    /// Every (variant, plane, layout) combination must serve the exact
+    /// same bits off the cached planes as the unprepared per-call paths.
+    #[test]
+    fn prepared_queries_are_bit_identical_to_unprepared_ones() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let prev = dataset.coverage.last().unwrap().clone();
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        for use_iware in [true, false] {
+            let mut model = train(
+                &dataset,
+                &split,
+                &quick_config(WeakLearnerKind::DecisionTree, use_iware),
+            );
+            for precision in [Precision::F64, Precision::F32] {
+                model.set_precision(precision).unwrap();
+                for layout in [TraversalLayout::Interleaved, TraversalLayout::BitVector] {
+                    model.set_layout(layout);
+                    let prepared = model.prepare_park(park, &dataset, &prev).unwrap();
+                    assert_eq!(prepared.n_cells(), park.n_cells());
+                    assert_eq!(prepared.n_features(), model.n_features());
+
+                    let (r_ref, u_ref) = model.risk_map(park, &dataset, &prev, 1.0);
+                    let (r, u) = model.risk_map_prepared(&prepared, 1.0);
+                    assert_eq!(r, r_ref, "risk {use_iware} {precision:?} {layout:?}");
+                    assert_eq!(u, u_ref, "uncertainty {use_iware} {precision:?} {layout:?}");
+                    let (rt, ut) = model.try_risk_map_prepared(&prepared, 1.0).unwrap();
+                    assert_eq!(rt, r_ref);
+                    assert_eq!(ut, u_ref);
+
+                    let (p_ref, v_ref) = model.park_response(park, &dataset, &prev, &grid);
+                    let (p, v) = model.park_response_prepared(&prepared, &grid);
+                    assert_eq!(p.as_slice(), p_ref.as_slice());
+                    assert_eq!(v.as_slice(), v_ref.as_slice());
+                    let (pt, vt) = model.try_park_response_prepared(&prepared, &grid).unwrap();
+                    assert_eq!(pt.as_slice(), p_ref.as_slice());
+                    assert_eq!(vt.as_slice(), v_ref.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_planning_problem_matches_the_unprepared_construction() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        let prev = vec![0.0; park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0, 4.0];
+        let post = park.patrol_posts[0];
+        let reference =
+            build_planning_problem(park, &model, &dataset, &prev, post, &grid, 8.0, 2, 0.8);
+        let prepared = model.prepare_park(park, &dataset, &prev).unwrap();
+        let problem = model
+            .try_planning_problem_prepared(park, &prepared, post, &grid, 8.0, 2, 0.8)
+            .unwrap();
+        assert_eq!(problem.n_cells(), reference.n_cells());
+        assert_eq!(problem.beta, reference.beta);
+        let reference_plan = paws_plan::plan(&reference, &paws_plan::PlannerConfig::default());
+        let plan = paws_plan::plan(&problem, &paws_plan::PlannerConfig::default());
+        assert_eq!(plan.coverage, reference_plan.coverage);
+    }
+
+    #[test]
+    fn prepared_guards_reject_bad_queries_and_mismatched_artifacts() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        let prev = vec![0.0; park.n_cells()];
+
+        // prepare_park applies the same input guards as try_risk_map.
+        let short = vec![0.0; park.n_cells() - 1];
+        assert!(matches!(
+            model.prepare_park(park, &dataset, &short),
+            Err(PawsError::Input(_))
+        ));
+        let mut poisoned = prev.clone();
+        poisoned[0] = f64::NAN;
+        assert!(matches!(
+            model.prepare_park(park, &dataset, &poisoned),
+            Err(PawsError::Input(_))
+        ));
+
+        let prepared = model.prepare_park(park, &dataset, &prev).unwrap();
+        assert!(matches!(
+            model.try_risk_map_prepared(&prepared, f64::NAN),
+            Err(PawsError::Input(_))
+        ));
+        assert!(matches!(
+            model.try_risk_map_prepared(&prepared, -1.0),
+            Err(PawsError::Input(_))
+        ));
+        assert!(matches!(
+            model.try_park_response_prepared(&prepared, &[]),
+            Err(PawsError::Query(_))
+        ));
+        assert!(matches!(
+            model.try_park_response_prepared(&prepared, &[0.5, f64::NAN]),
+            Err(PawsError::Query(_))
+        ));
+
+        // A prepared stack whose feature width does not match the model's
+        // scaler is refused before it can reach the kernels.
+        let foreign = PreparedPark {
+            rows: Matrix::zeros(4, model.n_features() + 1),
+            rows32: Matrix32::zeros(4, model.n_features() + 1),
+        };
+        assert!(matches!(
+            model.try_risk_map_prepared(&foreign, 1.0),
+            Err(PawsError::Input(_))
+        ));
+        assert!(matches!(
+            model.try_park_response_prepared(&foreign, &[0.5]),
+            Err(PawsError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rehydrated_artifact_serves_bit_identical_surfaces() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        let prev = vec![0.0; park.n_cells()];
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        let bytes = model.to_stack_snapshot().expect("tree stack snapshots");
+
+        let rehydrated =
+            ServingModel::from_stack_snapshot(&bytes, model.config.clone(), model.scaler.clone())
+                .expect("snapshot rehydrates");
+        assert_eq!(rehydrated.precision(), model.precision());
+        assert_eq!(rehydrated.layout(), model.layout());
+        let (r_ref, u_ref) = model.risk_map(park, &dataset, &prev, 1.0);
+        let (r, u) = rehydrated.risk_map(park, &dataset, &prev, 1.0);
+        assert_eq!(r, r_ref);
+        assert_eq!(u, u_ref);
+        let prepared = rehydrated.prepare_park(park, &dataset, &prev).unwrap();
+        let (p_ref, v_ref) = model.park_response(park, &dataset, &prev, &grid);
+        let (p, v) = rehydrated.park_response_prepared(&prepared, &grid);
+        assert_eq!(p.as_slice(), p_ref.as_slice());
+        assert_eq!(v.as_slice(), v_ref.as_slice());
+
+        // Corrupted bytes and width mismatches surface as typed errors.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            ServingModel::from_stack_snapshot(&bad, model.config.clone(), model.scaler.clone()),
+            Err(PawsError::Snapshot(_))
+        ));
+        let foreign_scaler =
+            StandardScaler::fit(Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]).view());
+        assert!(matches!(
+            ServingModel::from_stack_snapshot(&bytes, model.config.clone(), foreign_scaler),
+            Err(PawsError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn facade_round_trips_and_the_artifact_shares_behind_an_arc() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let model = train(
+            &dataset,
+            &split,
+            &quick_config(WeakLearnerKind::DecisionTree, true),
+        );
+        let prev = vec![0.0; park.n_cells()];
+        let (r_ref, _) = model.risk_map(park, &dataset, &prev, 1.0);
+
+        // Facade → artifact → Arc: the shared artifact serves the same bits
+        // from plain `&self`, concurrently.
+        let artifact: Arc<ServingModel> = Arc::new(model.into_serving());
+        let prepared = Arc::new(artifact.prepare_park(park, &dataset, &prev).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let artifact = Arc::clone(&artifact);
+                let prepared = Arc::clone(&prepared);
+                std::thread::spawn(move || artifact.risk_map_prepared(&prepared, 1.0).0)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), r_ref);
+        }
+
+        // And back into the facade for fit-time callers.
+        let artifact = Arc::try_unwrap(artifact).ok().expect("sole owner again");
+        let model = TrainedModel::from_serving(artifact);
+        let (r, _) = model.risk_map(park, &dataset, &prev, 1.0);
+        assert_eq!(r, r_ref);
+    }
+}

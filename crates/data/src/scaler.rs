@@ -90,6 +90,32 @@ impl StandardScaler {
         (scaler, x)
     }
 
+    /// Standardise a matrix in place **and** narrow it to the f32 plane in
+    /// the same pass, returning the narrowed copy. Per row this performs
+    /// exactly `transform_in_place` followed by `Matrix32::from_f64` —
+    /// same z-score, same round-to-nearest narrowing — but streams each
+    /// cache-resident row once instead of re-walking the whole matrix.
+    ///
+    /// This is the serving-artifact preparation path: a park's feature
+    /// stack is standardised and narrowed **once** at model-load time
+    /// (`PreparedPark` in `paws-core`), so repeated risk-map /
+    /// response-surface queries pay zero per-call standardise/narrow work
+    /// on either precision plane.
+    pub fn transform_planes_in_place(&self, x: &mut Matrix) -> Matrix32 {
+        assert_eq!(x.n_cols(), self.means.len(), "matrix width mismatch");
+        let k = self.means.len();
+        let mut narrow = Matrix32::zeros(x.n_rows(), k);
+        for (row, out_row) in x
+            .as_mut_slice()
+            .chunks_exact_mut(k)
+            .zip(narrow.as_mut_slice().chunks_exact_mut(k))
+        {
+            simd::standardize(row, &self.means, &self.stds);
+            simd32::narrow(row, out_row);
+        }
+        narrow
+    }
+
     /// Transform a borrowed f64 batch straight into the f32 prediction
     /// plane: the z-score is computed at full f64 precision with the fitted
     /// statistics, then narrowed once (round-to-nearest). Equivalent to
@@ -176,6 +202,33 @@ mod tests {
                 assert_eq!(*v32, *v64 as f32);
             }
         }
+    }
+
+    #[test]
+    fn fused_plane_transform_matches_the_two_pass_reference() {
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| {
+                vec![
+                    i as f64 * 0.37 - 5.0,
+                    (i * i) as f64 * 0.011,
+                    -3.5 + i as f64,
+                ]
+            })
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let scaler = StandardScaler::fit(m.view());
+        // Reference: standardise, then narrow as a second full pass.
+        let mut wide_ref = m.clone();
+        scaler.transform_in_place(&mut wide_ref);
+        let narrow_ref = Matrix32::from_f64(wide_ref.view());
+        // Fused: one streaming pass produces both planes.
+        let mut wide = m.clone();
+        let narrow = scaler.transform_planes_in_place(&mut wide);
+        assert_eq!(wide.as_slice(), wide_ref.as_slice());
+        assert_eq!(narrow.as_slice(), narrow_ref.as_slice());
+        // And the narrowed plane equals the dedicated f32 transform.
+        let direct32 = scaler.transform_f32(m.view());
+        assert_eq!(narrow.as_slice(), direct32.as_slice());
     }
 
     #[test]

@@ -497,6 +497,84 @@ impl IWareModel {
         (Matrix::from_rows(&probs), Matrix::from_rows(&vars))
     }
 
+    /// Constant-effort probability prediction served natively from the f32
+    /// plane: the caller supplies an **already-narrowed** feature batch
+    /// (e.g. the cached f32 plane of a prepared serving artifact), so no
+    /// per-call `Matrix32::from_f64` pass runs — the narrowing cost that
+    /// made the f32 plane a net slowdown on LLC-scale risk maps is paid
+    /// once at preparation time instead. Bit-identical to
+    /// [`IWareModel::predict_proba_at_effort`] on a constant-effort batch
+    /// narrowed from the same rows. `None` unless the model is switched to
+    /// [`Precision::F32`] with a tree learner stack.
+    pub fn predict_proba_at_effort32(
+        &self,
+        x32: MatrixView32<'_>,
+        effort: f64,
+    ) -> Option<Vec<f64>> {
+        let stack32 = self.stack32.as_ref()?;
+        if x32.n_rows() == 0 {
+            return Some(Vec::new());
+        }
+        let q = qualified_learners(&self.thresholds, effort);
+        let n_rows = x32.n_rows();
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+        let parts: Vec<Vec<f64>> = starts
+            .into_par_iter()
+            .map(|start| {
+                let len = ROW_CHUNK.min(n_rows - start);
+                let probs = stack32.block_probs(x32, start, len);
+                let p32 =
+                    combine_rows32(LearnerTable::new(&probs, len, 0), &stack32.weights, &q, len);
+                let mut out = vec![0.0f64; len];
+                simd32::widen(&p32, &mut out);
+                out
+            })
+            .collect();
+        Some(parts.concat())
+    }
+
+    /// Constant-effort probability + uncertainty served natively from the
+    /// f32 plane (see [`IWareModel::predict_proba_at_effort32`] for the
+    /// contract): the fused traverse→reduce→combine pipeline runs per
+    /// 256-row block on the pre-narrowed batch, widening only the emitted
+    /// surfaces. `None` unless a narrowed learner stack is resident.
+    pub fn predict_with_variance_at_effort32(
+        &self,
+        x32: MatrixView32<'_>,
+        effort: f64,
+    ) -> Option<(Vec<f64>, Vec<f64>)> {
+        let stack32 = self.stack32.as_ref()?;
+        if x32.n_rows() == 0 {
+            return Some((Vec::new(), Vec::new()));
+        }
+        let q = qualified_learners(&self.thresholds, effort);
+        let n_rows = x32.n_rows();
+        let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
+        let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
+            .into_par_iter()
+            .map(|start| {
+                let len = ROW_CHUNK.min(n_rows - start);
+                let (probs, vars) = stack32.block_prob_var(x32, start, len);
+                let p32 =
+                    combine_rows32(LearnerTable::new(&probs, len, 0), &stack32.weights, &q, len);
+                let v32 =
+                    combine_rows32(LearnerTable::new(&vars, len, 0), &stack32.weights, &q, len);
+                let mut p = vec![0.0f64; len];
+                let mut v = vec![0.0f64; len];
+                simd32::widen(&p32, &mut p);
+                simd32::widen(&v32, &mut v);
+                (p, v)
+            })
+            .collect();
+        let mut p_all = Vec::with_capacity(n_rows);
+        let mut v_all = Vec::with_capacity(n_rows);
+        for (p, v) in parts {
+            p_all.extend_from_slice(&p);
+            v_all.extend_from_slice(&v);
+        }
+        Some((p_all, v_all))
+    }
+
     /// Predict the probability of detected poaching for each row, given the
     /// patrol effort that will be (or was) spent in the corresponding cell.
     pub fn predict_proba_at_effort(&self, x: MatrixView<'_>, efforts: &[f64]) -> Vec<f64> {
@@ -506,30 +584,11 @@ impl IWareModel {
         }
         // Constant-effort batches on the f32 plane (the risk-map shape):
         // narrow the batch once, then run the fused per-block pipeline in
-        // f32 end-to-end, widening only the combined output.
-        if let Some(stack32) = &self.stack32 {
-            if efforts.windows(2).all(|w| w[0] == w[1]) {
-                let q = qualified_learners(&self.thresholds, efforts[0]);
-                let n_rows = x.n_rows();
-                let x32 = Matrix32::from_f64(x);
-                let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
-                let parts: Vec<Vec<f64>> = starts
-                    .into_par_iter()
-                    .map(|start| {
-                        let len = ROW_CHUNK.min(n_rows - start);
-                        let probs = stack32.block_probs(x32.view(), start, len);
-                        let p32 = combine_rows32(
-                            LearnerTable::new(&probs, len, 0),
-                            &stack32.weights,
-                            &q,
-                            len,
-                        );
-                        let mut out = vec![0.0f64; len];
-                        simd32::widen(&p32, &mut out);
-                        out
-                    })
-                    .collect();
-                return parts.concat();
+        // f32 end-to-end through the pre-narrowed entry point.
+        if self.stack32.is_some() && efforts.windows(2).all(|w| w[0] == w[1]) {
+            let x32 = Matrix32::from_f64(x);
+            if let Some(out) = self.predict_proba_at_effort32(x32.view(), efforts[0]) {
+                return out;
             }
         }
         let per_learner = self.learner_probabilities(x);
@@ -569,41 +628,13 @@ impl IWareModel {
         // learners combine their full tables learner-major.
         if efforts.windows(2).all(|w| w[0] == w[1]) {
             let q = qualified_learners(&self.thresholds, efforts[0]);
-            if let Some(stack32) = &self.stack32 {
-                // The f32 plane's fused pipeline; widen per block.
+            if self.stack32.is_some() {
+                // The f32 plane's fused pipeline; narrow once, then run the
+                // pre-narrowed entry point end-to-end.
                 let x32 = Matrix32::from_f64(x);
-                let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
-                let parts: Vec<(Vec<f64>, Vec<f64>)> = starts
-                    .into_par_iter()
-                    .map(|start| {
-                        let len = ROW_CHUNK.min(n_rows - start);
-                        let (probs, vars) = stack32.block_prob_var(x32.view(), start, len);
-                        let p32 = combine_rows32(
-                            LearnerTable::new(&probs, len, 0),
-                            &stack32.weights,
-                            &q,
-                            len,
-                        );
-                        let v32 = combine_rows32(
-                            LearnerTable::new(&vars, len, 0),
-                            &stack32.weights,
-                            &q,
-                            len,
-                        );
-                        let mut p = vec![0.0f64; len];
-                        let mut v = vec![0.0f64; len];
-                        simd32::widen(&p32, &mut p);
-                        simd32::widen(&v32, &mut v);
-                        (p, v)
-                    })
-                    .collect();
-                let mut p_all = Vec::with_capacity(n_rows);
-                let mut v_all = Vec::with_capacity(n_rows);
-                for (p, v) in parts {
-                    p_all.extend_from_slice(&p);
-                    v_all.extend_from_slice(&v);
+                if let Some(out) = self.predict_with_variance_at_effort32(x32.view(), efforts[0]) {
+                    return out;
                 }
-                return (p_all, v_all);
             }
             if let Some(stack) = &self.stack {
                 let starts: Vec<usize> = (0..n_rows).step_by(ROW_CHUNK).collect();
@@ -1662,6 +1693,46 @@ mod tests {
         assert!(model.effort_response32(q32.view(), &grid).is_none());
         let (p_back, _) = model.effort_response(q, &grid);
         assert_eq!(p_back.as_slice(), p64.as_slice());
+    }
+
+    #[test]
+    fn pre_narrowed_constant_effort_entry_points_match_the_narrowing_path() {
+        let (rows, labels, efforts, _) = noisy_poaching_data(400, 19);
+        let mut model = IWareModel::fit(&quick_config(5), rows.view(), &labels, &efforts);
+        let q = rows.view().head(300);
+        let q32 = Matrix32::from_f64(q);
+        // Absent on the f64 plane — callers fall back to the wide path.
+        assert!(model.predict_proba_at_effort32(q32.view(), 1.0).is_none());
+        assert!(model
+            .predict_with_variance_at_effort32(q32.view(), 1.0)
+            .is_none());
+
+        model.set_precision(Precision::F32).unwrap();
+        for effort in [0.0, 0.5, 1.0, 3.5] {
+            let level = vec![effort; 300];
+            let pp = model.predict_proba_at_effort(q, &level);
+            let (vp, vv) = model.predict_with_variance_at_effort(q, &level);
+            let pp32 = model
+                .predict_proba_at_effort32(q32.view(), effort)
+                .expect("f32 plane active");
+            let (vp32, vv32) = model
+                .predict_with_variance_at_effort32(q32.view(), effort)
+                .expect("f32 plane active");
+            assert_eq!(pp32, pp, "probs at effort {effort}");
+            assert_eq!(vp32, vp, "variance-path probs at effort {effort}");
+            assert_eq!(vv32, vv, "vars at effort {effort}");
+        }
+
+        // Empty batches are served, not rejected.
+        let empty = Matrix32::zeros(0, q32.n_cols());
+        assert_eq!(
+            model.predict_proba_at_effort32(empty.view(), 1.0),
+            Some(Vec::new())
+        );
+        let (ep, ev) = model
+            .predict_with_variance_at_effort32(empty.view(), 1.0)
+            .unwrap();
+        assert!(ep.is_empty() && ev.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::svm::{LinearSvm, SvmConfig};
 use crate::traits::{validate_training_data, Classifier, UncertainClassifier};
 use crate::tree::{DecisionTree, TreeConfig};
 use paws_data::matrix::{Matrix, MatrixView};
-use paws_data::matrix32::Matrix32;
+use paws_data::matrix32::{Matrix32, MatrixView32};
 use paws_data::{simd, simd32};
 use rand::Rng;
 use rand::SeedableRng;
@@ -391,6 +391,48 @@ impl BaggingClassifier {
         &self.in_bag_counts
     }
 
+    /// [`Classifier::predict_proba`] served natively from the f32 plane:
+    /// the caller supplies an **already-narrowed** batch (e.g. a cached
+    /// serving-artifact plane), so no per-call `Matrix32::from_f64` pass
+    /// runs. Bit-identical to the f64 entry point on a batch narrowed from
+    /// the same rows. `None` unless the ensemble is tree-based and switched
+    /// to [`Precision::F32`] — callers fall back to the f64 path then.
+    pub fn predict_proba32(&self, x32: MatrixView32<'_>) -> Option<Vec<f64>> {
+        let f32forest = self.forest32.as_ref()?;
+        if x32.n_rows() == 0 {
+            return Some(Vec::new());
+        }
+        let per_member = match &self.qs32 {
+            Some(qs32) => qs32.predict_proba_batch(x32),
+            None => f32forest.predict_proba_batch(x32),
+        };
+        let mut mean = vec![0.0f32; x32.n_rows()];
+        for preds in per_member.rows() {
+            simd32::add_assign(&mut mean, preds);
+        }
+        simd32::div_assign(&mut mean, self.n_members() as f32);
+        let mut out = vec![0.0f64; mean.len()];
+        simd32::widen(&mean, &mut out);
+        Some(out)
+    }
+
+    /// [`UncertainClassifier::predict_with_variance`] served natively from
+    /// the f32 plane (see [`BaggingClassifier::predict_proba32`] for the
+    /// contract): one batch traversal of the narrowed arena, member mean
+    /// and spread reduced with the `f32x8` kernels, widened at the
+    /// boundary. `None` unless a narrowed arena is resident.
+    pub fn predict_with_variance32(&self, x32: MatrixView32<'_>) -> Option<(Vec<f64>, Vec<f64>)> {
+        let f32forest = self.forest32.as_ref()?;
+        if x32.n_rows() == 0 {
+            return Some((Vec::new(), Vec::new()));
+        }
+        let per_member = match &self.qs32 {
+            Some(qs32) => qs32.predict_proba_batch(x32),
+            None => f32forest.predict_proba_batch(x32),
+        };
+        Some(mean_and_spread32(&per_member))
+    }
+
     /// Per-member predictions as a flat `n_members × n_rows` matrix (row
     /// `m` holds member `m`'s probabilities). Tree ensembles answer this
     /// with one level-synchronous pass over the shared arena.
@@ -467,23 +509,13 @@ impl Classifier for BaggingClassifier {
         if x.n_rows() == 0 {
             return Vec::new();
         }
-        // The f32 plane: narrow the batch once, traverse the 8-byte-node
-        // arena (or its bitvector lift), reduce with the f32x8 kernels,
-        // widen the final mean.
-        if let Some(f32forest) = &self.forest32 {
+        // The f32 plane: narrow the batch once, then serve from the
+        // 8-byte-node arena through the pre-narrowed entry point.
+        if self.forest32.is_some() {
             let q = Matrix32::from_f64(x);
-            let per_member = match &self.qs32 {
-                Some(qs32) => qs32.predict_proba_batch(q.view()),
-                None => f32forest.predict_proba_batch(q.view()),
-            };
-            let mut mean = vec![0.0f32; x.n_rows()];
-            for preds in per_member.rows() {
-                simd32::add_assign(&mut mean, preds);
+            if let Some(out) = self.predict_proba32(q.view()) {
+                return out;
             }
-            simd32::div_assign(&mut mean, self.n_members() as f32);
-            let mut out = vec![0.0f64; mean.len()];
-            simd32::widen(&mean, &mut out);
-            return out;
         }
         let per_member = self.member_predictions(x);
         let mut mean = vec![0.0; x.n_rows()];
@@ -509,13 +541,11 @@ impl UncertainClassifier for BaggingClassifier {
         }
         match &self.members {
             Members::Forest(forest) => {
-                if let Some(f32forest) = &self.forest32 {
+                if self.forest32.is_some() {
                     let q = Matrix32::from_f64(x);
-                    let per_member = match &self.qs32 {
-                        Some(qs32) => qs32.predict_proba_batch(q.view()),
-                        None => f32forest.predict_proba_batch(q.view()),
-                    };
-                    return mean_and_spread32(&per_member);
+                    if let Some(out) = self.predict_with_variance32(q.view()) {
+                        return out;
+                    }
                 }
                 let per_member = match &self.qs {
                     Some(qs) => qs.predict_proba_batch(x),
@@ -781,6 +811,35 @@ mod tests {
         model.set_precision(Precision::F64).unwrap();
         assert!(model.forest32().is_none());
         assert_eq!(model.predict_proba(q), p64);
+    }
+
+    #[test]
+    fn pre_narrowed_entry_points_match_the_narrowing_path_bit_for_bit() {
+        // The serving-artifact path narrows the batch once at prepare time
+        // and calls predict_*32 directly; it must reproduce the per-call
+        // narrowing path exactly (same narrowed values, same kernels).
+        let (rows, labels) = imbalanced_data(250, 0.3, 24);
+        let mut model = BaggingClassifier::fit(&BaggingConfig::trees(7, 3), rows.view(), &labels);
+        let q = rows.view().head(50);
+        assert!(model
+            .predict_proba32(Matrix32::from_f64(q).view())
+            .is_none());
+        model.set_precision(Precision::F32).unwrap();
+        let q32 = Matrix32::from_f64(q);
+        let p_ref = model.predict_proba(q);
+        let (pv_ref, v_ref) = model.predict_with_variance(q);
+        let p = model
+            .predict_proba32(q32.view())
+            .expect("f32 plane resident");
+        let (pv, v) = model
+            .predict_with_variance32(q32.view())
+            .expect("f32 plane resident");
+        assert_eq!(p, p_ref);
+        assert_eq!(pv, pv_ref);
+        assert_eq!(v, v_ref);
+        // Empty batches answer empty, not panic.
+        let empty = Matrix32::zeros(0, rows.n_cols());
+        assert_eq!(model.predict_proba32(empty.view()), Some(Vec::new()));
     }
 
     #[test]

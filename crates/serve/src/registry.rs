@@ -1,0 +1,160 @@
+//! The resident-model registry: which parks are being served, by which
+//! immutable artifacts.
+//!
+//! Each resident park is one [`ResidentPark`] bundle — serving model,
+//! prepared feature planes and park geometry, built together so they can
+//! never be observed torn — published behind an `Arc`. Readers snapshot the
+//! `Arc` under a short read lock and then serve entirely lock-free;
+//! [`ModelRegistry::swap_model`] builds the replacement bundle *outside*
+//! the lock (standardise + narrow against the incoming scaler) and only
+//! then swaps the map entry, so in-flight queries finish on the artifact
+//! they snapshotted while new queries see the new one.
+
+use crate::request::ServeError;
+use paws_core::{ModelConfig, PreparedPark, ServingModel};
+use paws_data::{Dataset, Matrix, StandardScaler};
+use paws_geo::Park;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Everything needed to serve one park, as a single immutable bundle.
+pub struct ResidentPark {
+    /// The immutable serving artifact.
+    pub model: ServingModel,
+    /// The park's feature stack, standardised + narrowed once against
+    /// `model`'s scaler.
+    pub prepared: PreparedPark,
+    /// Park geometry (adjacency, patrol posts) for plan queries.
+    pub park: Park,
+    /// The raw (unscaled) feature stack the planes were prepared from;
+    /// kept so a model swap can re-prepare without re-touching the
+    /// dataset.
+    raw_rows: Matrix,
+}
+
+/// Multi-park registry of resident serving artifacts.
+#[derive(Default)]
+pub struct ModelRegistry {
+    parks: RwLock<HashMap<String, Arc<ResidentPark>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // A poisoned registry lock would mean a panic *while holding the
+    // write lock*; swaps build the new bundle before locking, so the
+    // critical sections are a map insert/lookup only. Recover the data
+    // rather than cascading the poison to every serving thread.
+    fn read_parks(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<ResidentPark>>> {
+        match self.parks.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_parks(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<ResidentPark>>> {
+        match self.parks.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Install (or replace) a resident park: assemble its feature stack
+    /// from the dataset at the given previous coverage, prepare both
+    /// precision planes against the model's scaler, and publish the
+    /// bundle.
+    pub fn install(
+        &self,
+        name: impl Into<String>,
+        model: ServingModel,
+        park: Park,
+        dataset: &Dataset,
+        prev_coverage: &[f64],
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        if prev_coverage.len() != park.n_cells() {
+            return Err(ServeError::Model(paws_core::PawsError::Input(
+                "previous-coverage length does not match the park's cell count",
+            )));
+        }
+        let raw_rows = dataset.full_feature_matrix(&park, prev_coverage);
+        let prepared = model.prepare_rows(raw_rows.clone())?;
+        let resident = Arc::new(ResidentPark {
+            model,
+            prepared,
+            park,
+            raw_rows,
+        });
+        self.write_parks().insert(name, resident);
+        Ok(())
+    }
+
+    /// Snapshot the current bundle for a park. The returned `Arc` stays
+    /// valid (and unchanged) for as long as the caller holds it, however
+    /// many swaps happen meanwhile.
+    pub fn resident(&self, name: &str) -> Option<Arc<ResidentPark>> {
+        self.read_parks().get(name).cloned()
+    }
+
+    /// Hot-swap a park's serving artifact. The replacement bundle —
+    /// including freshly prepared feature planes against the incoming
+    /// model's scaler — is built before the registry lock is taken, so
+    /// readers only ever observe the old bundle or the complete new one.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownPark`] when the park is not resident;
+    /// [`ServeError::Model`] when the park's stack cannot be prepared for
+    /// the incoming model (e.g. feature-width mismatch).
+    pub fn swap_model(&self, name: &str, model: ServingModel) -> Result<(), ServeError> {
+        let current = self
+            .resident(name)
+            .ok_or_else(|| ServeError::UnknownPark(name.to_string()))?;
+        let raw_rows = current.raw_rows.clone();
+        let prepared = model.prepare_rows(raw_rows.clone())?;
+        let resident = Arc::new(ResidentPark {
+            model,
+            prepared,
+            park: current.park.clone(),
+            raw_rows,
+        });
+        self.write_parks().insert(name.to_string(), resident);
+        Ok(())
+    }
+
+    /// Hot-swap a park's serving artifact from a learner-stack snapshot
+    /// (see [`ServingModel::from_stack_snapshot`]): rehydrate, re-prepare
+    /// the park's cached stack, publish atomically.
+    pub fn swap_from_snapshot(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        config: ModelConfig,
+        scaler: StandardScaler,
+    ) -> Result<(), ServeError> {
+        let model = ServingModel::from_stack_snapshot(bytes, config, scaler)?;
+        self.swap_model(name, model)
+    }
+
+    /// Remove a resident park; returns its final bundle if it existed.
+    pub fn evict(&self, name: &str) -> Option<Arc<ResidentPark>> {
+        self.write_parks().remove(name)
+    }
+
+    /// Names of all resident parks (unordered).
+    pub fn names(&self) -> Vec<String> {
+        self.read_parks().keys().cloned().collect()
+    }
+
+    /// Number of resident parks.
+    pub fn len(&self) -> usize {
+        self.read_parks().len()
+    }
+
+    /// True when no park is resident.
+    pub fn is_empty(&self) -> bool {
+        self.read_parks().is_empty()
+    }
+}
