@@ -24,6 +24,7 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 pub mod serving;
+pub mod stream;
 
 pub use config::{ModelConfig, WeakLearnerKind};
 pub use error::PawsError;
@@ -36,3 +37,6 @@ pub use pipeline::{build_planning_problem, train, TrainedModel};
 pub use report::{ascii_heatmap, format_table};
 pub use scenario::Scenario;
 pub use serving::{try_planning_problem_from_response, FittedModel, PreparedPark, ServingModel};
+pub use stream::{
+    fit_stream, BatchReport, ColdReason, RefitPath, StreamBatch, StreamConfig, StreamingFit,
+};

@@ -86,6 +86,29 @@ impl Scenario {
         )
     }
 
+    /// Simulate `years` years of patrol logs and return them as
+    /// time-ordered batches of `months_per_batch` consecutive months —
+    /// the seeded stream [`crate::stream::StreamingFit`] and the serving
+    /// registry's ingest consume. The concatenation of the batches is
+    /// bit-identical to [`Scenario::simulate_years`] with the same
+    /// arguments (see [`paws_sim::patrol_log_batches`]).
+    pub fn patrol_log_batches(
+        &self,
+        start_year: u32,
+        years: u32,
+        months_per_batch: usize,
+    ) -> Vec<History> {
+        paws_sim::patrol_log_batches(
+            &self.park,
+            &self.poacher,
+            &self.sim,
+            start_year,
+            years,
+            self.seed.wrapping_add(start_year as u64),
+            months_per_batch,
+        )
+    }
+
     /// Ground-truth attack probabilities of every in-park cell given a
     /// previous-coverage vector (used when scoring plans and field tests).
     pub fn attack_probabilities(
@@ -115,6 +138,20 @@ mod tests {
         let h = s.simulate_years(2014, 2);
         assert_eq!(h.months.len(), 24);
         assert_eq!(h.n_cells, s.park.n_cells());
+    }
+
+    #[test]
+    fn patrol_log_batches_match_one_shot_history() {
+        let s = Scenario::test_scenario(3);
+        let full = s.simulate_years(2014, 1);
+        let batches = s.patrol_log_batches(2014, 1, 3);
+        assert_eq!(batches.len(), 4);
+        let stitched: Vec<_> = batches.iter().flat_map(|b| b.months.iter()).collect();
+        assert_eq!(stitched.len(), full.months.len());
+        for (got, want) in stitched.iter().zip(&full.months) {
+            assert_eq!((got.year, got.month), (want.year, want.month));
+            assert_eq!(got.detections, want.detections);
+        }
     }
 
     #[test]

@@ -20,9 +20,87 @@ use paws_geo::Park;
 use paws_sim::History;
 use serde::{Deserialize, Serialize};
 
+/// Typed rejection of a streaming append — the dataset is left untouched
+/// whenever one of these is returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppendError {
+    /// Appended feature rows have the wrong width.
+    WrongWidth {
+        /// Feature width of the dataset.
+        expected: usize,
+        /// Width of the rejected batch.
+        got: usize,
+    },
+    /// An appended feature row or point carries a non-finite value.
+    NonFinite {
+        /// Index of the offending row within the rejected batch.
+        row: usize,
+    },
+    /// Rows and point metadata disagree in length.
+    LengthMismatch {
+        /// Number of appended feature rows.
+        rows: usize,
+        /// Number of appended points.
+        points: usize,
+    },
+    /// A point references a cell outside the park grid.
+    CellOutOfRange {
+        /// The offending in-park cell index.
+        cell_idx: usize,
+        /// Number of in-park cells.
+        n_cells: usize,
+    },
+    /// The appended history chunk does not match the dataset's park.
+    ParkMismatch,
+    /// An appended month lands in a time step whose points were already
+    /// emitted — patrol-log batches must arrive in chronological order and
+    /// aligned on step boundaries, or earlier feature rows would silently
+    /// go stale.
+    OutOfOrderStep {
+        /// Calendar year of the rejected month.
+        year: u32,
+        /// Month of the rejected month (1–12).
+        month: u32,
+    },
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::WrongWidth { expected, got } => {
+                write!(
+                    f,
+                    "appended rows are {got} wide, dataset has {expected} features"
+                )
+            }
+            AppendError::NonFinite { row } => {
+                write!(f, "appended row {row} carries a non-finite value")
+            }
+            AppendError::LengthMismatch { rows, points } => {
+                write!(f, "{rows} appended rows but {points} appended points")
+            }
+            AppendError::CellOutOfRange { cell_idx, n_cells } => {
+                write!(f, "appended point references cell {cell_idx} of {n_cells}")
+            }
+            AppendError::ParkMismatch => {
+                write!(f, "appended history does not match the dataset's park")
+            }
+            AppendError::OutOfOrderStep { year, month } => {
+                write!(
+                    f,
+                    "month {year}-{month:02} falls in an already-emitted time step; \
+                     batches must be chronological and step-aligned"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
 /// One (cell, time-step) observation. The feature vector of point `i` is
 /// row `i` of [`Dataset::features`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataPoint {
     /// Chronological time-step index within the dataset.
     pub step: usize,
@@ -38,7 +116,7 @@ pub struct DataPoint {
 }
 
 /// The assembled dataset for one park and one discretisation scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     /// Park name the dataset was built from.
     pub park_name: String,
@@ -110,6 +188,172 @@ impl Dataset {
             .map(|(i, _)| i)
             .next_back()
             .map(|i| self.coverage[i].as_slice())
+    }
+
+    /// Append pre-built feature rows and their point metadata in place —
+    /// the low-level streaming primitive under
+    /// [`Dataset::append_observations`]. All validation happens before any
+    /// mutation: on `Err` the dataset is bit-for-bit unchanged. On success
+    /// the flat feature [`Matrix`] is extended (never rebuilt), so a
+    /// dataset grown by appends is byte-identical to one built in a single
+    /// pass over the same rows.
+    ///
+    /// # Errors
+    /// Typed [`AppendError`]s for wrong-width batches, non-finite feature
+    /// or effort values, row/point length mismatches and out-of-range cell
+    /// indices.
+    pub fn append_rows(
+        &mut self,
+        rows: crate::matrix::MatrixView<'_>,
+        points: &[DataPoint],
+    ) -> Result<usize, AppendError> {
+        if rows.n_cols() != self.n_features() {
+            return Err(AppendError::WrongWidth {
+                expected: self.n_features(),
+                got: rows.n_cols(),
+            });
+        }
+        if rows.n_rows() != points.len() {
+            return Err(AppendError::LengthMismatch {
+                rows: rows.n_rows(),
+                points: points.len(),
+            });
+        }
+        for (r, row) in rows.rows().enumerate() {
+            if row.iter().any(|v| !v.is_finite()) || !points[r].current_effort.is_finite() {
+                return Err(AppendError::NonFinite { row: r });
+            }
+        }
+        for p in points {
+            if p.cell_idx >= self.n_cells {
+                return Err(AppendError::CellOutOfRange {
+                    cell_idx: p.cell_idx,
+                    n_cells: self.n_cells,
+                });
+            }
+        }
+        self.features.extend_rows(rows);
+        self.points.extend_from_slice(points);
+        Ok(points.len())
+    }
+
+    /// Append a chunk of patrol-log months in place, replaying exactly the
+    /// grouping and point-emission logic of [`build_dataset`]: months are
+    /// bucketed into `(year, step)` keys, coverage is accumulated and
+    /// detections OR-ed per step, and one point is emitted per patrolled
+    /// cell with the previous step's coverage as the dynamic covariate.
+    /// A dataset grown month-chunk by month-chunk is therefore
+    /// bit-identical to one built from the concatenated history — matrix
+    /// bytes included — as long as every chunk is chronological and
+    /// step-aligned (a time step's months never straddle two chunks).
+    ///
+    /// Returns the number of data points appended (zero when every month
+    /// is filtered out by the discretisation's season filter).
+    ///
+    /// # Errors
+    /// [`AppendError::ParkMismatch`] when the chunk or park disagrees with
+    /// the dataset's grid, and [`AppendError::OutOfOrderStep`] when a month
+    /// lands in an already-emitted step (late or straddling batches).
+    pub fn append_observations(
+        &mut self,
+        park: &Park,
+        history: &History,
+    ) -> Result<usize, AppendError> {
+        if history.n_cells != self.n_cells
+            || park.n_cells() != self.n_cells
+            || park.name != self.park_name
+            || park.n_static_features() + 1 != self.n_features()
+        {
+            return Err(AppendError::ParkMismatch);
+        }
+        let disc = self.discretization;
+        let n_cells = self.n_cells;
+
+        // Group the new months into (year, step_in_year) buckets exactly
+        // like `build_dataset`, rejecting any month that falls at or before
+        // the last already-emitted step.
+        let mut new_steps: Vec<StepInfo> = Vec::new();
+        let mut new_coverage: Vec<Vec<f64>> = Vec::new();
+        let mut new_detections: Vec<Vec<bool>> = Vec::new();
+        let mut last_key = self.steps.last().map(|s| (s.year, s.step_in_year));
+        let mut current_key: Option<(u32, u32)> = None;
+        for month in &history.months {
+            let Some(step_in_year) = disc.step_of_month(month.month) else {
+                continue;
+            };
+            let key = (month.year, step_in_year);
+            if current_key != Some(key) {
+                if last_key.is_some_and(|last| key <= last) {
+                    return Err(AppendError::OutOfOrderStep {
+                        year: month.year,
+                        month: month.month,
+                    });
+                }
+                last_key = Some(key);
+                current_key = Some(key);
+                new_steps.push(StepInfo {
+                    year: month.year,
+                    step_in_year,
+                    label: format!("{}-{}", month.year, disc.step_label(step_in_year)),
+                });
+                new_coverage.push(vec![0.0; n_cells]);
+                new_detections.push(vec![false; n_cells]);
+            }
+            let idx = new_steps.len() - 1;
+            let rec = reconstruct_effort(park, &month.patrols);
+            for i in 0..n_cells {
+                new_coverage[idx][i] += rec[i];
+                new_detections[idx][i] = new_detections[idx][i] || month.detections[i];
+            }
+        }
+
+        // Static features per cell, extracted the same way as the one-shot
+        // build so appended rows carry identical bytes.
+        let k = self.n_features();
+        let n_static = k - 1;
+        let mut static_rows = Matrix::zeros(n_cells, n_static);
+        for (i, &cell) in park.cells.iter().enumerate() {
+            park.write_feature_row(cell, static_rows.row_mut(i));
+        }
+
+        // Emit points for the new steps; the first new step reads its
+        // previous coverage from the resident tail of the dataset.
+        let old_steps = self.steps.len();
+        let mut rows = Matrix::new(k);
+        let mut points = Vec::new();
+        let mut row_buf = vec![0.0; k];
+        for (local, step) in new_steps.iter().enumerate() {
+            let t = old_steps + local;
+            for cell_idx in 0..n_cells {
+                let effort = new_coverage[local][cell_idx];
+                if effort <= 0.0 {
+                    continue;
+                }
+                let prev = if local > 0 {
+                    new_coverage[local - 1][cell_idx]
+                } else if let Some(tail) = self.coverage.last() {
+                    tail[cell_idx]
+                } else {
+                    0.0
+                };
+                row_buf[..n_static].copy_from_slice(static_rows.row(cell_idx));
+                row_buf[n_static] = prev;
+                rows.push_row(&row_buf);
+                points.push(DataPoint {
+                    step: t,
+                    cell_idx,
+                    current_effort: effort,
+                    label: new_detections[local][cell_idx],
+                    year: step.year,
+                });
+            }
+        }
+
+        let appended = self.append_rows(rows.view(), &points)?;
+        self.steps.extend(new_steps);
+        self.coverage.extend(new_coverage);
+        self.detections.extend(new_detections);
+        Ok(appended)
     }
 
     /// Build the full-park feature matrix for a hypothetical next time step

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod threshold;
 pub mod trajectory;
 
-pub use dataset::{build_dataset, DataPoint, Dataset};
+pub use dataset::{build_dataset, AppendError, DataPoint, Dataset};
 pub use discretize::{Discretization, SeasonFilter, StepInfo};
 pub use matrix::{Matrix, MatrixView};
 pub use matrix32::{Matrix32, MatrixView32};

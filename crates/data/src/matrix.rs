@@ -130,6 +130,18 @@ impl Matrix {
         self.data.extend_from_slice(row);
     }
 
+    /// Append every row of a borrowed batch — the streaming-append
+    /// primitive. One `extend_from_slice` on the flat buffer, so a matrix
+    /// grown batch-by-batch is byte-identical to one built in a single
+    /// pass over the concatenated rows.
+    ///
+    /// # Panics
+    /// Panics when the batch width does not match the column count.
+    pub fn extend_rows(&mut self, rows: MatrixView<'_>) {
+        assert_eq!(rows.n_cols(), self.n_cols, "row width mismatch");
+        self.data.extend_from_slice(rows.as_slice());
+    }
+
     /// New matrix holding rows `idx` (in order, repeats allowed) — the
     /// index-based replacement for cloning row subsets.
     pub fn gather(&self, idx: &[usize]) -> Matrix {

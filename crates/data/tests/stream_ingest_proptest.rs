@@ -1,0 +1,214 @@
+//! Property tests of the streaming ingest substrate:
+//!
+//! * [`StandardScaler::partial_fit`] — streaming Chan moment merges over
+//!   any batch split agree with the one-shot fit within 1e-12 relative on
+//!   every mean and std.
+//! * [`Dataset::append_observations`] — replaying a history batch-by-batch
+//!   (any step-aligned chunking) rebuilds the one-shot dataset
+//!   **bit-identically**, and malformed appends are typed rejections that
+//!   leave the dataset untouched.
+
+use paws_data::{
+    build_dataset, AppendError, Dataset, Discretization, Matrix, MatrixView, StandardScaler,
+};
+use paws_geo::parks::test_park_spec;
+use paws_geo::Park;
+use paws_sim::{patrol_log_batches, presets::test_sim_config, AttackModelConfig, PoacherModel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic pseudo-random matrix derived from the sampled phase.
+fn wave_matrix(n_rows: usize, n_cols: usize, phase: f64) -> Matrix {
+    let mut m = Matrix::new(n_cols);
+    for i in 0..n_rows {
+        let row: Vec<f64> = (0..n_cols)
+            .map(|j| ((i * n_cols + j) as f64 * 0.731 + phase).sin() * 4.0 - 0.9)
+            .collect();
+        m.push_row(&row);
+    }
+    m
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn setup_park(seed: u64) -> (Park, PoacherModel) {
+    let park = Park::generate(&test_park_spec(), seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(17));
+    let model = PoacherModel::new(&park, AttackModelConfig::default(), &mut rng);
+    (park, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partial_fit_over_any_split_matches_the_one_shot_fit(
+        rows_f in 8.0..200.0f64,
+        cols_f in 1.0..6.0f64,
+        phase in 0.0..6.2f64,
+        cut_a in 0.0..1.0f64,
+        cut_b in 0.0..1.0f64,
+    ) {
+        let n_rows = rows_f as usize;
+        let n_cols = cols_f as usize;
+        let full = wave_matrix(n_rows, n_cols, phase);
+        let one_shot = StandardScaler::fit(full.view());
+
+        // Split into up to three non-empty batches at the sampled cuts.
+        let mut cuts = [
+            1 + (cut_a * (n_rows - 1) as f64) as usize,
+            1 + (cut_b * (n_rows - 1) as f64) as usize,
+        ];
+        cuts.sort_unstable();
+        let mut bounds = vec![0, cuts[0], cuts[1], n_rows];
+        bounds.dedup();
+
+        let batch_of = |a: usize, b: usize| {
+            MatrixView::from_flat(&full.as_slice()[a * n_cols..b * n_cols], n_cols)
+        };
+        let mut streamed = StandardScaler::fit(batch_of(bounds[0], bounds[1]));
+        for pair in bounds[1..].windows(2) {
+            streamed.partial_fit(batch_of(pair[0], pair[1]));
+        }
+
+        prop_assert!(close(streamed.n_samples(), n_rows as f64));
+        for j in 0..n_cols {
+            prop_assert!(
+                close(streamed.means()[j], one_shot.means()[j]),
+                "mean {j}: streamed {} vs one-shot {}",
+                streamed.means()[j],
+                one_shot.means()[j]
+            );
+            prop_assert!(
+                close(streamed.stds()[j], one_shot.stds()[j]),
+                "std {j}: streamed {} vs one-shot {}",
+                streamed.stds()[j],
+                one_shot.stds()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn appending_step_aligned_batches_rebuilds_the_dataset_bit_identically(
+        seed_f in 0.0..200.0f64,
+        years_f in 1.0..3.0f64,
+        batch_f in 0.0..3.0f64,
+    ) {
+        let seed = seed_f as u64;
+        let years = years_f as u32;
+        // Quarterly steps: any multiple of 3 months keeps batch boundaries
+        // on step boundaries.
+        let months_per_batch = [3usize, 6, 12][(batch_f as usize).min(2)];
+        let (park, model) = setup_park(seed);
+        let config = test_sim_config();
+        let full_batches =
+            patrol_log_batches(&park, &model, &config, 2014, years, seed, months_per_batch);
+
+        // One-shot: the dataset over the concatenated history.
+        let mut stitched = full_batches[0].clone();
+        for b in &full_batches[1..] {
+            stitched.months.extend(b.months.iter().cloned());
+        }
+        let one_shot = build_dataset(&park, &stitched, Discretization::quarterly());
+
+        // Streamed: build on batch 1, append the rest chronologically.
+        let mut streamed = build_dataset(&park, &full_batches[0], Discretization::quarterly());
+        for b in &full_batches[1..] {
+            streamed
+                .append_observations(&park, b)
+                .expect("chronological step-aligned batches append");
+        }
+
+        prop_assert!(
+            streamed == one_shot,
+            "streamed dataset diverged from one-shot build (seed {seed}, {months_per_batch} months/batch)"
+        );
+
+        // Replaying the final batch is out of order and must not mutate.
+        let before = streamed.clone();
+        let last = &full_batches[full_batches.len() - 1];
+        prop_assert!(matches!(
+            streamed.append_observations(&park, last),
+            Err(AppendError::OutOfOrderStep { .. })
+        ));
+        prop_assert!(streamed == before, "rejected append mutated the dataset");
+    }
+}
+
+fn small_dataset() -> (Park, Dataset) {
+    let (park, model) = setup_park(5);
+    let config = test_sim_config();
+    let history = paws_sim::history::simulate_history(&park, &model, &config, 2014, 1, 5);
+    let dataset = build_dataset(&park, &history, Discretization::quarterly());
+    (park, dataset)
+}
+
+#[test]
+fn append_rows_rejects_wrong_width_without_mutating() {
+    let (_, mut dataset) = small_dataset();
+    let before = dataset.clone();
+    let rows = Matrix::from_rows(&[vec![1.0; dataset.n_features() + 1]]);
+    assert!(matches!(
+        dataset.append_rows(rows.view(), &[]),
+        Err(AppendError::WrongWidth { .. })
+    ));
+    assert_eq!(dataset, before);
+}
+
+#[test]
+fn append_rows_rejects_non_finite_without_mutating() {
+    let (_, mut dataset) = small_dataset();
+    let before = dataset.clone();
+    let mut row = vec![0.5; dataset.n_features()];
+    row[0] = f64::NAN;
+    let rows = Matrix::from_rows(&[row]);
+    let point = dataset.points[0].clone();
+    assert!(matches!(
+        dataset.append_rows(rows.view(), &[point]),
+        Err(AppendError::NonFinite { row: 0 })
+    ));
+    assert_eq!(dataset, before);
+}
+
+#[test]
+fn append_rows_rejects_row_point_mismatch_and_bad_cells() {
+    let (_, mut dataset) = small_dataset();
+    let before = dataset.clone();
+    let rows = Matrix::from_rows(&[vec![0.5; dataset.n_features()]]);
+    assert!(matches!(
+        dataset.append_rows(rows.view(), &[]),
+        Err(AppendError::LengthMismatch { rows: 1, points: 0 })
+    ));
+    let mut bad = dataset.points[0].clone();
+    bad.cell_idx = dataset.n_cells + 7;
+    assert!(matches!(
+        dataset.append_rows(rows.view(), &[bad]),
+        Err(AppendError::CellOutOfRange { .. })
+    ));
+    assert_eq!(dataset, before);
+}
+
+#[test]
+fn append_observations_rejects_a_foreign_park() {
+    let (_, mut dataset) = small_dataset();
+    // A differently-named (and differently-sized) park whose history can
+    // never extend this dataset.
+    let mut spec = test_park_spec();
+    spec.name = "OtherPark".to_string();
+    spec.target_cells = 400;
+    let other_park = Park::generate(&spec, 99);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let other_model = PoacherModel::new(&other_park, AttackModelConfig::default(), &mut rng);
+    let config = test_sim_config();
+    let history =
+        paws_sim::history::simulate_history(&other_park, &other_model, &config, 2015, 1, 99);
+    let before = dataset.clone();
+    assert!(matches!(
+        dataset.append_observations(&other_park, &history),
+        Err(AppendError::ParkMismatch)
+    ));
+    assert_eq!(dataset, before);
+}

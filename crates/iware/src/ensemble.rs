@@ -228,6 +228,80 @@ impl LearnerStack32 {
     }
 }
 
+/// One learner's record inside a [`FitCache`]: its effort-filter
+/// threshold, the exact row subset it trained on, the degenerate-fallback
+/// flag, and the fitted members themselves (which carry their bootstrap
+/// in-bag row counts).
+#[derive(Debug, Clone)]
+struct LearnerRecord {
+    /// Effort threshold θᵢ the subset was filtered at.
+    #[allow(dead_code)] // recorded for inspection; the keep signal is `filtered`
+    threshold: f64,
+    /// Ascending row indices of the effort-filtered training subset.
+    filtered: Vec<usize>,
+    /// Whether the filter was degenerate and the learner fell back to the
+    /// full batch.
+    degenerate: bool,
+    /// The fitted weak learner (bagged members + bootstrap indices).
+    learner: BaggingClassifier,
+}
+
+/// Cached out-of-fold artefacts of the CV-weight solve: one member
+/// prediction row, patrol effort and label per validation point. Efforts
+/// are stored raw — not pre-resolved qualified sets — so a warm resolve
+/// can recompute qualification against thresholds that moved since.
+#[derive(Debug, Clone)]
+struct CvCache {
+    predictions: Vec<Vec<f64>>,
+    efforts: Vec<f64>,
+    labels: Vec<f64>,
+    iterations: usize,
+}
+
+/// Persistent record of a staged [`IWareModel::fit_cached`]: per learner
+/// its filter range, training subset and fitted members, plus the cached
+/// out-of-fold member predictions of the CV-weight solve. Feed it back to
+/// [`IWareModel::warm_refit`] to keep unchanged learners, refit only moved
+/// ones, and re-solve weights without retraining fold models.
+#[derive(Debug, Clone)]
+pub struct FitCache {
+    records: Vec<LearnerRecord>,
+    cv: Option<CvCache>,
+    n_rows: usize,
+}
+
+impl FitCache {
+    /// Number of training rows the cache describes.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of learners recorded.
+    pub fn n_learners(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether cached out-of-fold CV predictions are available (absent for
+    /// uniform weights or when the batch was too small to stratify).
+    pub fn has_cv_cache(&self) -> bool {
+        self.cv.is_some()
+    }
+}
+
+/// What a [`IWareModel::warm_refit`] actually did, per pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefitStats {
+    /// Learners kept verbatim (exact or within-tolerance subsets).
+    pub learners_kept: usize,
+    /// Learners refit from their new filtered subsets.
+    pub learners_refitted: usize,
+    /// Whether the CV-weight solve ran on cached out-of-fold predictions
+    /// (the cheap resolve-only path).
+    pub cv_resolved_from_cache: bool,
+    /// Whether a full fold-retraining CV solve ran instead.
+    pub full_cv: bool,
+}
+
 /// A fitted iWare-E ensemble.
 pub struct IWareModel {
     thresholds: Vec<f64>,
@@ -263,9 +337,27 @@ impl IWareModel {
     /// can hold fewer learners than `config.n_learners` — never duplicate
     /// ones.
     pub fn fit(config: &IWareConfig, x: MatrixView<'_>, labels: &[f64], efforts: &[f64]) -> Self {
+        Self::fit_cached(config, x, labels, efforts).0
+    }
+
+    /// The staged fit pipeline, returning both the model and the
+    /// [`FitCache`] that enables warm incremental refits: percentile
+    /// threshold selection → effort-filtered subset gather → per-learner
+    /// member fits → fused arena build → CV-weight solve on cached
+    /// out-of-fold member predictions. [`IWareModel::fit`] is exactly this
+    /// pipeline with the cache dropped — the two produce bit-identical
+    /// models (every stage draws from its own index-derived RNG stream, so
+    /// staging changes no floats).
+    pub fn fit_cached(
+        config: &IWareConfig,
+        x: MatrixView<'_>,
+        labels: &[f64],
+        efforts: &[f64],
+    ) -> (Self, FitCache) {
         assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
         assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
         assert!(config.n_learners >= 1, "need at least one learner");
+        // Stage 1: threshold selection.
         let thresholds = select_thresholds(config.threshold_mode, efforts, config.n_learners);
         assert!(
             thresholds.windows(2).all(|w| w[1] > w[0]),
@@ -274,22 +366,45 @@ impl IWareModel {
         );
         let n_learners = thresholds.len();
 
-        // Optimise the classifier weights by cross-validation when requested.
-        let weights = match config.weight_mode {
-            WeightMode::Uniform => vec![1.0 / n_learners as f64; n_learners],
+        // Stage 2: effort-filtered subset gather. The plans record the
+        // exact row subset each learner sees — the warm-refit keep/refit
+        // signal.
+        let plans = plan_filtered_learners(config, &thresholds, labels, efforts);
+
+        // Stage 3: per-learner member fits on the planned subsets.
+        let learners = fit_planned_learners(config, &plans, x, labels);
+
+        // Stage 4: fused learner-stack arena build.
+        let stack = build_stack(&learners, x.n_cols());
+
+        // Stage 5: CV-weight solve, caching the out-of-fold member
+        // predictions (and each point's effort/label) it optimised over.
+        let uniform = vec![1.0 / n_learners as f64; n_learners];
+        let (weights, cv) = match config.weight_mode {
+            WeightMode::Uniform => (uniform, None),
             WeightMode::CvOptimized { folds, iterations } => {
-                match cv_weight_fit(config, &thresholds, x, labels, efforts, folds, iterations) {
-                    Some(w) => w,
-                    None => vec![1.0 / n_learners as f64; n_learners],
+                match cv_weight_fit_cached(
+                    config,
+                    &thresholds,
+                    x,
+                    labels,
+                    efforts,
+                    folds,
+                    iterations,
+                ) {
+                    Some((w, cv)) => (w, Some(cv)),
+                    None => (uniform, None),
                 }
             }
         };
 
-        // Retrain every learner on the full (filtered) training data.
-        let learners = train_filtered_learners(config, &thresholds, x, labels, efforts);
-        let stack = build_stack(&learners, x.n_cols());
-
-        Self {
+        let records = learner_records(plans, &thresholds, &learners);
+        let cache = FitCache {
+            records,
+            cv,
+            n_rows: x.n_rows(),
+        };
+        let model = Self {
             thresholds,
             learners,
             weights,
@@ -299,7 +414,170 @@ impl IWareModel {
             stack32: None,
             layout: TraversalLayout::default(),
             config: config.clone(),
+        };
+        (model, cache)
+    }
+
+    /// Warm incremental refit against the cache of a previous
+    /// [`IWareModel::fit_cached`] (or earlier `warm_refit`), on an
+    /// **append-only** extension of the cached training batch: rows
+    /// `0..cache.n_rows()` must be the exact rows the cache was built on.
+    ///
+    /// Thresholds are recomputed from scratch — percentile ranks move on
+    /// every append, so threshold *values* are not the keep signal; the
+    /// effort-filtered subsets are. Per learner:
+    ///
+    /// * recomputed subset identical to the recorded one (and both
+    ///   non-degenerate) → the refit would be bit-identical, keep the
+    ///   fitted members verbatim;
+    /// * relative subset drift (symmetric difference over the recorded
+    ///   size) within `tolerance` → keep too. This is the warm path's
+    ///   only source of divergence from a cold fit: the kept learner saw a
+    ///   slightly stale subset. It is bounded by `tolerance` per learner
+    ///   and disappears at `tolerance = 0`;
+    /// * anything else — including degenerate full-batch learners, whose
+    ///   inputs change on any append — refits with the same index-derived
+    ///   seed a cold fit would use.
+    ///
+    /// The CV-weight solve then reruns on the cached out-of-fold member
+    /// predictions, extended with the current learners' predictions on the
+    /// appended rows, and qualified sets recomputed against the moved
+    /// thresholds — no fold models are retrained. When threshold
+    /// deduplication changes the learner count, the whole pipeline falls
+    /// back to a cold staged fit (seeds and cached prediction columns are
+    /// learner-index-dependent).
+    ///
+    /// The cache is updated in place to describe the returned model.
+    ///
+    /// # Panics
+    /// Panics when the batch shrinks below the cached row count or the
+    /// shape assertions of [`IWareModel::fit`] fail.
+    pub fn warm_refit(
+        config: &IWareConfig,
+        cache: &mut FitCache,
+        x: MatrixView<'_>,
+        labels: &[f64],
+        efforts: &[f64],
+        tolerance: f64,
+    ) -> (Self, RefitStats) {
+        assert_eq!(x.n_rows(), labels.len(), "rows/labels length mismatch");
+        assert_eq!(x.n_rows(), efforts.len(), "rows/efforts length mismatch");
+        assert!(
+            x.n_rows() >= cache.n_rows,
+            "warm refit needs an append-only extension of the cached batch"
+        );
+        let thresholds = select_thresholds(config.threshold_mode, efforts, config.n_learners);
+        assert!(
+            thresholds.windows(2).all(|w| w[1] > w[0]),
+            "thresholds must be strictly ascending — duplicates would train \
+             identical learners that are double-counted in the weighted vote"
+        );
+        if thresholds.len() != cache.records.len() {
+            let (model, fresh) = Self::fit_cached(config, x, labels, efforts);
+            let stats = RefitStats {
+                learners_kept: 0,
+                learners_refitted: model.n_learners(),
+                cv_resolved_from_cache: false,
+                full_cv: fresh.cv.is_some(),
+            };
+            *cache = fresh;
+            return (model, stats);
         }
+        let n_learners = thresholds.len();
+        let appended = x.n_rows() - cache.n_rows;
+
+        let plans = plan_filtered_learners(config, &thresholds, labels, efforts);
+        let keep: Vec<bool> = plans
+            .iter()
+            .zip(&cache.records)
+            .map(|(plan, rec)| {
+                if plan.degenerate || rec.degenerate {
+                    // Degenerate learners train on the full batch, so their
+                    // inputs are identical only when nothing was appended.
+                    plan.degenerate && rec.degenerate && appended == 0
+                } else if plan.idx == rec.filtered {
+                    true
+                } else {
+                    subset_drift(&rec.filtered, &plan.idx) <= tolerance
+                }
+            })
+            .collect();
+        let records = &cache.records;
+        let learners: Vec<BaggingClassifier> = (0..n_learners)
+            .into_par_iter()
+            .map(|i| {
+                if keep[i] {
+                    records[i].learner.clone()
+                } else {
+                    fit_one_learner(config, i, &plans[i], x, labels)
+                }
+            })
+            .collect();
+
+        let stack = build_stack(&learners, x.n_cols());
+
+        let uniform = vec![1.0 / n_learners as f64; n_learners];
+        let mut cv_resolved_from_cache = false;
+        let mut full_cv = false;
+        let weights = match config.weight_mode {
+            WeightMode::Uniform => uniform,
+            WeightMode::CvOptimized { folds, iterations } => match cache.cv.as_mut() {
+                Some(cv) => {
+                    cv_resolved_from_cache = true;
+                    resolve_weights_cached(
+                        cv,
+                        &learners,
+                        &thresholds,
+                        x,
+                        labels,
+                        efforts,
+                        cache.n_rows,
+                    )
+                }
+                None => {
+                    // The original fit could not support CV (too few
+                    // points); retry in full now that the batch has grown.
+                    match cv_weight_fit_cached(
+                        config,
+                        &thresholds,
+                        x,
+                        labels,
+                        efforts,
+                        folds,
+                        iterations,
+                    ) {
+                        Some((w, cv)) => {
+                            full_cv = true;
+                            cache.cv = Some(cv);
+                            w
+                        }
+                        None => uniform,
+                    }
+                }
+            },
+        };
+
+        let learners_kept = keep.iter().filter(|&&k| k).count();
+        let stats = RefitStats {
+            learners_kept,
+            learners_refitted: n_learners - learners_kept,
+            cv_resolved_from_cache,
+            full_cv,
+        };
+        cache.records = learner_records(plans, &thresholds, &learners);
+        cache.n_rows = x.n_rows();
+        let model = Self {
+            thresholds,
+            learners,
+            weights,
+            n_features: x.n_cols(),
+            stack,
+            precision: Precision::F64,
+            stack32: None,
+            layout: TraversalLayout::default(),
+            config: config.clone(),
+        };
+        (model, stats)
     }
 
     /// Select the plane that serves the park-wide prediction paths
@@ -1383,6 +1661,77 @@ fn filtered_indices(labels: &[f64], efforts: &[f64], threshold: f64) -> Vec<usiz
         .collect()
 }
 
+/// Stage-2 plan for one learner: the exact effort-filtered row subset it
+/// will train on, and whether that subset is degenerate (too small or
+/// single-class, in which case the learner falls back to the full batch).
+#[derive(Debug, Clone)]
+struct LearnerPlan {
+    idx: Vec<usize>,
+    degenerate: bool,
+}
+
+/// Stage 2 of the fit pipeline: gather every learner's effort-filtered row
+/// subset. Pure index work — no training happens here.
+fn plan_filtered_learners(
+    config: &IWareConfig,
+    thresholds: &[f64],
+    labels: &[f64],
+    efforts: &[f64],
+) -> Vec<LearnerPlan> {
+    thresholds
+        .iter()
+        .map(|&theta| {
+            let idx = filtered_indices(labels, efforts, theta);
+            let n_pos = idx.iter().filter(|&&j| labels[j] > 0.5).count();
+            let degenerate = idx.len() < config.min_subset_size || n_pos == 0 || n_pos == idx.len();
+            LearnerPlan { idx, degenerate }
+        })
+        .collect()
+}
+
+/// Fit learner `i` on its planned subset with the index-derived seed — the
+/// single place the per-learner seed formula lives, shared by cold fits
+/// and warm refits so a refit learner is bit-identical to its cold twin.
+fn fit_one_learner(
+    config: &IWareConfig,
+    i: usize,
+    plan: &LearnerPlan,
+    x: MatrixView<'_>,
+    labels: &[f64],
+) -> BaggingClassifier {
+    let base = BaggingConfig {
+        seed: config
+            .base
+            .seed
+            .wrapping_add(1000 * i as u64)
+            .wrapping_add(config.seed),
+        ..config.base.clone()
+    };
+    if plan.degenerate {
+        // Degenerate filter: train on the full borrowed batch with no copy
+        // at all.
+        BaggingClassifier::fit(&base, x, labels)
+    } else {
+        let sx = x.gather(&plan.idx);
+        let slabels: Vec<f64> = plan.idx.iter().map(|&j| labels[j]).collect();
+        BaggingClassifier::fit(&base, sx.view(), &slabels)
+    }
+}
+
+/// Stage 3 of the fit pipeline: per-learner member fits, in parallel.
+fn fit_planned_learners(
+    config: &IWareConfig,
+    plans: &[LearnerPlan],
+    x: MatrixView<'_>,
+    labels: &[f64],
+) -> Vec<BaggingClassifier> {
+    plans
+        .par_iter()
+        .enumerate()
+        .map(|(i, plan)| fit_one_learner(config, i, plan, x, labels))
+        .collect()
+}
+
 fn train_filtered_learners(
     config: &IWareConfig,
     thresholds: &[f64],
@@ -1390,36 +1739,62 @@ fn train_filtered_learners(
     labels: &[f64],
     efforts: &[f64],
 ) -> Vec<BaggingClassifier> {
-    thresholds
-        .par_iter()
-        .enumerate()
-        .map(|(i, &theta)| {
-            let idx = filtered_indices(labels, efforts, theta);
-            let n_pos = idx.iter().filter(|&&j| labels[j] > 0.5).count();
-            let base = BaggingConfig {
-                seed: config
-                    .base
-                    .seed
-                    .wrapping_add(1000 * i as u64)
-                    .wrapping_add(config.seed),
-                ..config.base.clone()
-            };
-            if idx.len() < config.min_subset_size || n_pos == 0 || n_pos == idx.len() {
-                // Degenerate filter: train on the full borrowed batch with
-                // no copy at all.
-                BaggingClassifier::fit(&base, x, labels)
-            } else {
-                let sx = x.gather(&idx);
-                let slabels: Vec<f64> = idx.iter().map(|&j| labels[j]).collect();
-                BaggingClassifier::fit(&base, sx.view(), &slabels)
-            }
+    let plans = plan_filtered_learners(config, thresholds, labels, efforts);
+    fit_planned_learners(config, &plans, x, labels)
+}
+
+/// Zip stage-2 plans with the fitted learners into cache records.
+fn learner_records(
+    plans: Vec<LearnerPlan>,
+    thresholds: &[f64],
+    learners: &[BaggingClassifier],
+) -> Vec<LearnerRecord> {
+    plans
+        .into_iter()
+        .zip(thresholds.iter().zip(learners))
+        .map(|(plan, (&threshold, learner))| LearnerRecord {
+            threshold,
+            filtered: plan.idx,
+            degenerate: plan.degenerate,
+            learner: learner.clone(),
         })
         .collect()
 }
 
-/// Run the cross-validated weight fit; returns `None` when the data cannot
+/// Relative drift between two ascending index subsets: the size of their
+/// symmetric difference over the recorded subset's size. 0.0 for identical
+/// subsets; an append that only *adds* qualifying rows contributes one
+/// count per added row.
+fn subset_drift(old: &[usize], new: &[usize]) -> f64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut sym = 0usize;
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                sym += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                sym += 1;
+                j += 1;
+            }
+        }
+    }
+    sym += (old.len() - i) + (new.len() - j);
+    sym as f64 / old.len().max(1) as f64
+}
+
+/// Run the cross-validated weight fit, returning the optimised weights and
+/// the cached out-of-fold member predictions (plus each validation point's
+/// effort and label, so qualified sets can be recomputed against moved
+/// thresholds at warm-resolve time). Returns `None` when the data cannot
 /// support it (e.g. too few positives to stratify).
-fn cv_weight_fit(
+fn cv_weight_fit_cached(
     config: &IWareConfig,
     thresholds: &[f64],
     x: MatrixView<'_>,
@@ -1427,7 +1802,7 @@ fn cv_weight_fit(
     efforts: &[f64],
     folds: usize,
     iterations: usize,
-) -> Option<Vec<f64>> {
+) -> Option<(Vec<f64>, CvCache)> {
     let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
     if n_pos < folds || labels.len() < folds * 4 {
         return None;
@@ -1436,6 +1811,7 @@ fn cv_weight_fit(
 
     let mut predictions: Vec<Vec<f64>> = Vec::new();
     let mut qualified: Vec<Vec<usize>> = Vec::new();
+    let mut point_efforts: Vec<f64> = Vec::new();
     let mut fold_labels: Vec<f64> = Vec::new();
 
     for fold in &fold_defs {
@@ -1459,16 +1835,55 @@ fn cv_weight_fit(
         for (vi, &orig) in fold.valid.iter().enumerate() {
             predictions.push(per_learner.iter().map(|l| l[vi]).collect());
             qualified.push(qualified_learners(thresholds, efforts[orig]));
+            point_efforts.push(efforts[orig]);
             fold_labels.push(labels[orig]);
         }
     }
 
-    Some(optimize_weights(
-        &predictions,
-        &qualified,
-        &fold_labels,
+    let weights = optimize_weights(&predictions, &qualified, &fold_labels, iterations);
+    let cv = CvCache {
+        predictions,
+        efforts: point_efforts,
+        labels: fold_labels,
         iterations,
-    ))
+    };
+    Some((weights, cv))
+}
+
+/// Rerun **only** the CV-weight solve (the cheap stage of the pipeline):
+/// extend the cached out-of-fold member predictions with the current
+/// learners' probabilities on the appended rows, recompute every cached
+/// point's qualified set against the current thresholds, and re-optimise
+/// the simplex weights. No fold models are retrained.
+fn resolve_weights_cached(
+    cv: &mut CvCache,
+    learners: &[BaggingClassifier],
+    thresholds: &[f64],
+    x: MatrixView<'_>,
+    labels: &[f64],
+    efforts: &[f64],
+    from_row: usize,
+) -> Vec<f64> {
+    if from_row < x.n_rows() {
+        let idx: Vec<usize> = (from_row..x.n_rows()).collect();
+        let new_x = x.gather(&idx);
+        let per_learner: Vec<Vec<f64>> = learners
+            .par_iter()
+            .map(|l| l.predict_proba(new_x.view()))
+            .collect();
+        for (vi, orig) in (from_row..x.n_rows()).enumerate() {
+            cv.predictions
+                .push(per_learner.iter().map(|l| l[vi]).collect());
+            cv.efforts.push(efforts[orig]);
+            cv.labels.push(labels[orig]);
+        }
+    }
+    let qualified: Vec<Vec<usize>> = cv
+        .efforts
+        .iter()
+        .map(|&e| qualified_learners(thresholds, e))
+        .collect();
+    optimize_weights(&cv.predictions, &qualified, &cv.labels, cv.iterations)
 }
 
 #[cfg(test)]
@@ -2012,5 +2427,138 @@ mod tests {
         let (p_ok, _) = model.try_effort_response(q, &grid).expect("valid query");
         let (p_ref, _) = model.effort_response(q, &grid);
         assert_eq!(p_ok.as_slice(), p_ref.as_slice());
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = a.clone();
+        out.extend_rows(b.view());
+        out
+    }
+
+    #[test]
+    fn subset_drift_counts_symmetric_difference() {
+        assert_eq!(subset_drift(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert_eq!(subset_drift(&[1, 2, 3], &[1, 2, 3, 4]), 1.0 / 3.0);
+        assert_eq!(subset_drift(&[1, 2, 3], &[2, 3, 5]), 2.0 / 3.0);
+        assert_eq!(subset_drift(&[], &[7]), 1.0);
+    }
+
+    #[test]
+    fn staged_fit_cached_matches_fit() {
+        let (x, labels, efforts, _) = noisy_poaching_data(260, 31);
+        let config = quick_config(5);
+        let a = IWareModel::fit(&config, x.view(), &labels, &efforts);
+        let (b, cache) = IWareModel::fit_cached(&config, x.view(), &labels, &efforts);
+        assert_eq!(a.thresholds(), b.thresholds());
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(cache.n_rows(), 260);
+        assert_eq!(cache.n_learners(), a.n_learners());
+        assert!(cache.has_cv_cache());
+        let (probe, _, probe_efforts, _) = noisy_poaching_data(50, 99);
+        assert_eq!(
+            a.predict_proba_at_effort(probe.view(), &probe_efforts),
+            b.predict_proba_at_effort(probe.view(), &probe_efforts)
+        );
+    }
+
+    #[test]
+    fn warm_refit_without_new_rows_is_a_bit_identical_resolve() {
+        let (x, labels, efforts, _) = noisy_poaching_data(260, 32);
+        let config = quick_config(5);
+        let (cold, mut cache) = IWareModel::fit_cached(&config, x.view(), &labels, &efforts);
+        let (warm, stats) =
+            IWareModel::warm_refit(&config, &mut cache, x.view(), &labels, &efforts, 0.0);
+        assert_eq!(stats.learners_kept, cold.n_learners());
+        assert_eq!(stats.learners_refitted, 0);
+        assert!(stats.cv_resolved_from_cache);
+        assert!(!stats.full_cv);
+        // Identical subsets keep every learner; the weight re-solve sees
+        // the same cached predictions and qualified sets, so even the
+        // weights come back bit-identical.
+        assert_eq!(warm.thresholds(), cold.thresholds());
+        assert_eq!(warm.weights(), cold.weights());
+        let (probe, _, probe_efforts, _) = noisy_poaching_data(50, 99);
+        assert_eq!(
+            warm.predict_proba_at_effort(probe.view(), &probe_efforts),
+            cold.predict_proba_at_effort(probe.view(), &probe_efforts)
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_warm_refit_matches_cold_fit_with_uniform_weights() {
+        let mut config = quick_config(5);
+        config.weight_mode = WeightMode::Uniform;
+        let (x, labels, efforts, _) = noisy_poaching_data(240, 33);
+        let (x2, labels2, efforts2, _) = noisy_poaching_data(40, 77);
+        let (_, mut cache) = IWareModel::fit_cached(&config, x.view(), &labels, &efforts);
+        let full_x = concat(&x, &x2);
+        let full_labels: Vec<f64> = labels.iter().chain(&labels2).copied().collect();
+        let full_efforts: Vec<f64> = efforts.iter().chain(&efforts2).copied().collect();
+        let (warm, stats) = IWareModel::warm_refit(
+            &config,
+            &mut cache,
+            full_x.view(),
+            &full_labels,
+            &full_efforts,
+            0.0,
+        );
+        // At tolerance 0 every learner whose subset moved refits with its
+        // cold seed, so with uniform weights the warm model reproduces the
+        // cold fit on the concatenation bit-for-bit.
+        let cold = IWareModel::fit(&config, full_x.view(), &full_labels, &full_efforts);
+        assert_eq!(
+            stats.learners_kept + stats.learners_refitted,
+            cold.n_learners()
+        );
+        assert_eq!(warm.thresholds(), cold.thresholds());
+        assert_eq!(warm.weights(), cold.weights());
+        assert_eq!(cache.n_rows(), 280);
+        let (probe, _, probe_efforts, _) = noisy_poaching_data(60, 98);
+        assert_eq!(
+            warm.predict_proba_at_effort(probe.view(), &probe_efforts),
+            cold.predict_proba_at_effort(probe.view(), &probe_efforts)
+        );
+    }
+
+    #[test]
+    fn tolerant_warm_refit_keeps_learners_on_a_small_append() {
+        let config = quick_config(5);
+        let (x, labels, efforts, _) = noisy_poaching_data(400, 34);
+        let (x2, labels2, efforts2, _) = noisy_poaching_data(8, 78);
+        let (_, mut cache) = IWareModel::fit_cached(&config, x.view(), &labels, &efforts);
+        let full_x = concat(&x, &x2);
+        let full_labels: Vec<f64> = labels.iter().chain(&labels2).copied().collect();
+        let full_efforts: Vec<f64> = efforts.iter().chain(&efforts2).copied().collect();
+        let (warm, stats) = IWareModel::warm_refit(
+            &config,
+            &mut cache,
+            full_x.view(),
+            &full_labels,
+            &full_efforts,
+            1.0,
+        );
+        // A 2% append cannot move any subset by more than the tolerance,
+        // so the warm path keeps every non-degenerate learner and only
+        // re-solves the weights from cache.
+        assert!(
+            stats.learners_kept >= warm.n_learners() - 1,
+            "expected kept learners, got {stats:?}"
+        );
+        assert!(stats.cv_resolved_from_cache);
+        // Bounded warm-path divergence: the kept learners saw subsets at
+        // most one batch stale, so predictions stay close to the cold fit.
+        let cold = IWareModel::fit(&config, full_x.view(), &full_labels, &full_efforts);
+        let (probe, _, probe_efforts, _) = noisy_poaching_data(80, 97);
+        let pw = warm.predict_proba_at_effort(probe.view(), &probe_efforts);
+        let pc = cold.predict_proba_at_effort(probe.view(), &probe_efforts);
+        let max_diff = pw
+            .iter()
+            .zip(&pc)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_diff < 0.35,
+            "warm-path divergence should stay bounded, got {max_diff}"
+        );
     }
 }

@@ -3,23 +3,106 @@
 //!
 //! ```text
 //! cargo run --release -p paws-serve --bin paws-serve-demo [n_queries]
+//! cargo run --release -p paws-serve --bin paws-serve-demo -- --stream
 //! ```
 //!
-//! Trains three small park models (different variants/planes), installs
-//! them in a [`paws_serve::PawsServer`], submits an interleaved batch of
-//! risk-map / park-response / patrol-plan queries, hot-swaps one park's
-//! model from a serialized stack snapshot, and reports per-query outcomes
-//! plus batch throughput. Exits non-zero on any serving error, so CI can
-//! smoke-run it.
+//! Default mode trains three small park models (different
+//! variants/planes), installs them in a [`paws_serve::PawsServer`],
+//! submits an interleaved batch of risk-map / park-response / patrol-plan
+//! queries, hot-swaps one park's model from a serialized stack snapshot,
+//! and reports per-query outcomes plus batch throughput. `--stream`
+//! instead installs one park on the streaming ingest path and replays a
+//! seeded patrol-log stream through
+//! [`paws_serve::ModelRegistry::ingest_batch`], querying between batches.
+//! Both exit non-zero on any serving error, so CI can smoke-run them.
 
-use paws_core::{ModelConfig, Scenario, TraversalLayout, WeakLearnerKind};
+use paws_core::{ModelConfig, RefitPath, Scenario, StreamConfig, TraversalLayout, WeakLearnerKind};
 use paws_data::{build_dataset, split_by_test_year, Discretization};
 use paws_serve::{PawsServer, QueryKind, QueryRequest, QueryResponse};
 use paws_solver::SolveBudget;
 use std::time::{Duration, Instant};
 
+fn stream_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::test_scenario(5);
+    let park = scenario.park.clone();
+    // Three years of seeded patrol logs in six-month chunks: the first
+    // installs the park cold, the rest stream through ingest_batch.
+    let batches = scenario.patrol_log_batches(2014, 3, 6);
+    let dataset = build_dataset(&park, &batches[0], Discretization::quarterly());
+
+    let mut config = ModelConfig::new(WeakLearnerKind::DecisionTree, true, 5);
+    config.n_learners = 4;
+    config.n_estimators = 4;
+    let stream = StreamConfig {
+        warmup_batches: 1,
+        tolerance: 0.5,
+        scaler_drift: 1.0,
+    };
+
+    let server = PawsServer::new();
+    let report = server.registry().install_streaming(
+        "mondulkiri",
+        park.clone(),
+        dataset,
+        &config,
+        stream,
+    )?;
+    println!(
+        "installed mondulkiri streaming: {} cells, {} training rows ({:?})",
+        park.n_cells(),
+        report.total_rows,
+        report.path,
+    );
+
+    let start = Instant::now();
+    for (i, batch) in batches[1..].iter().enumerate() {
+        let months = batch.months.len();
+        match server.registry().ingest_batch("mondulkiri", batch)? {
+            Some(report) => {
+                let path = match report.path {
+                    RefitPath::Warm(stats) => format!(
+                        "warm ({} kept, {} refitted, cv-from-cache {})",
+                        stats.learners_kept, stats.learners_refitted, stats.cv_resolved_from_cache
+                    ),
+                    RefitPath::Cold(reason) => format!("cold ({reason:?})"),
+                };
+                println!(
+                    "  batch {:>2}: {months} months, +{} rows -> {} total, {path}",
+                    i + 2,
+                    report.appended,
+                    report.total_rows,
+                );
+            }
+            None => println!(
+                "  batch {:>2}: {months} months, no new training points",
+                i + 2
+            ),
+        }
+        // The refreshed model serves immediately after the swap.
+        let answers = server.submit(&[QueryRequest::new(
+            "mondulkiri",
+            QueryKind::RiskMap { effort_km: 1.0 },
+        )]);
+        match answers.into_iter().next() {
+            Some(Ok(_)) => {}
+            Some(Err(e)) => return Err(format!("post-ingest query failed: {e}").into()),
+            None => return Err("empty answer batch".into()),
+        }
+    }
+    println!(
+        "streamed {} patrol-log batches with mid-traffic refits in {:.2?}",
+        batches.len() - 1,
+        start.elapsed()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n_queries: usize = match std::env::args().nth(1) {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--stream") {
+        return stream_demo();
+    }
+    let n_queries: usize = match arg {
         Some(arg) => arg.parse()?,
         None => 24,
     };

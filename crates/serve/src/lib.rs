@@ -11,7 +11,11 @@
 //! * [`ModelRegistry`] — resident parks as atomic-swappable
 //!   `Arc<ResidentPark>` bundles (serving model, prepared feature planes
 //!   and park geometry). Hot-swapping a model from a live fit or a stack
-//!   snapshot never tears an in-flight query.
+//!   snapshot never tears an in-flight query. Parks installed via
+//!   [`ModelRegistry::install_streaming`] also keep their dataset and a
+//!   [`paws_core::StreamingFit`] warm-refit driver resident, so
+//!   [`ModelRegistry::ingest_batch`] can fold a fresh patrol-log batch
+//!   into the dataset, refit incrementally, and hot-swap mid-traffic.
 //! * [`PawsServer`] — batched admission: group by park, snapshot each
 //!   bundle once, coalesce same-park risk-map levels into one pass of the
 //!   256-row block kernels, share identical response grids, fan park

@@ -11,11 +11,12 @@
 //! they snapshotted while new queries see the new one.
 
 use crate::request::ServeError;
-use paws_core::{ModelConfig, PreparedPark, ServingModel};
+use paws_core::{BatchReport, ModelConfig, PreparedPark, ServingModel, StreamConfig, StreamingFit};
 use paws_data::{Dataset, Matrix, StandardScaler};
 use paws_geo::Park;
+use paws_sim::History;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Everything needed to serve one park, as a single immutable bundle.
 pub struct ResidentPark {
@@ -32,10 +33,21 @@ pub struct ResidentPark {
     raw_rows: Matrix,
 }
 
+/// Mutable fit-side state of one streaming park: the growing dataset and
+/// the warm-refit driver. Kept separate from the immutable serving bundle
+/// — queries never touch this, only [`ModelRegistry::ingest_batch`] does,
+/// one batch at a time under the slot's mutex.
+struct StreamSlot {
+    park: Park,
+    dataset: Dataset,
+    fit: StreamingFit,
+}
+
 /// Multi-park registry of resident serving artifacts.
 #[derive(Default)]
 pub struct ModelRegistry {
     parks: RwLock<HashMap<String, Arc<ResidentPark>>>,
+    streams: RwLock<HashMap<String, Arc<Mutex<StreamSlot>>>>,
 }
 
 impl ModelRegistry {
@@ -138,8 +150,123 @@ impl ModelRegistry {
         self.swap_model(name, model)
     }
 
+    fn read_streams(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<Mutex<StreamSlot>>>> {
+        match self.streams.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_streams(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<Mutex<StreamSlot>>>> {
+        match self.streams.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    // A poisoned slot means a refit panicked mid-ingest. Both the dataset
+    // append and the streaming driver validate before mutating, so the
+    // slot is either untouched or holds a consistently grown batch whose
+    // refit never published; recovering lets the next batch retry the fit
+    // instead of wedging the park's ingest path forever.
+    fn lock_slot(slot: &Mutex<StreamSlot>) -> MutexGuard<'_, StreamSlot> {
+        match slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Install a park on the *streaming* ingest path: cold-fit the
+    /// streaming driver on every training point already in the dataset,
+    /// publish the resulting bundle, and keep the dataset + driver
+    /// resident so later [`ModelRegistry::ingest_batch`] calls can refit
+    /// warmly. Returns the cold batch's report.
+    ///
+    /// # Errors
+    /// [`ServeError::Ingest`] when the dataset is empty or does not match
+    /// the park; [`ServeError::Model`] when the cold fit cannot serve at
+    /// the configured precision.
+    pub fn install_streaming(
+        &self,
+        name: impl Into<String>,
+        park: Park,
+        dataset: Dataset,
+        config: &ModelConfig,
+        stream: StreamConfig,
+    ) -> Result<BatchReport, ServeError> {
+        let name = name.into();
+        if dataset.n_points() == 0 {
+            return Err(ServeError::Ingest(
+                "cannot install a streaming park from an empty dataset".to_string(),
+            ));
+        }
+        let mut fit = StreamingFit::new(config.clone(), stream);
+        let idx: Vec<usize> = (0..dataset.n_points()).collect();
+        let (model, report) = fit.ingest(
+            dataset.feature_rows(&idx).view(),
+            &dataset.labels(&idx),
+            &dataset.efforts(&idx),
+        )?;
+        let prev = last_coverage(&dataset, &park);
+        self.install(name.clone(), model, park.clone(), &dataset, &prev)?;
+        let slot = Arc::new(Mutex::new(StreamSlot { park, dataset, fit }));
+        self.write_streams().insert(name, slot);
+        Ok(report)
+    }
+
+    /// Ingest one patrol-log batch into a streaming park: append the new
+    /// months to its resident dataset, refit (warm where the drift budget
+    /// allows, cold otherwise), and hot-swap the serving bundle — queries
+    /// in flight finish on the artifact they snapshotted, later ones see
+    /// the refreshed model and coverage. Returns `None` when the batch
+    /// contained no patrolled cells (nothing to learn from; no swap).
+    ///
+    /// Per-park ingests are serialised by the slot's mutex; queries are
+    /// never blocked by an ingest.
+    ///
+    /// # Errors
+    /// [`ServeError::Ingest`] when the park was not installed via
+    /// [`ModelRegistry::install_streaming`] or the batch is rejected by
+    /// dataset validation (wrong park, out-of-order months, non-finite
+    /// values) — the dataset is untouched on every rejection.
+    pub fn ingest_batch(
+        &self,
+        name: &str,
+        history: &History,
+    ) -> Result<Option<BatchReport>, ServeError> {
+        let slot = self
+            .read_streams()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::Ingest(format!("park {name:?} is not streaming")))?;
+        let mut slot = Self::lock_slot(&slot);
+        let before = slot.dataset.n_points();
+        let appended = {
+            let StreamSlot { park, dataset, .. } = &mut *slot;
+            dataset.append_observations(park, history)?
+        };
+        if appended == 0 {
+            return Ok(None);
+        }
+        let idx: Vec<usize> = (before..before + appended).collect();
+        let rows = slot.dataset.feature_rows(&idx);
+        let labels = slot.dataset.labels(&idx);
+        let efforts = slot.dataset.efforts(&idx);
+        let (model, report) = slot.fit.ingest(rows.view(), &labels, &efforts)?;
+        let prev = last_coverage(&slot.dataset, &slot.park);
+        self.install(name, model, slot.park.clone(), &slot.dataset, &prev)?;
+        Ok(Some(report))
+    }
+
+    /// True when the park was installed on the streaming ingest path.
+    pub fn is_streaming(&self, name: &str) -> bool {
+        self.read_streams().contains_key(name)
+    }
+
     /// Remove a resident park; returns its final bundle if it existed.
+    /// Any streaming ingest state for the park is dropped with it.
     pub fn evict(&self, name: &str) -> Option<Arc<ResidentPark>> {
+        self.write_streams().remove(name);
         self.write_parks().remove(name)
     }
 
@@ -156,5 +283,15 @@ impl ModelRegistry {
     /// True when no park is resident.
     pub fn is_empty(&self) -> bool {
         self.read_parks().is_empty()
+    }
+}
+
+/// The most recent per-cell coverage the dataset has seen, or all-zero
+/// before the first step — the `prev_coverage` the serving feature stack
+/// is assembled at.
+fn last_coverage(dataset: &Dataset, park: &Park) -> Vec<f64> {
+    match dataset.coverage.last() {
+        Some(cov) => cov.clone(),
+        None => vec![0.0; park.n_cells()],
     }
 }

@@ -110,6 +110,9 @@ pub enum ServeError {
     },
     /// The model layer rejected the query (bad input, plan failure, …).
     Model(PawsError),
+    /// A patrol-log ingest was rejected before any state changed
+    /// (park/dataset mismatch, out-of-order months, no streaming slot, …).
+    Ingest(String),
 }
 
 impl fmt::Display for ServeError {
@@ -120,6 +123,7 @@ impl fmt::Display for ServeError {
                 write!(f, "request deadline exhausted before serving park {park:?}")
             }
             ServeError::Model(e) => write!(f, "model layer rejected the query: {e}"),
+            ServeError::Ingest(msg) => write!(f, "patrol-log ingest rejected: {msg}"),
         }
     }
 }
@@ -136,5 +140,11 @@ impl std::error::Error for ServeError {
 impl From<PawsError> for ServeError {
     fn from(e: PawsError) -> Self {
         ServeError::Model(e)
+    }
+}
+
+impl From<paws_data::AppendError> for ServeError {
+    fn from(e: paws_data::AppendError) -> Self {
+        ServeError::Ingest(e.to_string())
     }
 }

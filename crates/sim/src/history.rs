@@ -142,6 +142,45 @@ pub fn simulate_history(
     }
 }
 
+/// Simulate `years` years of patrol logs and chop them into time-ordered
+/// chunks of `months_per_batch` consecutive months — the seeded stream a
+/// deployment would receive from the ranger database between patrol
+/// cycles.
+///
+/// The whole history is simulated in **one** RNG stream and only then
+/// chunked, so the concatenation of the returned batches is bit-identical
+/// to [`simulate_history`] with the same seed (one shared `prev_effort`
+/// deterrence chain across batch boundaries; re-seeding per batch would
+/// break that). The final batch may be shorter than `months_per_batch`.
+///
+/// To keep a streamed dataset build bit-identical to the one-shot build,
+/// pick `months_per_batch` so no discretisation step straddles a batch
+/// boundary (e.g. a multiple of 3 for quarterly steps).
+///
+/// # Panics
+/// Panics when `months_per_batch` is zero.
+pub fn patrol_log_batches(
+    park: &Park,
+    model: &PoacherModel,
+    config: &SimConfig,
+    start_year: u32,
+    years: u32,
+    seed: u64,
+    months_per_batch: usize,
+) -> Vec<History> {
+    assert!(months_per_batch > 0, "batches must hold at least one month");
+    let full = simulate_history(park, model, config, start_year, years, seed);
+    let n_cells = full.n_cells;
+    full.months
+        .chunks(months_per_batch)
+        .map(|chunk| History {
+            start_year: chunk[0].year,
+            months: chunk.to_vec(),
+            n_cells,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +258,33 @@ mod tests {
                 .map(|m| m.n_detections())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn patrol_log_batches_concatenate_to_the_one_shot_history() {
+        let (park, model, config) = setup();
+        let full = simulate_history(&park, &model, &config, 2013, 2, 23);
+        for months_per_batch in [3, 5, 12, 24, 30] {
+            let batches = patrol_log_batches(&park, &model, &config, 2013, 2, 23, months_per_batch);
+            assert_eq!(
+                batches.iter().map(|b| b.months.len()).sum::<usize>(),
+                full.months.len()
+            );
+            let mut i = 0;
+            for batch in &batches {
+                assert_eq!(batch.n_cells, full.n_cells);
+                assert_eq!(batch.start_year, batch.months[0].year);
+                for month in &batch.months {
+                    assert_eq!(
+                        (month.year, month.month),
+                        (full.months[i].year, full.months[i].month)
+                    );
+                    assert_eq!(month.true_effort, full.months[i].true_effort);
+                    assert_eq!(month.detections, full.months[i].detections);
+                    i += 1;
+                }
+            }
+        }
     }
 
     #[test]

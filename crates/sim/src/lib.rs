@@ -25,5 +25,5 @@ pub mod presets;
 
 pub use behaviour::{AttackModelConfig, PoacherModel, Season};
 pub use detection::DetectionModel;
-pub use history::{History, MonthRecord, SimConfig};
+pub use history::{patrol_log_batches, History, MonthRecord, SimConfig};
 pub use patrol::{Patrol, PatrolConfig, Transport, Waypoint};
