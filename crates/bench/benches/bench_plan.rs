@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the sparse planning stack: dense-tableau vs
+//! sparse revised-simplex LP engines on allocation-shaped LPs across cell
+//! counts, branch-and-bound node throughput with and without warm-started
+//! sparse relaxations, and the column-generation planner on an LLC-scale
+//! park. The headline curves (up to study-park and 100k-cell scale, where
+//! a criterion loop would take hours on the dense engine) are recorded by
+//! `fig8 --llc` / `fig9 --llc` into `results/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paws_bench::full_reach_problem;
+use paws_geo::parks::llc_park_spec;
+use paws_geo::Park;
+use paws_plan::{plan, Decomposition, PlannerConfig};
+use paws_solver::{
+    solve_lp, solve_lp_dense, solve_milp, ConstraintOp, LpEngine, MilpOptions, Model, Sense,
+};
+use std::hint::black_box;
+
+/// The park-wide allocation LP at `n_cells` candidate cells: a per-cell λ
+/// block over a 6-breakpoint concave utility, one convexity row per cell,
+/// one budget row — the exact row/column structure the planner emits.
+fn allocation_lp(n_cells: usize) -> Model {
+    let xs = [0.0f64, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut m = Model::new(Sense::Maximize);
+    let mut budget_terms = Vec::new();
+    for i in 0..n_cells {
+        let s = 0.1 + 0.8 * ((i * 37) % 100) as f64 / 100.0;
+        let rate = 0.3 + 0.5 * ((i * 53) % 97) as f64 / 97.0;
+        let lambdas: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| {
+                let y = s * (1.0 - (-rate * x).exp());
+                m.add_continuous(&format!("l_{i}_{j}"), 0.0, f64::INFINITY, y)
+            })
+            .collect();
+        let conv: Vec<_> = lambdas.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(&conv, ConstraintOp::Eq, 1.0);
+        budget_terms.extend(
+            lambdas
+                .iter()
+                .zip(&xs)
+                .filter(|&(_, &x)| x != 0.0)
+                .map(|(&v, &x)| (v, x)),
+        );
+    }
+    m.add_constraint(&budget_terms, ConstraintOp::Le, 0.05 * n_cells as f64);
+    m
+}
+
+fn bench_lp_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_engine_scaling");
+    group.sample_size(10);
+    for n_cells in [64usize, 256, 1024, 4096] {
+        let model = allocation_lp(n_cells);
+        group.bench_with_input(BenchmarkId::new("sparse", n_cells), &model, |b, model| {
+            b.iter(|| black_box(solve_lp(model, None)))
+        });
+        // The dense tableau is O(rows × columns) per pivot; past ~256
+        // cells a single solve takes seconds, so the dense curve stops
+        // early here and continues one-shot in `fig8 --llc`.
+        if n_cells <= 256 {
+            group.bench_with_input(BenchmarkId::new("dense", n_cells), &model, |b, model| {
+                b.iter(|| black_box(solve_lp_dense(model, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A deterministic correlated multi-knapsack: enough fractional LP optima
+/// that branch-and-bound explores a real tree, so engine timing measures
+/// per-node relaxation cost (the sparse engine warm-starts each node from
+/// its parent's basis; the dense engine re-solves from scratch).
+fn knapsack_milp(n_items: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let items: Vec<_> = (0..n_items)
+        .map(|i| {
+            let value = 1.0 + ((i * 29) % 17) as f64 / 3.0;
+            m.add_binary(&format!("x{i}"), value)
+        })
+        .collect();
+    for (k, period) in [(0usize, 13), (1, 11), (2, 7)] {
+        let terms: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + ((i * 31 + k * 5) % period) as f64 / 2.0))
+            .collect();
+        let cap = terms.iter().map(|(_, w)| w).sum::<f64>() * 0.35;
+        m.add_constraint(&terms, ConstraintOp::Le, cap);
+    }
+    m
+}
+
+fn bench_milp_nodes(c: &mut Criterion) {
+    let model = knapsack_milp(24);
+    let mut group = c.benchmark_group("milp_node_throughput");
+    group.sample_size(10);
+    for (label, engine) in [
+        ("sparse_warm", LpEngine::Sparse),
+        ("dense", LpEngine::Dense),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, &engine| {
+            let options = MilpOptions {
+                engine,
+                ..MilpOptions::default()
+            };
+            b.iter(|| black_box(solve_milp(&model, &options)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_colgen_llc(c: &mut Criterion) {
+    let park = Park::generate(&llc_park_spec(10_000), 11);
+    let problem = full_reach_problem(&park, 500.0, 1.0);
+    let config = PlannerConfig {
+        decomposition: Decomposition::ColumnGeneration,
+        ..PlannerConfig::default()
+    };
+    let mut group = c.benchmark_group("colgen_planner");
+    group.sample_size(10);
+    group.bench_function("llc_10k_cells", |b| {
+        b.iter(|| black_box(plan(&problem, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp_engines,
+    bench_milp_nodes,
+    bench_colgen_llc
+);
+criterion_main!(benches);

@@ -5,13 +5,23 @@
 //! ```bash
 //! cargo run --release -p paws-bench --bin fig9            # reduced sweep
 //! cargo run --release -p paws-bench --bin fig9 -- --full  # 5..25 segments
+//! cargo run --release -p paws-bench --bin fig9 -- --llc   # LLC park sizes
 //! ```
+//!
+//! `--llc` swaps the segment sweep for the runtime-vs-park-size curve at
+//! LLC scale (10k–100k cells, every cell a candidate): the workload the
+//! column-generation planner over the sparse revised simplex exists for.
 
-use paws_bench::{mean, park_model_config, quarterly_dataset, scenario, write_json, Scale};
+use paws_bench::{
+    full_reach_problem, mean, park_model_config, quarterly_dataset, scenario, write_json, Scale,
+};
 use paws_core::{format_table, train, WeakLearnerKind};
 use paws_data::split_by_test_year;
+use paws_geo::parks::llc_park_spec;
+use paws_geo::Park;
 use paws_plan::{plan, squash_matrix, PlannerConfig, PlanningProblem};
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Fig9Point {
@@ -21,8 +31,80 @@ struct Fig9Point {
     utility: f64,
 }
 
+#[derive(Serialize)]
+struct Fig9LlcPoint {
+    cells: usize,
+    lambda_vars: usize,
+    budget_km: f64,
+    runtime_seconds: f64,
+    status: String,
+    objective: f64,
+    colgen_rounds: usize,
+}
+
+/// `--llc`: planner runtime vs park size at LLC scale. Auto decomposition
+/// routes every one of these through column generation over the sparse
+/// revised simplex — the monolithic dense tableau would need tens of
+/// gigabytes before the first pivot.
+fn llc_scaling(scale: Scale) {
+    let sizes: &[usize] = if scale.is_full() {
+        &[10_000, 25_000, 50_000, 100_000]
+    } else {
+        &[10_000, 25_000, 50_000]
+    };
+    println!("Figure 9 (LLC): robust planner runtime vs park size\n");
+    let config = PlannerConfig::default();
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &cells in sizes {
+        let park = Park::generate(&llc_park_spec(cells), 11);
+        let budget_km = 0.05 * cells as f64;
+        let problem = full_reach_problem(&park, budget_km, 1.0);
+        let start = Instant::now();
+        let result = plan(&problem, &config);
+        let runtime_seconds = start.elapsed().as_secs_f64();
+        let point = Fig9LlcPoint {
+            cells,
+            lambda_vars: cells * (config.segments + 1),
+            budget_km,
+            runtime_seconds,
+            status: format!("{:?}", result.status),
+            objective: result.objective,
+            colgen_rounds: result.lp_solves,
+        };
+        rows.push(vec![
+            cells.to_string(),
+            point.lambda_vars.to_string(),
+            format!("{:.2}", point.runtime_seconds),
+            point.status.clone(),
+            format!("{:.2}", point.objective),
+            point.colgen_rounds.to_string(),
+        ]);
+        points.push(point);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "cells",
+                "λ vars",
+                "runtime (s)",
+                "status",
+                "objective",
+                "CG rounds"
+            ],
+            &rows
+        )
+    );
+    write_json("fig9_llc", &points);
+}
+
 fn main() {
     let scale = Scale::from_args();
+    if std::env::args().any(|a| a == "--llc") {
+        llc_scaling(scale);
+        return;
+    }
     println!(
         "Figure 9: planner runtime and utility vs PWL segments [{} scale]\n",
         if scale.is_full() { "full" } else { "quick" }

@@ -9,6 +9,8 @@
 
 use paws_core::{ModelConfig, Scenario, WeakLearnerKind};
 use paws_data::{build_dataset, Dataset, Discretization};
+use paws_geo::Park;
+use paws_plan::{PlanningCell, PlanningProblem, PwlFunction};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -97,6 +99,62 @@ pub fn park_model_config(
         };
     }
     cfg
+}
+
+/// A park-wide synthetic allocation problem: every cell is a candidate
+/// (the full-reach LP the sparse planner is sized for) with a deterministic
+/// saturating concave detection curve over effort `[0, 8]` km and an
+/// uncertainty curve rising with effort, varied cell-to-cell so the LP
+/// optimum spreads effort across many cells. `budget_km` is the total
+/// effort budget T×K; four patrols share it, and every cell's travel time
+/// is set so its feasible effort is exactly the curve domain (8 km) —
+/// otherwise the planner would resample each 8 km curve over a
+/// budget-sized domain and flatten it into noise. Neighbour lists are
+/// left empty — these problems feed the allocation planner, not route
+/// extraction.
+pub fn full_reach_problem(park: &Park, budget_km: f64, beta: f64) -> PlanningProblem {
+    let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let patrol_length_km = budget_km / 4.0;
+    // (T − 2·travel) × 4 patrols = 8 km of feasible effort per cell.
+    let travel_km = ((patrol_length_km - 2.0) / 2.0).max(0.0);
+    let cells: Vec<PlanningCell> = park
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, &cell)| {
+            let s = 0.1 + 0.8 * ((i * 37) % 100) as f64 / 100.0;
+            let rate = 0.3 + 0.5 * ((i * 53) % 97) as f64 / 97.0;
+            let b = 0.05 + 0.4 * ((i * 61) % 100) as f64 / 100.0;
+            let g_ys: Vec<f64> = grid
+                .iter()
+                .map(|&e| s * (1.0 - (-rate * e).exp()))
+                .collect();
+            let nu_ys: Vec<f64> = grid.iter().map(|&e| (b + 0.03 * e).min(0.95)).collect();
+            PlanningCell {
+                cell,
+                park_index: i,
+                travel_km,
+                g: PwlFunction::new(grid.to_vec(), g_ys),
+                nu: PwlFunction::new(grid.to_vec(), nu_ys),
+            }
+        })
+        .collect();
+    let post = park.patrol_posts[0];
+    let post_index = park
+        .cells
+        .iter()
+        .position(|&c| c == post)
+        .expect("patrol post is an in-park cell");
+    let n = cells.len();
+    PlanningProblem {
+        post,
+        cells,
+        neighbours: vec![Vec::new(); n],
+        post_index,
+        patrol_length_km,
+        n_patrols: 4,
+        beta,
+    }
 }
 
 /// Directory experiment outputs (JSON) are written to.

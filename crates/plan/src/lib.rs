@@ -26,7 +26,9 @@ pub use evaluate::{
     try_compare_robust_vs_baseline, RobustComparison,
 };
 pub use game::{park_travel_distances, steps_for, PlanningCell, PlanningProblem};
-pub use planner::{plan, try_plan, PatrolPlan, PlanError, PlannerConfig, PlannerMethod};
+pub use planner::{
+    plan, try_plan, Decomposition, PatrolPlan, PlanError, PlannerConfig, PlannerMethod,
+};
 pub use pwl::{PwlError, PwlFunction};
 pub use robust::{squash_matrix, VarianceSquash};
 pub use routes::{extract_routes, route_coverage, Route};

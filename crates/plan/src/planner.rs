@@ -18,10 +18,23 @@
 use crate::game::{steps_for, PlanningProblem};
 use crate::pwl::{PwlError, PwlFunction};
 use paws_solver::{
-    solve_milp, ConstraintOp, MilpOptions, Model, Sense, SolveStatus, SolverError, Variable,
+    solve_milp, BasisSnapshot, ConstraintOp, MilpOptions, Model, Sense, SolveBudget, SolveStatus,
+    SolverError, SparseLp, Variable,
 };
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// In [`Decomposition::Auto`] mode, column generation kicks in above this
+/// many λ variables — below it the full model solves in well under the
+/// restricted-master overhead.
+const CG_AUTO_THRESHOLD: usize = 4096;
+/// Hard cap on restricted-master rounds (each round adds at most one
+/// column per cell, so convergence needs at most `segments + 1` rounds;
+/// this cap is a numerical-safety backstop, not a tuning knob).
+const CG_MAX_ROUNDS: usize = 200;
+/// A breakpoint column enters the restricted master only when its reduced
+/// cost improves the objective by more than this.
+const CG_PRICE_TOL: f64 = 1e-7;
 
 /// Why patrol planning failed: either the utility curves could not be
 /// piecewise-linearised, or the optimiser terminated without a usable
@@ -76,6 +89,23 @@ pub enum PlannerMethod {
     Flow,
 }
 
+/// How the allocation formulation is decomposed for the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decomposition {
+    /// Pick automatically: column generation for pure-LP instances with
+    /// more than a few thousand λ variables, the full model otherwise.
+    /// Small instances therefore behave exactly as before. The default.
+    Auto,
+    /// Always build the monolithic model with every λ column.
+    FullModel,
+    /// Always use column generation over per-cell breakpoint blocks: a
+    /// restricted master holds a few λ columns per cell and new breakpoints
+    /// are priced in against the budget and convexity duals until none
+    /// improves. Implies the concave-envelope relaxation (`exact_sos2` is
+    /// ignored on this path — SOS2 binaries never enter the master).
+    ColumnGeneration,
+}
+
 /// Planner configuration.
 #[derive(Debug, Clone)]
 pub struct PlannerConfig {
@@ -91,6 +121,9 @@ pub struct PlannerConfig {
     /// pure LPs; the reported coverage is re-evaluated against the true
     /// utility. Set to true for exact solutions on small instances.
     pub exact_sos2: bool,
+    /// Decomposition strategy for [`PlannerMethod::Allocation`] (ignored by
+    /// the flow formulation).
+    pub decomposition: Decomposition,
 }
 
 impl Default for PlannerConfig {
@@ -100,6 +133,7 @@ impl Default for PlannerConfig {
             method: PlannerMethod::Allocation,
             milp: MilpOptions::default(),
             exact_sos2: false,
+            decomposition: Decomposition::Auto,
         }
     }
 }
@@ -294,11 +328,293 @@ fn add_pwl_block(
     (lambdas, xs)
 }
 
+/// Should the allocation formulation go through column generation?
+fn use_column_generation(utilities: &[PwlFunction], config: &PlannerConfig) -> bool {
+    match config.decomposition {
+        Decomposition::FullModel => false,
+        Decomposition::ColumnGeneration => true,
+        Decomposition::Auto => {
+            let pure_lp = !config.exact_sos2 || utilities.iter().all(|u| u.is_concave(1e-9));
+            let n_lambda: usize = utilities.iter().map(|u| u.xs().len()).sum();
+            pure_lp && n_lambda > CG_AUTO_THRESHOLD
+        }
+    }
+}
+
+/// The remaining share of a [`SolveBudget`] measured from `start`, or
+/// `None` when the wall-clock budget is already spent.
+fn remaining_budget(budget: &SolveBudget, start: Instant) -> Option<SolveBudget> {
+    match budget.time_limit {
+        None => Some(*budget),
+        Some(limit) => {
+            let left = limit.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                None
+            } else {
+                Some(SolveBudget {
+                    time_limit: Some(left),
+                    ..*budget
+                })
+            }
+        }
+    }
+}
+
+/// Column generation over per-cell breakpoint blocks, for the (enveloped,
+/// pure-LP) allocation formulation at scales where the monolithic model is
+/// too large to build or solve.
+///
+/// The full LP is `max Σ_ij λ_ij·y_ij` subject to per-cell convexity rows
+/// `Σ_j λ_ij = 1` and one budget row `Σ_ij λ_ij·x_ij ≤ B`. The restricted
+/// master holds a small breakpoint subset per cell, seeded from the greedy
+/// concave-envelope fill (which is already optimal for the enveloped LP up
+/// to per-cell caps, so the seed is a near-optimal incumbent). Each round
+/// solves the master with the sparse revised simplex, reads the budget dual
+/// `μ` and convexity duals `π_i` off the optimal basis, and adds the best
+/// positively-priced breakpoint `argmax_j y_ij − μ·x_ij − π_i` per cell;
+/// when no column prices in, the master optimum is optimal for the full LP.
+fn solve_allocation_colgen(
+    problem: &PlanningProblem,
+    utilities: &[PwlFunction],
+    config: &PlannerConfig,
+) -> PatrolPlan {
+    let start = Instant::now();
+    let n = utilities.len();
+    // Column generation always works on the concave envelope (the master's
+    // LP relaxation would be dual-degenerate on non-concave pieces).
+    let envelopes: Vec<PwlFunction> = utilities
+        .iter()
+        .map(|u| {
+            if u.is_concave(1e-9) {
+                u.clone()
+            } else {
+                u.concave_envelope()
+            }
+        })
+        .collect();
+
+    // Seed: breakpoint 0 plus the breakpoints bracketing the greedy fill.
+    let greedy = greedy_coverage(problem, utilities);
+    let mut cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (i, env) in envelopes.iter().enumerate() {
+        let xs = env.xs();
+        let mut s = vec![0usize];
+        if greedy[i] > 0.0 && xs.len() > 1 {
+            let idx = xs
+                .partition_point(|&x| x < greedy[i])
+                .clamp(1, xs.len() - 1);
+            if idx - 1 > 0 {
+                s.push(idx - 1);
+            }
+            s.push(idx);
+        }
+        cols.push(s);
+    }
+    // The budget row needs at least one term; if the greedy fill allocated
+    // nothing anywhere (zero km budget), the all-zero plan is optimal.
+    if !cols
+        .iter()
+        .zip(&envelopes)
+        .any(|(s, env)| s.iter().any(|&j| env.xs()[j] != 0.0))
+    {
+        let objective = envelopes.iter().map(|env| env.ys()[0]).sum();
+        return PatrolPlan {
+            coverage: vec![0.0; n],
+            objective,
+            solve_time: Duration::default(),
+            nodes: 0,
+            lp_solves: 0,
+            status: SolveStatus::Optimal,
+        };
+    }
+
+    let mut rounds = 0usize;
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    // Previous round's optimal basis plus the struct-column prefix offsets
+    // it was taken under, for re-seating in the grown master.
+    let mut prev: Option<(Vec<usize>, BasisSnapshot)> = None;
+    let finish = |incumbent: Option<(Vec<f64>, f64)>, rounds: usize, status: SolveStatus| {
+        match incumbent {
+            Some((coverage, objective)) => PatrolPlan {
+                coverage,
+                objective,
+                solve_time: Duration::default(),
+                nodes: 0,
+                lp_solves: rounds,
+                status,
+            },
+            // No master ever finished: signal the caller to fall back to
+            // the solver-free greedy incumbent.
+            None => PatrolPlan {
+                coverage: vec![0.0; n],
+                objective: f64::NEG_INFINITY,
+                solve_time: Duration::default(),
+                nodes: 0,
+                lp_solves: rounds,
+                status: SolveStatus::BudgetExceeded,
+            },
+        }
+    };
+
+    loop {
+        let Some(round_budget) = remaining_budget(&config.milp.budget, start) else {
+            let status = if incumbent.is_some() {
+                SolveStatus::Degraded
+            } else {
+                SolveStatus::BudgetExceeded
+            };
+            return finish(incumbent, rounds, status);
+        };
+        rounds += 1;
+
+        // Build the restricted master: rows 0..n are the convexity rows in
+        // cell order, row n is the budget row.
+        let mut rmp = Model::new(Sense::Maximize);
+        let mut cell_vars: Vec<Vec<(Variable, usize)>> = Vec::with_capacity(n);
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0usize);
+        for (i, env) in envelopes.iter().enumerate() {
+            let ys = env.ys();
+            let vars: Vec<(Variable, usize)> = cols[i]
+                .iter()
+                .map(|&j| {
+                    (
+                        rmp.add_continuous(&format!("lam_{i}_{j}"), 0.0, f64::INFINITY, ys[j]),
+                        j,
+                    )
+                })
+                .collect();
+            prefix.push(prefix[i] + vars.len());
+            cell_vars.push(vars);
+        }
+        let n_struct = prefix[n];
+        for vars in &cell_vars {
+            let terms: Vec<(Variable, f64)> = vars.iter().map(|&(v, _)| (v, 1.0)).collect();
+            rmp.add_constraint(&terms, ConstraintOp::Eq, 1.0);
+        }
+        let budget_terms: Vec<(Variable, f64)> = cell_vars
+            .iter()
+            .zip(&envelopes)
+            .flat_map(|(vars, env)| {
+                vars.iter()
+                    .filter(|&&(_, j)| env.xs()[j] != 0.0)
+                    .map(|&(v, j)| (v, env.xs()[j]))
+            })
+            .collect();
+        rmp.add_constraint(&budget_terms, ConstraintOp::Le, problem.budget_km());
+
+        // Warm-start the master so no round pays a phase-1 pass over the n
+        // convexity rows: round 1 installs the breakpoint-0 column of every
+        // cell plus the budget slack (primal feasible at zero coverage,
+        // identity-like basis); later rounds re-seat the previous optimal
+        // basis, which stays feasible and non-singular because new columns
+        // enter at their lower bound and retained columns keep their
+        // per-cell local positions.
+        let warm = match &prev {
+            Some((old_prefix, snap)) => {
+                let old_n_struct = old_prefix[n];
+                let remapped: Vec<usize> = snap
+                    .basic_columns()
+                    .iter()
+                    .map(|&c| {
+                        if c < old_n_struct {
+                            let cell = old_prefix.partition_point(|&p| p <= c) - 1;
+                            prefix[cell] + (c - old_prefix[cell])
+                        } else {
+                            n_struct + (c - old_n_struct)
+                        }
+                    })
+                    .collect();
+                BasisSnapshot::from_basic_columns(n + 1, n_struct, &remapped)
+            }
+            None => {
+                let mut basic: Vec<usize> = prefix[..n].to_vec();
+                basic.push(n_struct + n);
+                BasisSnapshot::from_basic_columns(n + 1, n_struct, &basic)
+            }
+        };
+        let outcome = SparseLp::new(&rmp).solve_warm(None, &round_budget, warm.as_ref());
+        let sol = &outcome.solution;
+        match sol.status {
+            SolveStatus::Optimal | SolveStatus::Degraded | SolveStatus::LimitReached => {
+                let coverage: Vec<f64> = cell_vars
+                    .iter()
+                    .zip(&envelopes)
+                    .map(|(vars, env)| {
+                        vars.iter()
+                            .map(|&(v, j)| sol.value(v) * env.xs()[j])
+                            .sum::<f64>()
+                            .max(0.0)
+                    })
+                    .collect();
+                incumbent = Some((coverage, sol.objective));
+                prev = outcome.basis.as_ref().map(|b| (prefix.clone(), b.clone()));
+                if sol.status != SolveStatus::Optimal {
+                    // Interrupted master: its point is still primal
+                    // feasible for the full problem.
+                    return finish(incumbent, rounds, SolveStatus::Degraded);
+                }
+            }
+            SolveStatus::BudgetExceeded => {
+                let status = if incumbent.is_some() {
+                    SolveStatus::Degraded
+                } else {
+                    SolveStatus::BudgetExceeded
+                };
+                return finish(incumbent, rounds, status);
+            }
+            // Structurally impossible (the master is feasible and bounded
+            // by construction); surface it so try_plan reports an error.
+            other => {
+                return PatrolPlan {
+                    coverage: vec![0.0; n],
+                    objective: sol.objective,
+                    solve_time: Duration::default(),
+                    nodes: 0,
+                    lp_solves: rounds,
+                    status: other,
+                };
+            }
+        }
+
+        // Pricing: best improving breakpoint per cell.
+        let mu = outcome.duals[n];
+        let mut added = false;
+        for (i, env) in envelopes.iter().enumerate() {
+            let (xs, ys) = (env.xs(), env.ys());
+            let pi = outcome.duals[i];
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..xs.len() {
+                if cols[i].contains(&j) {
+                    continue;
+                }
+                let rc = ys[j] - mu * xs[j] - pi;
+                if rc > CG_PRICE_TOL && best.is_none_or(|(_, brc)| rc > brc) {
+                    best = Some((j, rc));
+                }
+            }
+            if let Some((j, _)) = best {
+                cols[i].push(j);
+                added = true;
+            }
+        }
+        if !added {
+            return finish(incumbent, rounds, SolveStatus::Optimal);
+        }
+        if rounds >= CG_MAX_ROUNDS {
+            return finish(incumbent, rounds, SolveStatus::Degraded);
+        }
+    }
+}
+
 fn solve_allocation(
     problem: &PlanningProblem,
     utilities: &[PwlFunction],
     config: &PlannerConfig,
 ) -> PatrolPlan {
+    if use_column_generation(utilities, config) {
+        return solve_allocation_colgen(problem, utilities, config);
+    }
     let mut model = Model::new(Sense::Maximize);
     let mut blocks = Vec::with_capacity(problem.n_cells());
     for (i, u) in utilities.iter().enumerate() {
@@ -622,6 +938,78 @@ mod tests {
         assert_eq!(budgeted.status, free.status);
         assert_eq!(budgeted.coverage, free.coverage);
         assert_eq!(budgeted.objective, free.objective);
+    }
+
+    #[test]
+    fn column_generation_matches_full_model_objective() {
+        let problem = small_problem(0.5, 8.0, 2);
+        let full = plan(
+            &problem,
+            &PlannerConfig {
+                decomposition: Decomposition::FullModel,
+                ..PlannerConfig::default()
+            },
+        );
+        let cg = plan(
+            &problem,
+            &PlannerConfig {
+                decomposition: Decomposition::ColumnGeneration,
+                ..PlannerConfig::default()
+            },
+        );
+        assert_eq!(full.status, SolveStatus::Optimal);
+        assert_eq!(cg.status, SolveStatus::Optimal);
+        assert!(
+            (cg.objective - full.objective).abs() <= 1e-9 * full.objective.abs().max(1.0),
+            "cg {} vs full {}",
+            cg.objective,
+            full.objective
+        );
+        // The CG plan is feasible for the same budget and caps.
+        let total: f64 = cg.coverage.iter().sum();
+        assert!(total <= problem.budget_km() + 1e-6);
+        for (i, &c) in cg.coverage.iter().enumerate() {
+            assert!(c >= -1e-9);
+            assert!(c <= problem.max_effort(i) + 1e-6);
+        }
+        // Pure LP at every round: no branch-and-bound nodes.
+        assert_eq!(cg.nodes, 0);
+        assert!(cg.lp_solves >= 1);
+    }
+
+    #[test]
+    fn column_generation_respects_exhausted_budget() {
+        let problem = small_problem(0.5, 8.0, 3);
+        let config = PlannerConfig {
+            decomposition: Decomposition::ColumnGeneration,
+            milp: MilpOptions {
+                budget: paws_solver::SolveBudget::with_time_limit(Duration::ZERO),
+                ..MilpOptions::default()
+            },
+            ..PlannerConfig::default()
+        };
+        let p = try_plan(&problem, &config).expect("degraded, not an error");
+        assert_eq!(p.status, SolveStatus::Degraded);
+        let total: f64 = p.coverage.iter().sum();
+        assert!(total <= problem.budget_km() + 1e-6);
+        assert!(total > 0.0, "fallback plan should allocate something");
+    }
+
+    #[test]
+    fn auto_decomposition_keeps_small_instances_on_the_full_model() {
+        // The golden small instances must be bit-identical under Auto.
+        let problem = small_problem(0.5, 8.0, 2);
+        let auto = plan(&problem, &PlannerConfig::default());
+        let full = plan(
+            &problem,
+            &PlannerConfig {
+                decomposition: Decomposition::FullModel,
+                ..PlannerConfig::default()
+            },
+        );
+        assert_eq!(auto.coverage, full.coverage);
+        assert_eq!(auto.objective, full.objective);
+        assert_eq!(auto.lp_solves, full.lp_solves);
     }
 
     #[test]

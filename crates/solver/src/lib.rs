@@ -5,21 +5,29 @@
 //! planner relies on.
 //!
 //! * [`model::Model`] — build variables, bounds, objective and constraints.
-//! * [`simplex::solve_lp`] — dense two-phase primal simplex for the
-//!   continuous relaxation.
-//! * [`milp::solve_milp`] — branch-and-bound over the binary variables.
+//! * [`revised::solve_lp`] — sparse revised simplex (LU-factorised basis,
+//!   bounded variables, eta updates) for the continuous relaxation; the
+//!   default engine at every scale.
+//! * [`simplex::solve_lp_dense`] — the original dense two-phase tableau,
+//!   retained as the parity reference for the sparse engine.
+//! * [`milp::solve_milp`] — branch-and-bound over the binary variables,
+//!   warm-starting each node's relaxation from its parent basis.
 //! * [`budget::SolveBudget`] — anytime wall-clock / iteration budgets; an
 //!   exhausted budget returns the best incumbent tagged
 //!   [`model::SolveStatus::Degraded`] instead of hanging the caller.
 
 pub mod budget;
+pub mod csc;
+pub mod lu;
 pub mod milp;
 pub mod model;
+pub mod revised;
 pub mod simplex;
 
 pub use budget::SolveBudget;
-pub use milp::{solve_milp, MilpOptions, MilpStats};
+pub use milp::{solve_milp, LpEngine, MilpOptions, MilpStats};
 pub use model::{
     ConstraintOp, Model, Sense, Solution, SolveStatus, SolverError, VarKind, Variable,
 };
-pub use simplex::{solve_lp, solve_lp_budgeted};
+pub use revised::{solve_lp, solve_lp_budgeted, BasisSnapshot, LpOutcome, SparseLp};
+pub use simplex::{solve_lp_dense, solve_lp_dense_budgeted};

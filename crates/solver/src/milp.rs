@@ -3,12 +3,30 @@
 //! The patrol-planning MILP (problem P with a piecewise-linear objective)
 //! needs binary variables only for the SOS2 encoding of non-concave PWL
 //! pieces; all other decision variables (patrol effort, flows, λ weights)
-//! are continuous. Branch-and-bound on the binaries with the dense simplex
-//! of [`crate::simplex`] as the relaxation solver is therefore sufficient.
+//! are continuous. Branch-and-bound on the binaries is therefore
+//! sufficient. Relaxations are solved by the sparse revised simplex of
+//! [`crate::revised`] by default — one [`SparseLp`] workspace is built per
+//! search and every node warm-starts from its parent's optimal basis — with
+//! the dense tableau of [`crate::simplex`] selectable via
+//! [`MilpOptions::engine`] for parity testing and benchmarking.
+
+use std::rc::Rc;
 
 use crate::budget::{deadline_expired, SolveBudget};
 use crate::model::{Model, Sense, Solution, SolveStatus};
+use crate::revised::{BasisSnapshot, SparseLp};
 use crate::simplex::solve_lp_inner;
+
+/// Which LP engine branch-and-bound uses for node relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex with a shared workspace and parent-basis warm
+    /// starts — the default.
+    #[default]
+    Sparse,
+    /// The dense tableau reference engine (solves every node from scratch).
+    Dense,
+}
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -25,6 +43,8 @@ pub struct MilpOptions {
     /// [`SolveStatus::Degraded`] ([`SolveStatus::BudgetExceeded`] when no
     /// incumbent was found in time). Unlimited by default.
     pub budget: SolveBudget,
+    /// Relaxation engine; [`LpEngine::Sparse`] unless stated otherwise.
+    pub engine: LpEngine,
 }
 
 impl Default for MilpOptions {
@@ -34,6 +54,7 @@ impl Default for MilpOptions {
             gap_tolerance: 1e-6,
             int_tolerance: 1e-6,
             budget: SolveBudget::unlimited(),
+            engine: LpEngine::default(),
         }
     }
 }
@@ -45,11 +66,16 @@ pub struct MilpStats {
     pub nodes: usize,
     /// Number of LP relaxations solved.
     pub lp_solves: usize,
+    /// Number of relaxations that successfully warm-started from their
+    /// parent node's basis (always 0 on the dense engine).
+    pub warm_starts: usize,
 }
 
 struct Node {
     bounds: Vec<(f64, f64)>,
     relaxation_bound: f64,
+    /// Optimal basis of the parent relaxation, shared by both children.
+    warm: Option<Rc<BasisSnapshot>>,
 }
 
 /// Solve a model whose binary variables must take integral values.
@@ -63,8 +89,32 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
         .map(|i| (model.vars[i].lower, model.vars[i].upper))
         .collect();
 
-    let root = solve_lp_inner(model, Some(&root_bounds), lp_cap, deadline);
-    stats.lp_solves += 1;
+    // One sparse workspace per search: CSC build and solver scratch are
+    // shared by every relaxation, and each node warm-starts from the basis
+    // its parent left behind.
+    let mut sparse_ws = match options.engine {
+        LpEngine::Sparse => Some(SparseLp::new(model)),
+        LpEngine::Dense => None,
+    };
+    let solve_relax = |ws: &mut Option<SparseLp>,
+                       bounds: &[(f64, f64)],
+                       warm: Option<&BasisSnapshot>,
+                       stats: &mut MilpStats|
+     -> (Solution, Option<Rc<BasisSnapshot>>) {
+        stats.lp_solves += 1;
+        match ws {
+            Some(ws) => {
+                let out = ws.solve_inner(Some(bounds), lp_cap, deadline, warm);
+                if out.warm_started {
+                    stats.warm_starts += 1;
+                }
+                (out.solution, out.basis.map(Rc::new))
+            }
+            None => (solve_lp_inner(model, Some(bounds), lp_cap, deadline), None),
+        }
+    };
+
+    let (root, root_basis) = solve_relax(&mut sparse_ws, &root_bounds, None, &mut stats);
     match root.status {
         SolveStatus::Infeasible | SolveStatus::Unbounded | SolveStatus::BudgetExceeded => {
             return (root, stats)
@@ -88,6 +138,7 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
     let mut stack: Vec<Node> = vec![Node {
         bounds: root_bounds,
         relaxation_bound: root.objective,
+        warm: root_basis,
     }];
 
     while let Some(node) = stack.pop() {
@@ -111,8 +162,12 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
             }
         }
 
-        let relax = solve_lp_inner(model, Some(&node.bounds), lp_cap, deadline);
-        stats.lp_solves += 1;
+        let (relax, relax_basis) = solve_relax(
+            &mut sparse_ws,
+            &node.bounds,
+            node.warm.as_deref(),
+            &mut stats,
+        );
         if relax.status == SolveStatus::Infeasible {
             continue;
         }
@@ -173,10 +228,12 @@ pub fn solve_milp(model: &Model, options: &MilpOptions) -> (Solution, MilpStats)
                 stack.push(Node {
                     bounds: first,
                     relaxation_bound: relax.objective,
+                    warm: relax_basis.clone(),
                 });
                 stack.push(Node {
                     bounds: second,
                     relaxation_bound: relax.objective,
+                    warm: relax_basis,
                 });
             }
         }
@@ -425,6 +482,43 @@ mod tests {
             ),
             "unexpected status {:?}",
             sol.status
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_engines_agree_and_sparse_warm_starts() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(&format!("x{i}"), ((i * 7) % 11) as f64 + 0.5))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 3) % 5) as f64 + 1.0))
+            .collect();
+        m.add_constraint(&terms, ConstraintOp::Le, 11.5);
+        let (sparse, sparse_stats) = solve_milp(&m, &MilpOptions::default());
+        let (dense, dense_stats) = solve_milp(
+            &m,
+            &MilpOptions {
+                engine: LpEngine::Dense,
+                ..MilpOptions::default()
+            },
+        );
+        assert_eq!(sparse.status, SolveStatus::Optimal);
+        assert_eq!(dense.status, SolveStatus::Optimal);
+        assert!(
+            (sparse.objective - dense.objective).abs() < 1e-9,
+            "sparse {} vs dense {}",
+            sparse.objective,
+            dense.objective
+        );
+        // The dense engine never warm-starts; the sparse engine should
+        // reuse parent bases for most non-root relaxations.
+        assert_eq!(dense_stats.warm_starts, 0);
+        assert!(
+            sparse_stats.lp_solves <= 1 || sparse_stats.warm_starts > 0,
+            "expected warm starts in {sparse_stats:?}"
         );
     }
 

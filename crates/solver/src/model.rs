@@ -101,6 +101,12 @@ pub enum SolverError {
     /// The [`crate::budget::SolveBudget`] ran out before any usable point
     /// was found.
     BudgetExceeded,
+    /// The model input was rejected before solving: a non-finite
+    /// coefficient, bound, objective or right-hand side, inconsistent
+    /// bounds, or a constraint referencing an unknown variable. NaNs and
+    /// infinities must never reach pivot arithmetic — they would silently
+    /// poison every reduced cost downstream.
+    Input(&'static str),
 }
 
 impl std::fmt::Display for SolverError {
@@ -117,6 +123,7 @@ impl std::fmt::Display for SolverError {
                 f,
                 "the solve budget ran out before any usable point was found"
             ),
+            SolverError::Input(msg) => write!(f, "invalid model input: {msg}"),
         }
     }
 }
@@ -168,19 +175,27 @@ impl Model {
         self.sense
     }
 
-    /// Add a continuous variable with bounds `[lower, upper]` and objective
-    /// coefficient `objective`.
-    /// The upper bound may be `f64::INFINITY` for an unbounded-above variable.
-    pub fn add_continuous(
+    /// Fallible twin of [`Model::add_continuous`]: rejects non-finite or
+    /// inconsistent inputs with [`SolverError::Input`] instead of panicking.
+    pub fn try_add_continuous(
         &mut self,
         name: &str,
         lower: f64,
         upper: f64,
         objective: f64,
-    ) -> Variable {
-        assert!(lower.is_finite(), "lower bound must be finite");
-        assert!(!upper.is_nan(), "upper bound must not be NaN");
-        assert!(lower <= upper, "lower bound exceeds upper bound for {name}");
+    ) -> Result<Variable, SolverError> {
+        if !lower.is_finite() {
+            return Err(SolverError::Input("lower bound must be finite"));
+        }
+        if upper.is_nan() {
+            return Err(SolverError::Input("upper bound must not be NaN"));
+        }
+        if lower > upper {
+            return Err(SolverError::Input("lower bound exceeds upper bound"));
+        }
+        if !objective.is_finite() {
+            return Err(SolverError::Input("objective coefficient must be finite"));
+        }
         self.vars.push(VarDef {
             name: name.to_string(),
             lower,
@@ -188,11 +203,35 @@ impl Model {
             kind: VarKind::Continuous,
             objective,
         });
-        Variable(self.vars.len() - 1)
+        Ok(Variable(self.vars.len() - 1))
     }
 
-    /// Add a binary variable with objective coefficient `objective`.
-    pub fn add_binary(&mut self, name: &str, objective: f64) -> Variable {
+    /// Add a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `objective`.
+    /// The upper bound may be `f64::INFINITY` for an unbounded-above variable.
+    ///
+    /// # Panics
+    /// On invalid input; [`Model::try_add_continuous`] is the typed-error
+    /// twin for callers that must not panic.
+    pub fn add_continuous(
+        &mut self,
+        name: &str,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Variable {
+        match self.try_add_continuous(name, lower, upper, objective) {
+            Ok(v) => v,
+            Err(e) => panic!("add_continuous({name}): {e}"),
+        }
+    }
+
+    /// Fallible twin of [`Model::add_binary`]: rejects a non-finite
+    /// objective with [`SolverError::Input`] instead of panicking.
+    pub fn try_add_binary(&mut self, name: &str, objective: f64) -> Result<Variable, SolverError> {
+        if !objective.is_finite() {
+            return Err(SolverError::Input("objective coefficient must be finite"));
+        }
         self.vars.push(VarDef {
             name: name.to_string(),
             lower: 0.0,
@@ -200,23 +239,60 @@ impl Model {
             kind: VarKind::Binary,
             objective,
         });
-        Variable(self.vars.len() - 1)
+        Ok(Variable(self.vars.len() - 1))
     }
 
-    /// Add a linear constraint `Σ coeff·var  op  rhs`.
-    pub fn add_constraint(&mut self, terms: &[(Variable, f64)], op: ConstraintOp, rhs: f64) {
-        assert!(!terms.is_empty(), "constraint needs at least one term");
-        for (v, _) in terms {
-            assert!(
-                v.0 < self.vars.len(),
-                "constraint references unknown variable"
-            );
+    /// Add a binary variable with objective coefficient `objective`.
+    ///
+    /// # Panics
+    /// On a non-finite objective; see [`Model::try_add_binary`].
+    pub fn add_binary(&mut self, name: &str, objective: f64) -> Variable {
+        match self.try_add_binary(name, objective) {
+            Ok(v) => v,
+            Err(e) => panic!("add_binary({name}): {e}"),
+        }
+    }
+
+    /// Fallible twin of [`Model::add_constraint`]: rejects empty term
+    /// lists, unknown variables, and non-finite coefficients or right-hand
+    /// sides with [`SolverError::Input`] instead of panicking.
+    pub fn try_add_constraint(
+        &mut self,
+        terms: &[(Variable, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<(), SolverError> {
+        if terms.is_empty() {
+            return Err(SolverError::Input("constraint needs at least one term"));
+        }
+        for &(v, c) in terms {
+            if v.0 >= self.vars.len() {
+                return Err(SolverError::Input("constraint references unknown variable"));
+            }
+            if !c.is_finite() {
+                return Err(SolverError::Input("constraint coefficient must be finite"));
+            }
+        }
+        if !rhs.is_finite() {
+            return Err(SolverError::Input("constraint rhs must be finite"));
         }
         self.constraints.push(ConstraintDef {
             terms: terms.iter().map(|(v, c)| (v.0, *c)).collect(),
             op,
             rhs,
         });
+        Ok(())
+    }
+
+    /// Add a linear constraint `Σ coeff·var  op  rhs`.
+    ///
+    /// # Panics
+    /// On invalid input; [`Model::try_add_constraint`] is the typed-error
+    /// twin for callers that must not panic.
+    pub fn add_constraint(&mut self, terms: &[(Variable, f64)], op: ConstraintOp, rhs: f64) {
+        if let Err(e) = self.try_add_constraint(terms, op, rhs) {
+            panic!("add_constraint: {e}");
+        }
     }
 
     /// Number of variables.
@@ -325,5 +401,81 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let _x = m.add_continuous("x", 0.0, 1.0, 0.0);
         m.add_constraint(&[(Variable(5), 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    fn non_finite_variable_inputs_return_typed_errors() {
+        let mut m = Model::new(Sense::Maximize);
+        assert_eq!(
+            m.try_add_continuous("x", f64::NAN, 1.0, 0.0),
+            Err(SolverError::Input("lower bound must be finite"))
+        );
+        assert_eq!(
+            m.try_add_continuous("x", f64::NEG_INFINITY, 1.0, 0.0),
+            Err(SolverError::Input("lower bound must be finite"))
+        );
+        assert_eq!(
+            m.try_add_continuous("x", 0.0, f64::NAN, 0.0),
+            Err(SolverError::Input("upper bound must not be NaN"))
+        );
+        assert_eq!(
+            m.try_add_continuous("x", 2.0, 1.0, 0.0),
+            Err(SolverError::Input("lower bound exceeds upper bound"))
+        );
+        assert_eq!(
+            m.try_add_continuous("x", 0.0, 1.0, f64::NAN),
+            Err(SolverError::Input("objective coefficient must be finite"))
+        );
+        assert_eq!(
+            m.try_add_continuous("x", 0.0, 1.0, f64::INFINITY),
+            Err(SolverError::Input("objective coefficient must be finite"))
+        );
+        assert_eq!(
+            m.try_add_binary("b", f64::NAN),
+            Err(SolverError::Input("objective coefficient must be finite"))
+        );
+        // Nothing was added by any rejected call.
+        assert_eq!(m.n_vars(), 0);
+        // +inf upper bound stays legal (unbounded-above variable).
+        assert!(m.try_add_continuous("x", 0.0, f64::INFINITY, 1.0).is_ok());
+    }
+
+    #[test]
+    fn non_finite_constraint_inputs_return_typed_errors() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        assert_eq!(
+            m.try_add_constraint(&[], ConstraintOp::Le, 1.0),
+            Err(SolverError::Input("constraint needs at least one term"))
+        );
+        assert_eq!(
+            m.try_add_constraint(&[(Variable(9), 1.0)], ConstraintOp::Le, 1.0),
+            Err(SolverError::Input("constraint references unknown variable"))
+        );
+        assert_eq!(
+            m.try_add_constraint(&[(x, f64::NAN)], ConstraintOp::Le, 1.0),
+            Err(SolverError::Input("constraint coefficient must be finite"))
+        );
+        assert_eq!(
+            m.try_add_constraint(&[(x, f64::INFINITY)], ConstraintOp::Ge, 1.0),
+            Err(SolverError::Input("constraint coefficient must be finite"))
+        );
+        assert_eq!(
+            m.try_add_constraint(&[(x, 1.0)], ConstraintOp::Eq, f64::NAN),
+            Err(SolverError::Input("constraint rhs must be finite"))
+        );
+        assert_eq!(m.n_constraints(), 0);
+        assert!(m
+            .try_add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0)
+            .is_ok());
+        assert_eq!(m.n_constraints(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient must be finite")]
+    fn panicking_facade_rejects_nan_coefficient() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, f64::NAN)], ConstraintOp::Le, 1.0);
     }
 }

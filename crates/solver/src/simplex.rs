@@ -23,19 +23,21 @@ const EPS: f64 = 1e-9;
 /// unbudgeted one.
 const DEADLINE_STRIDE: usize = 64;
 
-/// Solve the continuous (LP) relaxation of a model, optionally overriding
-/// per-variable bounds (used by branch-and-bound).
-pub fn solve_lp(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Solution {
+/// Solve the continuous (LP) relaxation of a model with the dense tableau
+/// engine, optionally overriding per-variable bounds. Retained as the
+/// reference implementation for parity-testing the default sparse engine
+/// ([`crate::revised::solve_lp`]); prefer `solve_lp` for production use.
+pub fn solve_lp_dense(model: &Model, bound_overrides: Option<&[(f64, f64)]>) -> Solution {
     solve_lp_inner(model, bound_overrides, None, None)
 }
 
-/// [`solve_lp`] under a [`SolveBudget`]: when the budget runs out mid-solve
+/// [`solve_lp_dense`] under a [`SolveBudget`]: when the budget runs out mid-solve
 /// the current basic point is returned tagged
 /// [`SolveStatus::Degraded`] if it is primal feasible (phase 2 was
 /// reached), or [`SolveStatus::BudgetExceeded`] if feasibility was never
 /// established (the budget died inside phase 1). An unlimited budget
-/// reproduces [`solve_lp`] exactly.
-pub fn solve_lp_budgeted(
+/// reproduces [`solve_lp_dense`] exactly.
+pub fn solve_lp_dense_budgeted(
     model: &Model,
     bound_overrides: Option<&[(f64, f64)]>,
     budget: &SolveBudget,
@@ -406,7 +408,7 @@ mod tests {
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
         m.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
         m.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 36.0).abs() < 1e-6);
         assert!((sol.value(x) - 2.0).abs() < 1e-6);
@@ -423,7 +425,7 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 3.0);
         m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 8.0).abs() < 1e-6);
         assert!((sol.value(x) - 4.0).abs() < 1e-6);
@@ -436,7 +438,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 2.0, 1.0);
         let y = m.add_continuous("y", 0.0, 4.0, 1.0);
         m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 5.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 5.0).abs() < 1e-6);
         assert!(m.is_feasible(&sol.values, 1e-6));
@@ -447,7 +449,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_continuous("x", 0.0, 1.0, 1.0);
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Infeasible);
     }
 
@@ -457,7 +459,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 0.0);
         m.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Le, 1.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Unbounded);
     }
 
@@ -468,7 +470,7 @@ mod tests {
         let x = m.add_continuous("x", 2.0, f64::INFINITY, 1.0);
         let y = m.add_continuous("y", 3.0, f64::INFINITY, 1.0);
         m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 6.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 6.0).abs() < 1e-6);
         assert!(sol.value(x) >= 2.0 - 1e-9 && sol.value(y) >= 3.0 - 1e-9);
@@ -479,11 +481,11 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_continuous("x", 0.0, 10.0, 1.0);
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 8.0);
-        let free = solve_lp(&m, None);
+        let free = solve_lp_dense(&m, None);
         assert!((free.objective - 8.0).abs() < 1e-6);
-        let overridden = solve_lp(&m, Some(&[(0.0, 3.0)]));
+        let overridden = solve_lp_dense(&m, Some(&[(0.0, 3.0)]));
         assert!((overridden.objective - 3.0).abs() < 1e-6);
-        let conflicting = solve_lp(&m, Some(&[(5.0, 3.0)]));
+        let conflicting = solve_lp_dense(&m, Some(&[(5.0, 3.0)]));
         assert_eq!(conflicting.status, SolveStatus::Infeasible);
     }
 
@@ -506,7 +508,7 @@ mod tests {
             0.0,
         );
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 1.0).abs() < 1e-5);
     }
@@ -519,8 +521,8 @@ mod tests {
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
         m.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
         m.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
-        let free = solve_lp(&m, None);
-        let budgeted = solve_lp_budgeted(
+        let free = solve_lp_dense(&m, None);
+        let budgeted = solve_lp_dense_budgeted(
             &m,
             None,
             &crate::budget::SolveBudget::with_time_limit(std::time::Duration::from_secs(3600)),
@@ -536,7 +538,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0);
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
         m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 10.0);
-        let sol = solve_lp_budgeted(
+        let sol = solve_lp_dense_budgeted(
             &m,
             None,
             &crate::budget::SolveBudget::with_time_limit(std::time::Duration::ZERO),
@@ -567,9 +569,9 @@ mod tests {
                 m.add_constraint(&terms, ConstraintOp::Le, rng.gen_range(2.0..8.0));
             }
         }
-        let full = solve_lp(&m, None);
+        let full = solve_lp_dense(&m, None);
         assert_eq!(full.status, SolveStatus::Optimal);
-        let capped = solve_lp_budgeted(
+        let capped = solve_lp_dense_budgeted(
             &m,
             None,
             &crate::budget::SolveBudget {
@@ -603,7 +605,7 @@ mod tests {
             }
             m.add_constraint(&terms, ConstraintOp::Le, rng.gen_range(2.0..10.0));
         }
-        let sol = solve_lp(&m, None);
+        let sol = solve_lp_dense(&m, None);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!(m.is_feasible(&sol.values, 1e-6));
         assert!(sol.objective > 0.0);

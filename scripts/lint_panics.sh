@@ -28,7 +28,7 @@ allowlist() {
 1 crates/bench/src/bin/table1.rs
 1 crates/bench/src/bin/table2.rs
 2 crates/bench/src/bin/table3.rs
-3 crates/bench/src/lib.rs
+4 crates/bench/src/lib.rs
 1 crates/core/src/lib.rs
 1 crates/core/src/pipeline.rs
 1 crates/core/src/scenario.rs
@@ -53,6 +53,7 @@ allowlist() {
 5 crates/sim/src/behaviour.rs
 2 crates/sim/src/patrol.rs
 1 crates/solver/src/milp.rs
+3 crates/solver/src/model.rs
 EOF
 }
 

@@ -151,6 +151,70 @@ fn large_park_pipeline_runs_under_both_layouts() {
 }
 
 #[test]
+#[cfg(not(debug_assertions))]
+fn large_park_sparse_planner_solves_a_park_wide_allocation() {
+    // The LLC-scale planning claim end to end: fit a model on a 50k-cell
+    // park, sample its response curves, and solve a *park-wide* allocation
+    // (a patrol length long enough that every cell is a candidate — the
+    // ~550k-λ LP the column-generation planner over the sparse revised
+    // simplex exists for; the dense tableau would need tens of gigabytes).
+    // Budgeted and unbudgeted solves must both come back Optimal and
+    // identical.
+    use paws_core::build_planning_problem;
+    use paws_solver::{MilpOptions, SolveBudget, SolveStatus};
+    use std::time::Duration;
+
+    let scenario = Scenario::llc_scenario(50_000, 43);
+    let history = scenario.simulate_years(2014, 2);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2015, 1).expect("2015 present");
+    let model = train(
+        &dataset,
+        &split,
+        &quick_model(WeakLearnerKind::DecisionTree, true, 43),
+    );
+    let prev = dataset.coverage.last().unwrap().clone();
+    let effort_grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let post = scenario.park.patrol_posts[0];
+    // 900 km patrols reach every cell of the ~270-cell-wide park.
+    let problem = build_planning_problem(
+        &scenario.park,
+        &model,
+        &dataset,
+        &prev,
+        post,
+        &effort_grid,
+        900.0,
+        4,
+        1.0,
+    );
+    assert_eq!(
+        problem.n_cells(),
+        50_000,
+        "park-wide reach should make every cell a candidate"
+    );
+
+    let unbudgeted = plan(&problem, &PlannerConfig::default());
+    assert_eq!(unbudgeted.status, SolveStatus::Optimal);
+    assert!(unbudgeted.coverage.iter().sum::<f64>() <= problem.budget_km() + 1e-6);
+    assert!(unbudgeted.coverage.iter().all(|&c| c >= 0.0));
+
+    let budgeted = plan(
+        &problem,
+        &PlannerConfig {
+            milp: MilpOptions {
+                budget: SolveBudget::with_time_limit(Duration::from_secs(120)),
+                ..MilpOptions::default()
+            },
+            ..PlannerConfig::default()
+        },
+    );
+    assert_eq!(budgeted.status, SolveStatus::Optimal);
+    assert_eq!(budgeted.coverage, unbudgeted.coverage);
+    assert!((budgeted.objective - unbudgeted.objective).abs() <= 1e-9);
+}
+
+#[test]
 fn iware_improves_over_plain_bagging_on_average() {
     // The paper's central Table II claim, checked directionally on the
     // synthetic park: averaged over learners and seeds, iWare-E should not
