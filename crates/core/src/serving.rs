@@ -25,7 +25,7 @@
 
 use crate::config::ModelConfig;
 use crate::error::PawsError;
-use paws_data::matrix32::Matrix32;
+use paws_data::matrix32::{Matrix32, MatrixView32};
 use paws_data::{Dataset, Matrix, MatrixView, StandardScaler};
 use paws_geo::{CellId, Park};
 use paws_iware::IWareModel;
@@ -36,6 +36,7 @@ use paws_ml::metrics::roc_auc;
 use paws_ml::precision::Precision;
 use paws_ml::traits::{validate_effort_grid, validate_query, Classifier, UncertainClassifier};
 use paws_plan::{squash_matrix, PlanningProblem};
+use rayon::prelude::*;
 
 /// A fitted predictive model (plain bagging or iWare-E).
 pub enum FittedModel {
@@ -71,9 +72,48 @@ pub struct ServingModel {
 /// rows). Build one per (park, previous-coverage) pair via
 /// [`ServingModel::prepare_park`] and reuse it across queries; rebuild it
 /// when the coverage — and hence the feature stack — changes.
+///
+/// LLC-scale parks (50k–200k cells) are additionally tiled into
+/// cache-sized **spatial shards** — contiguous row ranges whose f64 plane
+/// fits in roughly [`SHARD_TARGET_BYTES`] — at preparation time. Prepared
+/// park-wide queries fan the shards across the worker pool and stitch the
+/// per-shard surfaces back in row order; every per-row kernel result
+/// depends only on its own row, and shard boundaries are multiples of the
+/// block kernels' row-chunk, so the stitched surface is bit-identical to
+/// the unsharded (and 1-thread) evaluation.
 pub struct PreparedPark {
     rows: Matrix,
     rows32: Matrix32,
+    shards: Vec<std::ops::Range<usize>>,
+}
+
+/// Shard boundaries are multiples of this row count — the block kernels'
+/// row-chunk (`ROW_CHUNK` in `paws-iware`), so a shard's block partition
+/// is a subset of the unsharded run's.
+const SHARD_BLOCK_ROWS: usize = 256;
+
+/// Target f64-plane size per spatial shard: big enough to amortise region
+/// publish overhead, small enough that a shard's two planes plus its
+/// output surfaces sit in the LLC while a worker chews on it.
+const SHARD_TARGET_BYTES: usize = 1 << 20;
+
+/// Tile `n_rows × n_cols` into contiguous cache-sized row ranges (one
+/// range when the park is small; every boundary a [`SHARD_BLOCK_ROWS`]
+/// multiple).
+fn spatial_shards(n_rows: usize, n_cols: usize) -> Vec<std::ops::Range<usize>> {
+    let target_rows = SHARD_TARGET_BYTES / (8 * n_cols.max(1));
+    let rows_per_shard = (target_rows / SHARD_BLOCK_ROWS).max(1) * SHARD_BLOCK_ROWS;
+    if n_rows <= rows_per_shard {
+        return std::iter::once(0..n_rows).collect();
+    }
+    let mut shards = Vec::with_capacity(n_rows.div_ceil(rows_per_shard));
+    let mut start = 0;
+    while start < n_rows {
+        let end = (start + rows_per_shard).min(n_rows);
+        shards.push(start..end);
+        start = end;
+    }
+    shards
 }
 
 impl PreparedPark {
@@ -85,6 +125,24 @@ impl PreparedPark {
     /// Feature width of the prepared stack.
     pub fn n_features(&self) -> usize {
         self.rows.n_cols()
+    }
+
+    /// The spatial shard tiling (contiguous, ascending, covering
+    /// `0..n_cells()`; a single range for small parks).
+    pub fn shards(&self) -> &[std::ops::Range<usize>] {
+        &self.shards
+    }
+
+    /// f64-plane subview of one shard's rows.
+    fn rows_span(&self, span: &std::ops::Range<usize>) -> MatrixView<'_> {
+        let w = self.rows.n_cols();
+        MatrixView::from_flat(&self.rows.as_slice()[span.start * w..span.end * w], w)
+    }
+
+    /// f32-plane subview of one shard's rows.
+    fn rows32_span(&self, span: &std::ops::Range<usize>) -> MatrixView32<'_> {
+        let w = self.rows32.n_cols();
+        MatrixView32::from_flat(&self.rows32.as_slice()[span.start * w..span.end * w], w)
     }
 }
 
@@ -261,7 +319,12 @@ impl ServingModel {
     pub fn prepare_rows(&self, mut rows: Matrix) -> Result<PreparedPark, PawsError> {
         validate_query(rows.view(), self.scaler.n_features())?;
         let rows32 = self.scaler.transform_planes_in_place(&mut rows);
-        Ok(PreparedPark { rows, rows32 })
+        let shards = spatial_shards(rows.n_rows(), rows.n_cols());
+        Ok(PreparedPark {
+            rows,
+            rows32,
+            shards,
+        })
     }
 
     fn check_prepared(&self, prepared: &PreparedPark) -> Result<(), PawsError> {
@@ -276,30 +339,60 @@ impl ServingModel {
     /// [`ServingModel::risk_map`] on a prepared park: zero per-call
     /// standardise/narrow work. Bit-identical to the unprepared path on the
     /// same raw feature stack.
+    ///
+    /// Parks large enough to carry multiple spatial shards fan them across
+    /// the worker pool and stitch the per-shard surfaces back in row order;
+    /// every kernel is per-row, so the stitched map is bit-identical to the
+    /// unsharded (and 1-thread) evaluation.
     pub fn risk_map_prepared(
         &self,
         prepared: &PreparedPark,
+        effort_km: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let shards = prepared.shards();
+        if shards.len() > 1 && rayon::current_num_threads() > 1 {
+            let parts: Vec<(Vec<f64>, Vec<f64>)> = shards
+                .par_iter()
+                .map(|span| self.risk_map_prepared_span(prepared, span, effort_km))
+                .collect();
+            let mut p = Vec::with_capacity(prepared.n_cells());
+            let mut v = Vec::with_capacity(prepared.n_cells());
+            for (sp, sv) in parts {
+                p.extend_from_slice(&sp);
+                v.extend_from_slice(&sv);
+            }
+            return (p, v);
+        }
+        self.risk_map_prepared_span(prepared, &(0..prepared.n_cells()), effort_km)
+    }
+
+    /// One spatial shard of [`ServingModel::risk_map_prepared`]: the same
+    /// precision dispatch, evaluated on subviews of the cached planes.
+    fn risk_map_prepared_span(
+        &self,
+        prepared: &PreparedPark,
+        span: &std::ops::Range<usize>,
         effort_km: f64,
     ) -> (Vec<f64>, Vec<f64>) {
         match &self.fitted {
             FittedModel::IWare(m) => {
                 if m.precision() == Precision::F32 {
                     if let Some(out) =
-                        m.predict_with_variance_at_effort32(prepared.rows32.view(), effort_km)
+                        m.predict_with_variance_at_effort32(prepared.rows32_span(span), effort_km)
                     {
                         return out;
                     }
                 }
-                let efforts = vec![effort_km; prepared.n_cells()];
-                m.predict_with_variance_at_effort(prepared.rows.view(), &efforts)
+                let efforts = vec![effort_km; span.len()];
+                m.predict_with_variance_at_effort(prepared.rows_span(span), &efforts)
             }
             FittedModel::Plain(m) => {
                 if m.precision() == Precision::F32 {
-                    if let Some(out) = m.predict_with_variance32(prepared.rows32.view()) {
+                    if let Some(out) = m.predict_with_variance32(prepared.rows32_span(span)) {
                         return out;
                     }
                 }
-                m.predict_with_variance(prepared.rows.view())
+                m.predict_with_variance(prepared.rows_span(span))
             }
         }
     }
@@ -323,30 +416,64 @@ impl ServingModel {
     /// [`ServingModel::park_response`] on a prepared park: the response
     /// surfaces are served straight off the cached plane matching the
     /// model's precision. Bit-identical to the unprepared path.
+    ///
+    /// Like [`ServingModel::risk_map_prepared`], multi-shard parks fan the
+    /// shards across the worker pool; the per-shard response matrices are
+    /// concatenated row-block by row-block, which is exactly the unsharded
+    /// row order.
     pub fn park_response_prepared(
         &self,
         prepared: &PreparedPark,
         effort_grid: &[f64],
     ) -> (Matrix, Matrix) {
+        let shards = prepared.shards();
+        if shards.len() > 1 && rayon::current_num_threads() > 1 {
+            let parts: Vec<(Matrix, Matrix)> = shards
+                .par_iter()
+                .map(|span| self.park_response_prepared_span(prepared, span, effort_grid))
+                .collect();
+            let n = prepared.n_cells() * effort_grid.len();
+            let mut p_flat = Vec::with_capacity(n);
+            let mut v_flat = Vec::with_capacity(n);
+            for (sp, sv) in parts {
+                p_flat.extend_from_slice(sp.as_slice());
+                v_flat.extend_from_slice(sv.as_slice());
+            }
+            return (
+                Matrix::from_flat(p_flat, effort_grid.len()),
+                Matrix::from_flat(v_flat, effort_grid.len()),
+            );
+        }
+        self.park_response_prepared_span(prepared, &(0..prepared.n_cells()), effort_grid)
+    }
+
+    /// One spatial shard of [`ServingModel::park_response_prepared`].
+    fn park_response_prepared_span(
+        &self,
+        prepared: &PreparedPark,
+        span: &std::ops::Range<usize>,
+        effort_grid: &[f64],
+    ) -> (Matrix, Matrix) {
         match &self.fitted {
             FittedModel::IWare(m) => {
                 if m.precision() == Precision::F32 {
-                    if let Some(response) = m.effort_response32(prepared.rows32.view(), effort_grid)
+                    if let Some(response) =
+                        m.effort_response32(prepared.rows32_span(span), effort_grid)
                     {
                         return response;
                     }
                 }
-                m.effort_response(prepared.rows.view(), effort_grid)
+                m.effort_response(prepared.rows_span(span), effort_grid)
             }
             FittedModel::Plain(m) => {
                 let pv = if m.precision() == Precision::F32 {
-                    m.predict_with_variance32(prepared.rows32.view())
+                    m.predict_with_variance32(prepared.rows32_span(span))
                 } else {
                     None
                 };
                 let (p, v) = match pv {
                     Some(out) => out,
-                    None => m.predict_with_variance(prepared.rows.view()),
+                    None => m.predict_with_variance(prepared.rows_span(span)),
                 };
                 broadcast_constant_response(&p, &v, effort_grid.len())
             }
@@ -620,6 +747,95 @@ mod tests {
     }
 
     #[test]
+    fn spatial_shard_tiling_covers_the_park_on_block_boundaries() {
+        // Small parks stay in one shard.
+        let small = spatial_shards(300, 6);
+        assert_eq!(small.len(), 1);
+        assert_eq!(small[0], 0..300);
+        let empty = spatial_shards(0, 6);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0], 0..0);
+        // An LLC-scale park tiles into contiguous ascending ranges whose
+        // interior boundaries are SHARD_BLOCK_ROWS multiples and whose f64
+        // plane stays at or under the cache target.
+        for (n_rows, n_cols) in [(50_000, 6), (200_000, 6), (131_072, 16), (70_001, 7)] {
+            let shards = spatial_shards(n_rows, n_cols);
+            assert!(shards.len() > 1, "{n_rows}x{n_cols} should tile");
+            let mut expect_start = 0;
+            for (i, span) in shards.iter().enumerate() {
+                assert_eq!(span.start, expect_start, "shards must be contiguous");
+                assert!(span.start < span.end);
+                if i + 1 < shards.len() {
+                    assert!(
+                        span.end.is_multiple_of(SHARD_BLOCK_ROWS),
+                        "interior boundary {} off the {SHARD_BLOCK_ROWS}-row grid",
+                        span.end
+                    );
+                    assert!(span.len() * n_cols * 8 <= SHARD_TARGET_BYTES);
+                }
+                expect_start = span.end;
+            }
+            assert_eq!(expect_start, n_rows, "shards must cover every cell");
+        }
+    }
+
+    /// The shard fan-out must stitch the exact bits the unsharded span
+    /// produces, for every (variant, precision) pair and regardless of
+    /// where the shard boundaries fall — each kernel is per-row.
+    #[test]
+    fn sharded_fan_out_is_bit_identical_to_the_single_span() {
+        let (scenario, dataset, split) = small_setup();
+        let park = &scenario.park;
+        let prev = dataset.coverage.last().unwrap().clone();
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        for use_iware in [true, false] {
+            let mut model = train(
+                &dataset,
+                &split,
+                &quick_config(WeakLearnerKind::DecisionTree, use_iware),
+            );
+            for precision in [Precision::F64, Precision::F32] {
+                model.set_precision(precision).unwrap();
+                let prepared = model.prepare_park(park, &dataset, &prev).unwrap();
+                assert_eq!(
+                    prepared.shards().len(),
+                    1,
+                    "the test park is far below the tiling threshold"
+                );
+                assert_eq!(prepared.shards()[0], 0..park.n_cells());
+                // Force a deliberately uneven many-shard tiling of the
+                // same planes; parity must hold anyway because every
+                // kernel result depends only on its own row.
+                let mut shards = Vec::new();
+                let mut start = 0;
+                while start < park.n_cells() {
+                    let end = (start + 7).min(park.n_cells());
+                    shards.push(start..end);
+                    start = end;
+                }
+                let sharded = PreparedPark {
+                    rows: prepared.rows.clone(),
+                    rows32: prepared.rows32.clone(),
+                    shards,
+                };
+
+                let (r_ref, u_ref) = model.risk_map_prepared(&prepared, 1.0);
+                let (p_ref, v_ref) = model.park_response_prepared(&prepared, &grid);
+                for forced in [1usize, 2, 4] {
+                    rayon::with_num_threads(forced, || {
+                        let (r, u) = model.risk_map_prepared(&sharded, 1.0);
+                        assert_eq!(r, r_ref, "risk {use_iware} {precision:?} x{forced}");
+                        assert_eq!(u, u_ref, "var {use_iware} {precision:?} x{forced}");
+                        let (p, v) = model.park_response_prepared(&sharded, &grid);
+                        assert_eq!(p.as_slice(), p_ref.as_slice());
+                        assert_eq!(v.as_slice(), v_ref.as_slice());
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prepared_planning_problem_matches_the_unprepared_construction() {
         let (scenario, dataset, split) = small_setup();
         let park = &scenario.park;
@@ -691,6 +907,7 @@ mod tests {
         let foreign = PreparedPark {
             rows: Matrix::zeros(4, model.n_features() + 1),
             rows32: Matrix32::zeros(4, model.n_features() + 1),
+            shards: std::iter::once(0..4).collect(),
         };
         assert!(matches!(
             model.try_risk_map_prepared(&foreign, 1.0),

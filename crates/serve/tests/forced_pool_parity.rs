@@ -1,0 +1,161 @@
+//! Forced worker-count parity: with the pool forced to 2, 4 or 8 workers,
+//! every parallel surface — the ensemble fit, prepared risk maps and
+//! response surfaces (including the spatial-shard fan-out on LLC-scale
+//! stacks), and the batched serving layer — must produce answers
+//! **bit-identical** to the 1-thread run. Worker count changes wall-clock,
+//! never bits: every fan-out is an ordered indexed collect over
+//! per-item-deterministic work.
+
+use paws_core::{ModelConfig, Scenario, ServingModel, WeakLearnerKind};
+use paws_data::{
+    build_dataset, split_by_test_year, Dataset, Discretization, Matrix, TrainTestSplit,
+};
+use paws_serve::{PawsServer, QueryKind, QueryRequest, QueryResponse};
+use std::sync::Arc;
+
+const FORCED: [usize; 3] = [2, 4, 8];
+const GRID: [f64; 4] = [0.0, 0.5, 1.0, 2.0];
+
+fn fixture(seed: u64) -> (Scenario, Dataset, TrainTestSplit) {
+    let scenario = Scenario::test_scenario(seed);
+    let history = scenario.simulate_years(2014, 3);
+    let dataset = build_dataset(&scenario.park, &history, Discretization::quarterly());
+    let split = split_by_test_year(&dataset, 2016, 2).expect("split exists");
+    (scenario, dataset, split)
+}
+
+fn config(seed: u64, use_iware: bool) -> ModelConfig {
+    let mut config = ModelConfig::new(WeakLearnerKind::DecisionTree, use_iware, seed);
+    config.n_learners = 4;
+    config.n_estimators = 4;
+    config.weight_mode = paws_iware::WeightMode::Uniform;
+    config
+}
+
+/// A deterministic LLC-scale raw feature stack, wide enough to tile into
+/// several spatial shards once prepared (25k rows × model width ≳ 1 MiB
+/// per plane).
+fn big_raw_stack(n_rows: usize, n_features: usize) -> Matrix {
+    let mut flat = Vec::with_capacity(n_rows * n_features);
+    for i in 0..n_rows {
+        for j in 0..n_features {
+            flat.push(((i * 31 + j * 17) % 997) as f64 / 997.0);
+        }
+    }
+    Matrix::from_flat(flat, n_features)
+}
+
+/// The learner×tree nested parallel fit must not depend on the worker
+/// count: same weights, same thresholds, same served bits at 1, 2, 4 and
+/// 8 forced workers.
+#[test]
+fn parallel_fit_is_bit_identical_to_the_one_thread_fit() {
+    let (scenario, dataset, split) = fixture(11);
+    for use_iware in [true, false] {
+        let cfg = config(11, use_iware);
+        let reference: ServingModel = rayon::with_num_threads(1, || {
+            paws_core::train(&dataset, &split, &cfg).into_serving()
+        });
+        let prev = vec![0.0; scenario.park.n_cells()];
+        let (r_ref, u_ref) = reference
+            .try_risk_map(&scenario.park, &dataset, &prev, 1.0)
+            .expect("reference risk map");
+        for forced in FORCED {
+            let model = rayon::with_num_threads(forced, || {
+                paws_core::train(&dataset, &split, &cfg).into_serving()
+            });
+            let (r, u) = model
+                .try_risk_map(&scenario.park, &dataset, &prev, 1.0)
+                .expect("forced-fit risk map");
+            assert_eq!(r, r_ref, "risk drifted: iware={use_iware} x{forced}");
+            assert_eq!(u, u_ref, "uncertainty drifted: iware={use_iware} x{forced}");
+        }
+    }
+}
+
+/// Prepared park queries — including the multi-shard fan-out on an
+/// LLC-scale stack — serve the same bits at every forced worker count.
+#[test]
+fn sharded_prepared_queries_are_bit_identical_across_forced_counts() {
+    let (_, dataset, split) = fixture(12);
+    let model = rayon::with_num_threads(1, || {
+        paws_core::train(&dataset, &split, &config(12, true)).into_serving()
+    });
+    let prepared = model
+        .prepare_rows(big_raw_stack(25_000, model.n_features()))
+        .expect("big stack prepares");
+    assert!(
+        prepared.shards().len() > 1,
+        "fixture must exercise the shard fan-out, got {:?}",
+        prepared.shards()
+    );
+
+    let (r_ref, u_ref) = rayon::with_num_threads(1, || model.risk_map_prepared(&prepared, 1.0));
+    let (p_ref, v_ref) =
+        rayon::with_num_threads(1, || model.park_response_prepared(&prepared, &GRID));
+    for forced in FORCED {
+        rayon::with_num_threads(forced, || {
+            let (r, u) = model.risk_map_prepared(&prepared, 1.0);
+            assert_eq!(r, r_ref, "sharded risk drifted x{forced}");
+            assert_eq!(u, u_ref, "sharded uncertainty drifted x{forced}");
+            let (p, v) = model.park_response_prepared(&prepared, &GRID);
+            assert_eq!(p.as_slice(), p_ref.as_slice(), "response probs x{forced}");
+            assert_eq!(v.as_slice(), v_ref.as_slice(), "response vars x{forced}");
+        });
+    }
+}
+
+/// The batched admission layer on top of the forced pool: answers coming
+/// back through `PawsServer::submit` match the 1-thread direct reference
+/// bit for bit at every forced worker count.
+#[test]
+fn batched_serve_is_bit_identical_across_forced_counts() {
+    let (scenario, dataset, split) = fixture(13);
+    let model = rayon::with_num_threads(1, || {
+        paws_core::train(&dataset, &split, &config(13, true)).into_serving()
+    });
+    let prev = vec![0.0; scenario.park.n_cells()];
+    let (r_ref, u_ref) = rayon::with_num_threads(1, || {
+        model
+            .try_risk_map(&scenario.park, &dataset, &prev, 1.0)
+            .expect("direct risk map")
+    });
+    let (p_ref, v_ref) = rayon::with_num_threads(1, || {
+        model
+            .try_park_response(&scenario.park, &dataset, &prev, &GRID)
+            .expect("direct response")
+    });
+
+    let server = Arc::new(PawsServer::new());
+    server
+        .registry()
+        .install("forced-park", model, scenario.park.clone(), &dataset, &prev)
+        .expect("install succeeds");
+    let batch = vec![
+        QueryRequest::new("forced-park", QueryKind::RiskMap { effort_km: 1.0 }),
+        QueryRequest::new(
+            "forced-park",
+            QueryKind::ParkResponse {
+                effort_grid: GRID.to_vec(),
+            },
+        ),
+    ];
+    for forced in FORCED {
+        let answers = rayon::with_num_threads(forced, || server.submit(&batch));
+        assert_eq!(answers.len(), 2);
+        match answers[0].as_ref().expect("risk query succeeds") {
+            QueryResponse::RiskMap { risk, uncertainty } => {
+                assert_eq!(risk, &r_ref, "served risk drifted x{forced}");
+                assert_eq!(uncertainty, &u_ref, "served uncertainty drifted x{forced}");
+            }
+            other => panic!("answer shape mismatch: {other:?}"),
+        }
+        match answers[1].as_ref().expect("response query succeeds") {
+            QueryResponse::ParkResponse { probs, vars } => {
+                assert_eq!(probs.as_slice(), p_ref.as_slice(), "served probs x{forced}");
+                assert_eq!(vars.as_slice(), v_ref.as_slice(), "served vars x{forced}");
+            }
+            other => panic!("answer shape mismatch: {other:?}"),
+        }
+    }
+}

@@ -18,8 +18,9 @@ use paws_core::{
     fit_stream, ColdReason, ModelConfig, RefitPath, Scenario, StreamBatch, StreamConfig,
     WeakLearnerKind,
 };
-use paws_data::{build_dataset, Dataset, Discretization, StandardScaler};
-use paws_iware::IWareModel;
+use paws_data::{build_dataset, Dataset, Discretization, Matrix, StandardScaler};
+use paws_iware::{IWareConfig, IWareModel, ThresholdMode, WeightMode};
+use paws_ml::bagging::BaggingConfig;
 use paws_sim::History;
 
 const TOL: f64 = 1e-12;
@@ -68,10 +69,10 @@ fn iware(model: &paws_core::ServingModel) -> &IWareModel {
 /// (scenario seed 13, two years in four 6-month batches, DTB-iW seed 13),
 /// probed at effort 1.0 on the first four training rows.
 const GOLDEN_STREAMED_RISK: [f64; 4] = [
-    0.23648604413010033,
-    0.0,
-    0.017780758455300638,
-    0.21590914718986848,
+    0.11576556933029508,
+    0.16006085759857944,
+    0.06665019518774738,
+    0.06852655741174504,
 ];
 
 #[test]
@@ -132,6 +133,91 @@ fn zero_tolerance_stream_is_bit_identical_to_the_one_shot_fit() {
             got[i]
         );
     }
+}
+
+#[test]
+fn threshold_count_change_keeps_surviving_learners_warm() {
+    // PR 10 satellite (ROADMAP item 3 leftover): per-learner bagging
+    // seeds are keyed by threshold *identity*, not index, so a warm refit
+    // across a threshold-count change — a new distinct patrol-effort
+    // level appearing in the log, exactly what quarterly discretization
+    // produces — keeps the learners whose thresholds survive instead of
+    // falling back to a full cold refit.
+    let config = IWareConfig {
+        n_learners: 4,
+        base: BaggingConfig::trees(4, 3),
+        threshold_mode: ThresholdMode::Percentile,
+        weight_mode: WeightMode::Uniform,
+        min_subset_size: 10,
+        seed: 7,
+    };
+
+    // Two discretized effort levels (0 km, 1 km) → percentile dedup stops
+    // at thresholds [0.0, 1.0].
+    let feat = |i: usize| {
+        vec![
+            ((i * 37) % 101) as f64 / 101.0,
+            ((i * 61) % 89) as f64 / 89.0,
+            ((i * 13) % 97) as f64 / 97.0,
+        ]
+    };
+    let n0 = 120;
+    let rows0: Vec<Vec<f64>> = (0..n0).map(feat).collect();
+    let labels0: Vec<f64> = (0..n0)
+        .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let efforts0: Vec<f64> = (0..n0)
+        .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+        .collect();
+    let x0 = Matrix::from_rows(&rows0);
+
+    let (cold, mut cache) = IWareModel::fit_cached(&config, x0.view(), &labels0, &efforts0);
+    assert_eq!(
+        cold.n_learners(),
+        2,
+        "fixture: ties dedup to two thresholds"
+    );
+
+    // Append a patrol cycle at a new 2 km effort level: three distinct
+    // efforts now, so the threshold *count* grows to three.
+    let n1 = 160;
+    let rows1: Vec<Vec<f64>> = (0..n1).map(feat).collect();
+    let labels1: Vec<f64> = (0..n1)
+        .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let efforts1: Vec<f64> = (0..n1)
+        .map(|i| {
+            if i >= n0 {
+                2.0
+            } else if i % 2 == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let x1 = Matrix::from_rows(&rows1);
+
+    let (warm, stats) =
+        IWareModel::warm_refit(&config, &mut cache, x1.view(), &labels1, &efforts1, 0.6);
+    assert_eq!(
+        warm.n_learners(),
+        3,
+        "fixture: the new effort level adds a threshold"
+    );
+    assert!(
+        stats.learners_kept > 0,
+        "a surviving threshold must keep its learner warm across a count change, got {stats:?}"
+    );
+    assert_eq!(
+        stats.learners_kept + stats.learners_refitted,
+        warm.n_learners()
+    );
+    assert_eq!(
+        cache.n_learners(),
+        3,
+        "cache re-keyed to the new threshold list"
+    );
 }
 
 #[test]

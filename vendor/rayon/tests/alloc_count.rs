@@ -1,0 +1,108 @@
+//! Allocation accounting for the lazy range adaptors (PR 10 satellite).
+//!
+//! The eager substrate collected `Range<usize>` / `Range<u64>` into a
+//! `Vec` before scheduling (≈1.6 MB allocated and immediately shredded
+//! per 200k-cell park call) and buffered `for_each` through a
+//! `Vec<Option<()>>`. The lazy `RangeSource` must drive the pool with
+//! O(width) bookkeeping only — this test pins that with a counting
+//! global allocator.
+//!
+//! Kept as a single `#[test]` so no sibling test can allocate inside the
+//! measurement window (each integration-test file is its own binary with
+//! its own global allocator).
+
+use rayon::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: defers entirely to the system allocator; the counter is a
+// side-channel and never affects the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            BYTES.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bytes allocated (process-wide) while running `f`.
+fn bytes_allocated_during(f: impl FnOnce()) -> usize {
+    BYTES.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    BYTES.load(Ordering::Relaxed)
+}
+
+#[test]
+fn range_for_each_does_not_materialize_the_index_space() {
+    const N: usize = 200_000;
+    // Old eager cost for reference: N × 8-byte indices collected up front
+    // plus an N × `Option<()>`-slot buffer in `for_each`.
+    const OLD_EAGER_BYTES: usize = N * 8;
+    // Generous budget for the lazy path: region descriptor + width deques
+    // + condvar/mutex internals; absolutely no O(N) term.
+    const BUDGET: usize = 64 * 1024;
+
+    let sink = AtomicUsize::new(0);
+
+    // Warm-up outside the window: first forced region spawns the pool's
+    // worker threads (thread names + stacks would otherwise be charged to
+    // the measurement).
+    rayon::with_num_threads(4, || {
+        (0..1024usize).into_par_iter().for_each(|i| {
+            sink.fetch_add(i, Ordering::Relaxed);
+        });
+    });
+
+    // usize range, forced multi-thread.
+    let forced = bytes_allocated_during(|| {
+        rayon::with_num_threads(4, || {
+            (0..N).into_par_iter().for_each(|i| {
+                sink.fetch_add(i, Ordering::Relaxed);
+            });
+        });
+    });
+    assert!(
+        forced < BUDGET,
+        "forced-4 for_each over {N} indices allocated {forced} bytes \
+         (eager range collection cost ≈{OLD_EAGER_BYTES}); the range source must stay lazy"
+    );
+
+    // u64 range, default width (sequential inline on a 1-core runner) —
+    // the zero-allocation fast path.
+    let sequential = bytes_allocated_during(|| {
+        rayon::with_num_threads(1, || {
+            (0..N as u64).into_par_iter().for_each(|i| {
+                sink.fetch_add(i as usize, Ordering::Relaxed);
+            });
+        });
+    });
+    assert!(
+        sequential < 1024,
+        "width-1 for_each must not allocate at all (got {sequential} bytes)"
+    );
+
+    // The checksum keeps the whole pipeline observable.
+    assert!(sink.load(Ordering::Relaxed) > 0);
+}

@@ -1,0 +1,141 @@
+//! Stress property tests for the persistent pool (PR 10 satellite):
+//! random nesting depth × skewed work × forced thread counts, asserting
+//! every index is processed exactly once, the indexed collect comes back
+//! in order, and a panic in an inner region unwinds cleanly while leaving
+//! the pool usable for the next region.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::with_num_threads;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Deterministic busy-work; skew comes from varying `units` per item.
+fn spin(units: u64) -> u64 {
+    let mut acc = units.wrapping_add(1);
+    for _ in 0..units {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    std::hint::black_box(acc)
+}
+
+/// The leaf value both the parallel and the sequential evaluation use.
+fn leaf_value(outer: usize, inner: usize, j: usize) -> u64 {
+    (outer * inner + j) as u64 * 3 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nested_skewed_regions_are_exactly_once_and_ordered(
+        threads in 1.0..8.99,
+        outer in 1.0..12.99,
+        inner in 1.0..24.99,
+        skew in 0.0..0.99,
+        depth in 0.0..2.99,
+    ) {
+        let threads = threads as usize;
+        let outer = outer as usize;
+        let inner = inner as usize;
+        // depth 0: inner loop sequential; 1: inner par region;
+        // 2: inner par region with a third par level below it.
+        let depth = depth as usize;
+
+        let hits: Vec<AtomicUsize> = (0..outer * inner).map(|_| AtomicUsize::new(0)).collect();
+        let hits = &hits;
+
+        let leaf = |o: usize, j: usize| -> u64 {
+            hits[o * inner + j].fetch_add(1, Ordering::Relaxed);
+            // Skewed work: late indices in each row spin much longer, so
+            // early finishers must steal to keep the pool busy.
+            spin((skew * 4000.0) as u64 * ((j % 4) as u64));
+            let base = leaf_value(o, inner, j);
+            if depth >= 2 && j.is_multiple_of(5) {
+                // Third nesting level: a tiny region published from a
+                // worker that is already two regions deep.
+                let sub: Vec<u64> = (0..3usize).into_par_iter().map(|k| base + k as u64).collect();
+                sub.iter().sum::<u64>() - 3
+            } else {
+                base * 3
+            }
+        };
+
+        let out: Vec<u64> = with_num_threads(threads, || {
+            (0..outer)
+                .into_par_iter()
+                .map(|o| {
+                    if depth == 0 {
+                        (0..inner).map(|j| leaf(o, j)).sum::<u64>()
+                    } else {
+                        (0..inner)
+                            .into_par_iter()
+                            .map(|j| leaf(o, j))
+                            .collect::<Vec<u64>>()
+                            .iter()
+                            .sum::<u64>()
+                    }
+                })
+                .collect()
+        });
+
+        // Every leaf index touched exactly once, regardless of nesting,
+        // skew, or how many workers helped.
+        for (idx, h) in hits.iter().enumerate() {
+            let n = h.load(Ordering::Relaxed);
+            prop_assert!(n == 1, "index {idx} processed {n} times (threads={threads})");
+        }
+
+        // Ordered collect: the parallel answer must equal the sequential
+        // evaluation of the same formula, element for element.
+        let expect: Vec<u64> = (0..outer)
+            .map(|o| {
+                (0..inner)
+                    .map(|j| {
+                        let base = leaf_value(o, inner, j);
+                        if depth >= 2 && j.is_multiple_of(5) {
+                            (0..3u64).map(|k| base + k).sum::<u64>() - 3
+                        } else {
+                            base * 3
+                        }
+                    })
+                    .sum::<u64>()
+            })
+            .collect();
+        prop_assert!(out == expect, "ordered collect diverged (threads={threads}, depth={depth})");
+    }
+
+    #[test]
+    fn inner_region_panic_unwinds_cleanly_and_pool_stays_usable(
+        threads in 2.0..8.99,
+        n in 8.0..48.99,
+        bomb in 0.0..0.99,
+    ) {
+        let threads = threads as usize;
+        let n = n as usize;
+        let bomb = ((bomb * n as f64) as usize).min(n - 1);
+
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(threads, || {
+                (0..4usize).into_par_iter().for_each(|o| {
+                    (0..n).into_par_iter().for_each(|j| {
+                        spin(50);
+                        if o == 1 && j == bomb {
+                            panic!("inner bomb at {j}");
+                        }
+                    });
+                });
+            });
+        });
+        prop_assert!(caught.is_err(), "the inner panic must reach the outer caller");
+
+        // The persistent pool must come back clean: full-size region,
+        // exactly-once, ordered.
+        let out: Vec<usize> = with_num_threads(threads, || {
+            (0..257usize).into_par_iter().map(|i| i + 7).collect()
+        });
+        let expect: Vec<usize> = (0..257).map(|i| i + 7).collect();
+        prop_assert!(out == expect, "pool unusable after an inner-region panic");
+    }
+}
